@@ -1,0 +1,78 @@
+// A5: collective-communication costs vs Lemma 2.5 / Corollary 2.6 —
+// t simultaneous reduces of W words over P ranks should cost F = t*W,
+// BW = t*W and L = O(log P + t) along the critical path.
+
+#include <cstdio>
+
+#include "bigint/bigint.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/machine.hpp"
+
+namespace ftmul {
+namespace {
+
+void t_reduce(int P, int t, std::size_t W) {
+    Machine m(P);
+    m.run([&](Rank& r) {
+        r.phase("t-reduce");
+        // t simultaneous reduces: disjoint roots, same data volume each.
+        for (int i = 0; i < t; ++i) {
+            std::vector<BigInt> local(W, BigInt{r.id() + 1});
+            (void)reduce_sum(r, Group::strided(0, P), i % P, std::move(local),
+                             10 + i);
+        }
+    });
+    const auto& c = m.stats().per_phase.at("t-reduce");
+    std::printf("%4d %4d %6zu | %10llu %10llu %8llu | %10zu %12.1f\n", P, t, W,
+                static_cast<unsigned long long>(c.flops),
+                static_cast<unsigned long long>(c.words),
+                static_cast<unsigned long long>(c.latency),
+                static_cast<std::size_t>(t) * W,
+                2.0 * static_cast<double>(t) * static_cast<double>(W));
+}
+
+void t_broadcast(int P, int t, std::size_t W) {
+    Machine m(P);
+    m.run([&](Rank& r) {
+        r.phase("t-bcast");
+        for (int i = 0; i < t; ++i) {
+            std::vector<BigInt> data;
+            if (r.id() == i % P) data.assign(W, BigInt{42});
+            bcast(r, Group::strided(0, P), i % P, data, 40 + i);
+        }
+    });
+    const auto& c = m.stats().per_phase.at("t-bcast");
+    std::printf("%4d %4d %6zu | %10llu %10llu %8llu\n", P, t, W,
+                static_cast<unsigned long long>(c.flops),
+                static_cast<unsigned long long>(c.words),
+                static_cast<unsigned long long>(c.latency));
+}
+
+}  // namespace
+}  // namespace ftmul
+
+int main() {
+    std::printf("Lemma 2.5 (t-reduce): critical-path costs; expected "
+                "F ~ t*W words-worth of adds, BW ~ O(t*W) words, "
+                "L ~ O(log P + t).\n");
+    std::printf("%4s %4s %6s | %10s %10s %8s | %10s %12s\n", "P", "t", "W",
+                "F", "BW", "L", "t*W", "~words(t*W*wire)");
+    ftmul::t_reduce(4, 1, 64);
+    ftmul::t_reduce(8, 1, 64);
+    ftmul::t_reduce(16, 1, 64);
+    ftmul::t_reduce(32, 1, 64);
+    ftmul::t_reduce(8, 2, 64);
+    ftmul::t_reduce(8, 4, 64);
+    ftmul::t_reduce(8, 8, 64);
+    ftmul::t_reduce(8, 4, 256);
+
+    std::printf("\nCorollary 2.6 (t-broadcast): expected F = 0, BW ~ O(t*W), "
+                "L ~ O(log P).\n");
+    std::printf("%4s %4s %6s | %10s %10s %8s\n", "P", "t", "W", "F", "BW", "L");
+    ftmul::t_broadcast(4, 1, 64);
+    ftmul::t_broadcast(16, 1, 64);
+    ftmul::t_broadcast(32, 1, 64);
+    ftmul::t_broadcast(8, 4, 64);
+    ftmul::t_broadcast(8, 8, 64);
+    return 0;
+}

@@ -1,0 +1,131 @@
+// Reproduces paper Figure 3: multi-step traversal — fusing l BFS steps into
+// one (2k-1)^l-wide step shrinks the polynomial code's bill from
+// f * P/(2k-1) to f * P/(2k-1)^l code processors, at the price of finding
+// redundant evaluation points in (2k-1, l)-general position (Section 6).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bigint/random.hpp"
+#include "coding/redundant_points.hpp"
+#include "core/ft_multistep.hpp"
+#include "core/parallel.hpp"
+
+namespace ftmul {
+namespace {
+
+void sweep_l(int k, int P, int f, std::size_t bits) {
+    Rng rng{static_cast<std::uint64_t>(k + P)};
+    const BigInt a = random_bits(rng, bits);
+    const BigInt b = random_bits(rng, bits - 9);
+    const BigInt expect = a * b;
+
+    ParallelConfig base;
+    base.k = k;
+    base.processors = P;
+    base.digit_bits = 64;
+    base.base_len = 4;
+    auto plain = parallel_toom_multiply(a, b, base);
+
+    int bfs = 0;
+    for (int q = P; q > 1; q /= (2 * k - 1)) ++bfs;
+
+    std::printf("\n--- k=%d P=%d f=%d n=%zu: extra processors vs fused steps "
+                "l (paper: f*P/(2k-1)^l) ---\n",
+                k, P, f, bits);
+    std::printf("%3s %8s %10s %14s %12s %8s %6s\n", "l", "+procs",
+                "predicted", "F(crit)", "BW(crit)", "F/plain", "ok");
+    for (int l = 1; l <= bfs; ++l) {
+        FtMultistepConfig cfg;
+        cfg.base = base;
+        cfg.faults = f;
+        cfg.fused_steps = l;
+        FaultPlan plan;
+        plan.add("mul", 0);  // one dead column, every l
+        auto res = ft_multistep_multiply(a, b, cfg, plan);
+        int predicted = f * P;
+        for (int i = 0; i < l; ++i) predicted /= (2 * k - 1);
+        std::printf("%3d %8d %10d %14llu %12llu %8.3f %6s\n", l,
+                    res.extra_processors, predicted,
+                    static_cast<unsigned long long>(res.stats.critical.flops),
+                    static_cast<unsigned long long>(res.stats.critical.words),
+                    static_cast<double>(res.stats.critical.flops) /
+                        static_cast<double>(plain.stats.critical.flops),
+                    res.product == expect ? "yes" : "NO");
+    }
+}
+
+void point_search_cost(int k, int l, int f) {
+    const int npts = 2 * k - 1;
+    Rng rng{5};
+    const auto start = std::chrono::steady_clock::now();
+    auto pts = find_redundant_points(
+        standard_points(static_cast<std::size_t>(npts)),
+        static_cast<std::size_t>(k), static_cast<std::size_t>(l),
+        static_cast<std::size_t>(f), rng);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    std::printf("  k=%d l=%d f=%d: found %zu points in %lld us; redundant:", k,
+                l, f, pts.size(), static_cast<long long>(us));
+    std::size_t base = 1;
+    for (int i = 0; i < l; ++i) base *= static_cast<std::size_t>(npts);
+    for (std::size_t i = base; i < pts.size(); ++i) {
+        std::printf(" %s", to_string(pts[i]).c_str());
+    }
+    std::printf("\n");
+}
+
+void optimized_vs_random(int k, int P, int f, std::size_t bits) {
+    // Paper Section 7 future work: "Optimizing the choice of redundant
+    // evaluation points may lead to speedup in practice".
+    Rng rng{8};
+    const BigInt a = random_bits(rng, bits);
+    const BigInt b = random_bits(rng, bits);
+    FaultPlan plan;
+    plan.add("mul", 0);
+    FtMultistepConfig cfg;
+    cfg.base.k = k;
+    cfg.base.processors = P;
+    cfg.base.digit_bits = 64;
+    cfg.base.base_len = 4;
+    cfg.faults = f;
+    cfg.fused_steps = 2;
+    auto rnd = ft_multistep_multiply(a, b, cfg, plan);
+    cfg.optimized_points = true;
+    auto opt = ft_multistep_multiply(a, b, cfg, plan);
+    std::printf(
+        "\n--- redundant-point choice ablation (k=%d P=%d f=%d l=2) ---\n",
+        k, P, f);
+    std::printf("random points:        F(crit)=%llu BW=%llu ok=%s\n",
+                static_cast<unsigned long long>(rnd.stats.critical.flops),
+                static_cast<unsigned long long>(rnd.stats.critical.words),
+                rnd.product == a * b ? "yes" : "NO");
+    std::printf("smallest-first points: F(crit)=%llu BW=%llu ok=%s "
+                "(F saved: %.1f%%)\n",
+                static_cast<unsigned long long>(opt.stats.critical.flops),
+                static_cast<unsigned long long>(opt.stats.critical.words),
+                opt.product == a * b ? "yes" : "NO",
+                100.0 * (1.0 - static_cast<double>(opt.stats.critical.flops) /
+                                   static_cast<double>(rnd.stats.critical.flops)));
+}
+
+}  // namespace
+}  // namespace ftmul
+
+int main() {
+    std::printf("Reproduction of Figure 3 — multi-step traversal with "
+                "redundant multipoints in (2k-1, l)-general position.\n");
+    ftmul::sweep_l(2, 9, 1, 1 << 15);
+    ftmul::sweep_l(2, 27, 1, 1 << 16);
+    ftmul::sweep_l(2, 27, 2, 1 << 16);
+
+    std::printf("\n--- Section 6.2 heuristic: redundant-point search ---\n");
+    ftmul::point_search_cost(2, 1, 3);
+    ftmul::point_search_cost(2, 2, 2);
+    ftmul::point_search_cost(3, 1, 2);
+
+    ftmul::optimized_vs_random(2, 9, 2, 1 << 15);
+    return 0;
+}

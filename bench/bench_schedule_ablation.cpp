@@ -1,0 +1,59 @@
+// Schedule ablation (the Ballard-et-al. result the paper's Section 3 leans
+// on): with a fixed multiset of BFS and DFS steps, *where* the DFS steps sit
+// trades peak memory against bandwidth. DFS-first fits the smallest memory
+// (that is why Lemma 3.1 prescribes it); BFS-first moves the fewest words
+// but peaks the working set at the top of the tree.
+
+#include <cstdio>
+
+#include "bigint/random.hpp"
+#include "core/parallel.hpp"
+
+namespace ftmul {
+namespace {
+
+void run(int k, int P, std::size_t bits, const char* const* orders,
+         int norders) {
+    Rng rng{17};
+    const BigInt a = random_bits(rng, bits);
+    const BigInt b = random_bits(rng, bits);
+    const BigInt expect = a * b;
+
+    std::printf("\nk=%d P=%d n=%zu bits\n", k, P, bits);
+    std::printf("%-10s %14s %12s %10s %12s %6s\n", "schedule", "F(crit)",
+                "BW(crit)", "L(crit)", "peak_mem", "ok");
+    for (int i = 0; i < norders; ++i) {
+        ParallelConfig cfg;
+        cfg.k = k;
+        cfg.processors = P;
+        cfg.digit_bits = 64;
+        cfg.base_len = 4;
+        cfg.step_order = orders[i];
+        auto res = parallel_toom_multiply(a, b, cfg);
+        std::printf("%-10s %14llu %12llu %10llu %12llu %6s\n", orders[i],
+                    static_cast<unsigned long long>(res.stats.critical.flops),
+                    static_cast<unsigned long long>(res.stats.critical.words),
+                    static_cast<unsigned long long>(res.stats.critical.latency),
+                    static_cast<unsigned long long>(res.stats.peak_memory_words),
+                    res.product == expect ? "yes" : "NO");
+    }
+}
+
+}  // namespace
+}  // namespace ftmul
+
+int main() {
+    std::printf("BFS/DFS schedule ablation: same step multiset, different "
+                "order.\n");
+    const char* two_dfs[] = {"DDBB", "DBDB", "DBBD", "BDDB", "BDBD", "BBDD"};
+    ftmul::run(2, 9, 1 << 16, two_dfs, 6);
+    const char* one_dfs[] = {"DBB", "BDB", "BBD"};
+    ftmul::run(2, 9, 1 << 15, one_dfs, 3);
+    const char* k3[] = {"DB", "BD"};
+    ftmul::run(3, 5, 1 << 14, k3, 2);
+    std::printf("\npaper context: Lemma 3.1 prescribes DFS-first because it "
+                "is the only order that meets the memory bound; the bandwidth "
+                "column shows the price (Table 2's (n/M)^{log_k(2k-1)} "
+                "factor).\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Delay faults / stragglers (paper Section 1's third fault category, and
+// the raison d'etre of the coded-computation literature the paper builds
+// on): one slow processor drags the whole bulk-synchronous run, but under
+// polynomial coding the straggling column can simply be *discarded* — the
+// same mechanism that tolerates hard faults doubles as straggler
+// mitigation.
+
+#include <cstdio>
+
+#include "bigint/random.hpp"
+#include "core/ft_poly.hpp"
+#include "core/parallel.hpp"
+
+namespace ftmul {
+namespace {
+
+void run(int k, int P, std::size_t bits, std::uint64_t delay_rounds) {
+    Rng rng{static_cast<std::uint64_t>(P)};
+    const BigInt a = random_bits(rng, bits);
+    const BigInt b = random_bits(rng, bits);
+    const BigInt expect = a * b;
+
+    CostModel model;  // default: alpha dominates latency-bound runs
+    model.alpha = 1e-5;
+    model.beta = 2e-9;
+    model.gamma = 1e-9;
+
+    ParallelConfig base;
+    base.k = k;
+    base.processors = P;
+    base.digit_bits = 64;
+    base.base_len = 4;
+
+    auto clean = parallel_toom_multiply(a, b, base);
+
+    ParallelConfig slow = base;
+    slow.straggler_delays = {{0, delay_rounds}};
+    auto straggled = parallel_toom_multiply(a, b, slow);
+
+    // Coded run: drop the straggler's column instead of waiting for it.
+    FtPolyConfig ft{base, 1};
+    FaultPlan drop;
+    drop.add("mul", 0);
+    auto coded = ft_poly_multiply(a, b, ft, drop);
+
+    std::printf("k=%d P=%d n=%zu, straggler = rank 0 delayed %llu rounds\n",
+                k, P, bits, static_cast<unsigned long long>(delay_rounds));
+    std::printf("  %-40s L=%6llu  modeled time %8.3f ms  %s\n",
+                "plain parallel, no straggler",
+                static_cast<unsigned long long>(clean.stats.critical.latency),
+                clean.stats.modeled_time(model) * 1e3,
+                clean.product == expect ? "ok" : "WRONG");
+    std::printf("  %-40s L=%6llu  modeled time %8.3f ms  %s\n",
+                "plain parallel, straggler on the path",
+                static_cast<unsigned long long>(straggled.stats.critical.latency),
+                straggled.stats.modeled_time(model) * 1e3,
+                straggled.product == expect ? "ok" : "WRONG");
+    std::printf("  %-40s L=%6llu  modeled time %8.3f ms  %s\n\n",
+                "FT poly: straggling column discarded",
+                static_cast<unsigned long long>(coded.stats.critical.latency),
+                coded.stats.modeled_time(model) * 1e3,
+                coded.product == expect ? "ok" : "WRONG");
+}
+
+}  // namespace
+}  // namespace ftmul
+
+int main() {
+    std::printf("Straggler mitigation via the polynomial code (delay "
+                "faults, paper Section 1).\n\n");
+    ftmul::run(2, 9, 1 << 15, 1000);
+    ftmul::run(2, 9, 1 << 15, 100000);
+    ftmul::run(2, 27, 1 << 16, 10000);
+    std::printf("paper context: redundancy designed for hard faults also "
+                "removes stragglers from the critical path — the coded-"
+                "computation effect of the works the paper cites "
+                "(Lee et al., Yu et al.).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/costs.hpp"
+
+namespace ftmul::bench {
+
+/// One line of a reproduced table: an algorithm's measured machine-model
+/// costs. Ratios are printed against a designated baseline row, which is how
+/// the paper states its results ((1 + o(1)) factors, overhead factors).
+struct Row {
+    std::string name;
+    CostCounters crit;     // critical-path F / BW / L
+    CostCounters agg;      // machine-wide totals
+    std::uint64_t peak_mem = 0;
+    int processors = 0;
+    int extra_processors = 0;
+    int tolerance = 0;
+    bool ok = true;  // product verified against the oracle
+};
+
+inline void print_header(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rows(const std::vector<Row>& rows, std::size_t baseline) {
+    std::printf(
+        "%-34s %6s %4s %3s | %12s %12s %8s | %8s %8s %8s | %10s %5s\n",
+        "algorithm", "procs", "+cp", "f", "F(crit)", "BW(crit)", "L(crit)",
+        "F/base", "BW/base", "L/base", "peak_mem", "ok");
+    const Row& b = rows[baseline];
+    auto ratio = [](std::uint64_t x, std::uint64_t y) {
+        return y == 0 ? 0.0 : static_cast<double>(x) / static_cast<double>(y);
+    };
+    for (const Row& r : rows) {
+        std::printf(
+            "%-34s %6d %4d %3d | %12llu %12llu %8llu | %8.3f %8.3f %8.3f | "
+            "%10llu %5s\n",
+            r.name.c_str(), r.processors, r.extra_processors, r.tolerance,
+            static_cast<unsigned long long>(r.crit.flops),
+            static_cast<unsigned long long>(r.crit.words),
+            static_cast<unsigned long long>(r.crit.latency),
+            ratio(r.crit.flops, b.crit.flops),
+            ratio(r.crit.words, b.crit.words),
+            ratio(r.crit.latency, b.crit.latency),
+            static_cast<unsigned long long>(r.peak_mem),
+            r.ok ? "yes" : "NO");
+    }
+}
+
+inline void print_aggregate_overheads(const std::vector<Row>& rows,
+                                      std::size_t baseline) {
+    const Row& b = rows[baseline];
+    std::printf("%-34s | %16s %16s\n", "algorithm (aggregate overhead)",
+                "extra F (x base)", "extra BW (x base)");
+    for (const Row& r : rows) {
+        const double df =
+            static_cast<double>(r.agg.flops) - static_cast<double>(b.agg.flops);
+        const double dw =
+            static_cast<double>(r.agg.words) - static_cast<double>(b.agg.words);
+        std::printf("%-34s | %16.3f %16.3f\n", r.name.c_str(),
+                    df / static_cast<double>(b.agg.flops),
+                    dw / std::max(1.0, static_cast<double>(b.agg.words)));
+    }
+}
+
+}  // namespace ftmul::bench

@@ -1,0 +1,181 @@
+// Command-line long-integer multiplier exposing every engine.
+//
+//   ftmul_cli [options] A B          multiply A by B
+//   ftmul_cli --op divmod A B        quotient and remainder (Newton + Toom)
+//   ftmul_cli --op isqrt A           integer square root
+//   ftmul_cli --op gcd A B           greatest common divisor (binary)
+//   ftmul_cli --op factorial N       N! via product tree + Toom
+//   options:
+//     --engine seq|lazy|unbalanced|parallel|ft-linear|ft-poly|ft-mixed
+//     --k K             split number (default 3 sequential, 2 parallel)
+//     --procs P         processors for the parallel engines (default 9)
+//     --faults F        redundancy for the FT engines (default 1)
+//     --kill PHASE:RANK inject a hard fault (repeatable; FT engines only)
+//     --hex             operands and output in hexadecimal
+//     --stats           print machine-model cost counters
+//
+// Example: ftmul_cli --engine ft-poly --kill mul:0 --stats 123456789 987654321
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/ft_linear.hpp"
+#include "core/ft_mixed.hpp"
+#include "core/ft_poly.hpp"
+#include "core/parallel.hpp"
+#include "funcs/elementary.hpp"
+#include "toom/lazy.hpp"
+#include "toom/sequential.hpp"
+#include "toom/unbalanced.hpp"
+
+namespace {
+
+using namespace ftmul;
+
+struct Options {
+    std::string op = "mul";
+    std::string engine = "seq";
+    int k = 0;  // 0 = engine default
+    int procs = 9;
+    int faults = 1;
+    bool hex = false;
+    bool stats = false;
+    FaultPlan plan;
+    std::vector<std::string> operands;
+};
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: ftmul_cli [--engine seq|lazy|unbalanced|parallel|"
+                 "ft-linear|ft-poly|ft-mixed] [--k K] [--procs P] "
+                 "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] A B\n");
+    std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc) usage();
+            return argv[i];
+        };
+        if (arg == "--engine") {
+            o.engine = next();
+        } else if (arg == "--op") {
+            o.op = next();
+        } else if (arg == "--k") {
+            o.k = std::atoi(next().c_str());
+        } else if (arg == "--procs") {
+            o.procs = std::atoi(next().c_str());
+        } else if (arg == "--faults") {
+            o.faults = std::atoi(next().c_str());
+        } else if (arg == "--kill") {
+            const std::string spec = next();
+            const auto colon = spec.find(':');
+            if (colon == std::string::npos) usage();
+            o.plan.add(spec.substr(0, colon),
+                       std::atoi(spec.c_str() + colon + 1));
+        } else if (arg == "--hex") {
+            o.hex = true;
+        } else if (arg == "--stats") {
+            o.stats = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage();
+        } else {
+            o.operands.push_back(arg);
+        }
+    }
+    const std::size_t expected =
+        (o.op == "isqrt" || o.op == "factorial") ? 1 : 2;
+    if (o.operands.size() != expected) usage();
+    return o;
+}
+
+void print_stats(const RunStats& s) {
+    std::fprintf(stderr,
+                 "critical path: F=%llu limb-ops, BW=%llu words, L=%llu "
+                 "rounds; machine total F=%llu; peak memory %llu words\n",
+                 static_cast<unsigned long long>(s.critical.flops),
+                 static_cast<unsigned long long>(s.critical.words),
+                 static_cast<unsigned long long>(s.critical.latency),
+                 static_cast<unsigned long long>(s.aggregate.flops),
+                 static_cast<unsigned long long>(s.peak_memory_words));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options o = parse(argc, argv);
+    auto read = [&](const std::string& s) {
+        return o.hex ? BigInt::from_hex(s) : BigInt::from_decimal(s);
+    };
+    auto write = [&](const BigInt& v) {
+        return o.hex ? v.to_hex() : v.to_decimal();
+    };
+    const BigInt a = read(o.operands[0]);
+    const BigInt b = o.operands.size() > 1 ? read(o.operands[1]) : BigInt{};
+
+    if (o.op != "mul") {
+        const ToomPlan plan = ToomPlan::make(o.k ? o.k : 3);
+        auto toom = [&](const BigInt& x, const BigInt& y) {
+            return toom_multiply(x, y, plan);
+        };
+        if (o.op == "divmod") {
+            BigInt qq, rr;
+            newton_divmod(a, b, qq, rr, toom);
+            std::printf("%s\n%s\n", write(qq).c_str(), write(rr).c_str());
+        } else if (o.op == "isqrt") {
+            std::printf("%s\n", write(isqrt(a)).c_str());
+        } else if (o.op == "gcd") {
+            std::printf("%s\n", write(gcd_binary(a, b)).c_str());
+        } else if (o.op == "factorial") {
+            if (!a.fits_int64() || a.is_negative()) usage();
+            std::printf("%s\n",
+                        write(factorial(static_cast<std::uint64_t>(a.to_int64()),
+                                        toom))
+                            .c_str());
+        } else {
+            usage();
+        }
+        return 0;
+    }
+
+    BigInt product;
+    if (o.engine == "seq") {
+        product = toom_multiply(a, b, ToomPlan::make(o.k ? o.k : 3));
+    } else if (o.engine == "lazy") {
+        product = toom_multiply_lazy(a, b, ToomPlan::make(o.k ? o.k : 3));
+    } else if (o.engine == "unbalanced") {
+        product = toom_multiply_unbalanced(a, b, UnbalancedPlan::make(3, 2));
+    } else {
+        ParallelConfig base;
+        base.k = o.k ? o.k : 2;
+        base.processors = o.procs;
+        if (o.engine == "parallel") {
+            auto r = parallel_toom_multiply(a, b, base);
+            product = r.product;
+            if (o.stats) print_stats(r.stats);
+        } else if (o.engine == "ft-linear") {
+            auto r = ft_linear_multiply(a, b, {base, o.faults}, o.plan);
+            product = r.product;
+            if (o.stats) print_stats(r.stats);
+        } else if (o.engine == "ft-poly") {
+            auto r = ft_poly_multiply(a, b, {base, o.faults}, o.plan);
+            product = r.product;
+            if (o.stats) print_stats(r.stats);
+        } else if (o.engine == "ft-mixed") {
+            auto r = ft_mixed_multiply(a, b, {base, o.faults}, o.plan);
+            product = r.product;
+            if (o.stats) print_stats(r.stats);
+        } else {
+            usage();
+        }
+    }
+
+    std::printf("%s\n",
+                o.hex ? product.to_hex().c_str() : product.to_decimal().c_str());
+    return 0;
+}

@@ -1,0 +1,205 @@
+#include "bigint/bigint.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "bigint/ops_counter.hpp"
+
+namespace ftmul {
+
+thread_local std::uint64_t OpsCounter::tally_ = 0;
+
+namespace {
+
+detail::Limbs mag_of_u64(std::uint64_t v) {
+    return v == 0 ? detail::Limbs{} : detail::Limbs{v};
+}
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+    if (v == 0) return;
+    if (v > 0) {
+        sign_ = 1;
+        mag_ = mag_of_u64(static_cast<std::uint64_t>(v));
+    } else {
+        sign_ = -1;
+        // Negate via unsigned arithmetic so INT64_MIN is handled.
+        mag_ = mag_of_u64(~static_cast<std::uint64_t>(v) + 1);
+    }
+}
+
+BigInt BigInt::from_parts(int sign, detail::Limbs magnitude) {
+    detail::normalize(magnitude);
+    BigInt out;
+    out.mag_ = std::move(magnitude);
+    out.sign_ = out.mag_.empty() ? 0 : sign;
+    return out;
+}
+
+BigInt BigInt::power_of_two(std::size_t e) {
+    detail::Limbs m(e / 64 + 1, 0);
+    m[e / 64] = std::uint64_t{1} << (e % 64);
+    return from_parts(1, std::move(m));
+}
+
+std::int64_t BigInt::to_int64() const {
+    assert(fits_int64());
+    if (sign_ == 0) return 0;
+    const std::uint64_t v = mag_[0];
+    return sign_ > 0 ? static_cast<std::int64_t>(v)
+                     : -static_cast<std::int64_t>(v - 1) - 1;
+}
+
+bool BigInt::fits_int64() const {
+    if (sign_ == 0) return true;
+    if (mag_.size() > 1) return false;
+    const std::uint64_t limit =
+        sign_ > 0 ? static_cast<std::uint64_t>(INT64_MAX)
+                  : static_cast<std::uint64_t>(INT64_MAX) + 1;
+    return mag_[0] <= limit;
+}
+
+BigInt BigInt::abs() const {
+    BigInt out = *this;
+    if (out.sign_ < 0) out.sign_ = 1;
+    return out;
+}
+
+BigInt BigInt::operator-() const {
+    BigInt out = *this;
+    out.sign_ = -out.sign_;
+    return out;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+    if (a.sign_ == 0) return b;
+    if (b.sign_ == 0) return a;
+    if (a.sign_ == b.sign_) {
+        return BigInt::from_parts(a.sign_, detail::add(a.mag_, b.mag_));
+    }
+    const int c = detail::cmp(a.mag_, b.mag_);
+    if (c == 0) return BigInt{};
+    if (c > 0) return BigInt::from_parts(a.sign_, detail::sub(a.mag_, b.mag_));
+    return BigInt::from_parts(b.sign_, detail::sub(b.mag_, a.mag_));
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+    if (a.sign_ == 0 || b.sign_ == 0) return BigInt{};
+    return BigInt::from_parts(a.sign_ * b.sign_, detail::mul(a.mag_, b.mag_));
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+    if (sign_ == 0) return {};
+    return from_parts(sign_, detail::shl(mag_, bits));
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+    if (sign_ == 0) return {};
+    return from_parts(sign_, detail::shr(mag_, bits));
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+    if (a.sign_ != b.sign_) return a.sign_ < b.sign_ ? -1 : 1;
+    const int c = detail::cmp(a.mag_, b.mag_);
+    return a.sign_ >= 0 ? c : -c;
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+    if (b.sign_ == 0) throw std::domain_error("BigInt division by zero");
+    detail::Limbs qm, rm;
+    detail::divmod(a.mag_, b.mag_, qm, rm);
+    q = from_parts(a.sign_ * b.sign_, std::move(qm));
+    r = from_parts(a.sign_, std::move(rm));
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    return q;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    return r;
+}
+
+BigInt BigInt::mod_floor(const BigInt& a, const BigInt& m) {
+    BigInt r = a % m;
+    if (r.is_negative()) r += m.abs();
+    return r;
+}
+
+BigInt BigInt::divexact(const BigInt& d) const {
+    BigInt q, r;
+    divmod(*this, d, q, r);
+    assert(r.is_zero() && "divexact: division was not exact");
+    return q;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+    a = a.abs();
+    b = b.abs();
+    while (!b.is_zero()) {
+        BigInt r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+BigInt BigInt::pow(std::uint64_t e) const {
+    BigInt result{1};
+    BigInt base = *this;
+    while (e != 0) {
+        if (e & 1u) result *= base;
+        base *= base;
+        e >>= 1u;
+    }
+    return result;
+}
+
+BigInt BigInt::extract_bits(std::size_t lo, std::size_t len) const {
+    assert(!is_negative());
+    if (len == 0 || sign_ == 0) return {};
+    detail::Limbs shifted = detail::shr(mag_, lo);
+    const std::size_t keep_limbs = (len + 63) / 64;
+    if (shifted.size() > keep_limbs) shifted.resize(keep_limbs);
+    const unsigned top_bits = static_cast<unsigned>(len % 64);
+    if (top_bits != 0 && shifted.size() == keep_limbs) {
+        shifted.back() &= (~std::uint64_t{0}) >> (64 - top_bits);
+    }
+    return from_parts(1, std::move(shifted));
+}
+
+void add_scaled(BigInt& acc, const BigInt& x, std::int64_t c) {
+    if (c == 0 || x.is_zero()) return;
+    if (c == 1) {
+        acc += x;
+        return;
+    }
+    if (c == -1) {
+        acc -= x;
+        return;
+    }
+    const int term_sign = c > 0 ? x.sign_ : -x.sign_;
+    const std::uint64_t mag =
+        c > 0 ? static_cast<std::uint64_t>(c)
+              : ~static_cast<std::uint64_t>(c) + 1;  // |c|, INT64_MIN-safe
+    if (acc.sign_ == 0) {
+        acc = BigInt::from_parts(term_sign, detail::mul_small(x.mag_, mag));
+        return;
+    }
+    if (acc.sign_ == term_sign) {
+        // Fast path: magnitudes accumulate in place.
+        detail::addmul_small(acc.mag_, x.mag_, mag);
+        return;
+    }
+    acc += x * BigInt{c};
+}
+
+}  // namespace ftmul

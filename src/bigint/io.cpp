@@ -1,0 +1,114 @@
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+namespace {
+
+// Largest power of ten below 2^64, used to chunk decimal conversion.
+constexpr std::uint64_t kDecChunk = 10'000'000'000'000'000'000ull;  // 10^19
+constexpr int kDecChunkDigits = 19;
+
+int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+BigInt BigInt::from_decimal(std::string_view s) {
+    bool negative = false;
+    if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+        negative = s.front() == '-';
+        s.remove_prefix(1);
+    }
+    if (s.empty()) throw std::invalid_argument("BigInt::from_decimal: empty input");
+
+    BigInt value;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        const std::size_t len = std::min<std::size_t>(kDecChunkDigits, s.size() - i);
+        std::uint64_t chunk = 0;
+        std::uint64_t scale = 1;
+        for (std::size_t j = 0; j < len; ++j) {
+            const char c = s[i + j];
+            if (c < '0' || c > '9') {
+                throw std::invalid_argument("BigInt::from_decimal: bad digit");
+            }
+            chunk = chunk * 10 + static_cast<std::uint64_t>(c - '0');
+            scale *= 10;
+        }
+        value = from_parts(1, detail::mul_small(value.mag_, scale));
+        value += from_parts(1, detail::Limbs{chunk});
+        i += len;
+    }
+    if (negative && !value.is_zero()) value.sign_ = -1;
+    return value;
+}
+
+BigInt BigInt::from_hex(std::string_view s) {
+    bool negative = false;
+    if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+        negative = s.front() == '-';
+        s.remove_prefix(1);
+    }
+    if (s.empty()) throw std::invalid_argument("BigInt::from_hex: empty input");
+
+    detail::Limbs mag((s.size() + 15) / 16, 0);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const int d = hex_digit(s[s.size() - 1 - i]);
+        if (d < 0) throw std::invalid_argument("BigInt::from_hex: bad digit");
+        mag[i / 16] |= static_cast<std::uint64_t>(d) << (4 * (i % 16));
+    }
+    BigInt out = from_parts(negative ? -1 : 1, std::move(mag));
+    return out;
+}
+
+std::string BigInt::to_decimal() const {
+    if (is_zero()) return "0";
+    detail::Limbs work = mag_;
+    std::vector<std::uint64_t> chunks;  // least-significant first
+    while (!work.empty()) {
+        chunks.push_back(detail::divmod_small(work, kDecChunk));
+    }
+    std::string out;
+    if (sign_ < 0) out.push_back('-');
+    out += std::to_string(chunks.back());
+    for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+        std::string chunk = std::to_string(chunks[i]);
+        out.append(static_cast<std::size_t>(kDecChunkDigits) - chunk.size(), '0');
+        out += chunk;
+    }
+    return out;
+}
+
+std::string BigInt::to_hex() const {
+    if (is_zero()) return "0";
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out;
+    if (sign_ < 0) out.push_back('-');
+    bool leading = true;
+    for (std::size_t i = mag_.size(); i-- > 0;) {
+        for (int nib = 15; nib >= 0; --nib) {
+            const unsigned d =
+                static_cast<unsigned>((mag_[i] >> (4 * nib)) & 0xfu);
+            if (leading && d == 0) continue;
+            leading = false;
+            out.push_back(kHex[d]);
+        }
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+    return os << v.to_decimal();
+}
+
+}  // namespace ftmul

@@ -1,0 +1,264 @@
+#include "bigint/limb_ops.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "bigint/ops_counter.hpp"
+
+namespace ftmul::detail {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+void normalize(Limbs& a) {
+    while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+int cmp(const Limbs& a, const Limbs& b) {
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (std::size_t i = a.size(); i-- > 0;) {
+        if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+Limbs add(const Limbs& a, const Limbs& b) {
+    const Limbs& lo = a.size() >= b.size() ? b : a;
+    const Limbs& hi = a.size() >= b.size() ? a : b;
+    Limbs out(hi.size() + 1, 0);
+    u64 carry = 0;
+    std::size_t i = 0;
+    for (; i < lo.size(); ++i) {
+        u128 s = static_cast<u128>(hi[i]) + lo[i] + carry;
+        out[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    for (; i < hi.size(); ++i) {
+        u128 s = static_cast<u128>(hi[i]) + carry;
+        out[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    out[hi.size()] = carry;
+    normalize(out);
+    OpsCounter::add(hi.size());
+    return out;
+}
+
+Limbs sub(const Limbs& a, const Limbs& b) {
+    assert(cmp(a, b) >= 0);
+    Limbs out(a.size(), 0);
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        u64 bi = i < b.size() ? b[i] : 0;
+        u64 t = a[i] - bi;
+        u64 b1 = t > a[i];
+        u64 t2 = t - borrow;
+        u64 b2 = t2 > t;
+        out[i] = t2;
+        borrow = b1 | b2;
+    }
+    assert(borrow == 0);
+    normalize(out);
+    OpsCounter::add(a.size());
+    return out;
+}
+
+Limbs mul(const Limbs& a, const Limbs& b) {
+    if (a.empty() || b.empty()) return {};
+    Limbs out(a.size() + b.size(), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        u64 carry = 0;
+        u64 ai = a[i];
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            u128 t = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
+            out[i + j] = static_cast<u64>(t);
+            carry = static_cast<u64>(t >> 64);
+        }
+        out[i + b.size()] = carry;
+    }
+    normalize(out);
+    OpsCounter::add(a.size() * b.size());
+    return out;
+}
+
+Limbs mul_small(const Limbs& a, u64 m) {
+    if (a.empty() || m == 0) return {};
+    Limbs out(a.size() + 1, 0);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        u128 t = static_cast<u128>(a[i]) * m + carry;
+        out[i] = static_cast<u64>(t);
+        carry = static_cast<u64>(t >> 64);
+    }
+    out[a.size()] = carry;
+    normalize(out);
+    OpsCounter::add(a.size());
+    return out;
+}
+
+void addmul_small(Limbs& acc, const Limbs& x, u64 m) {
+    if (x.empty() || m == 0) return;
+    if (acc.size() < x.size() + 1) acc.resize(x.size() + 1, 0);
+    u64 carry = 0;
+    std::size_t i = 0;
+    for (; i < x.size(); ++i) {
+        u128 t = static_cast<u128>(x[i]) * m + acc[i] + carry;
+        acc[i] = static_cast<u64>(t);
+        carry = static_cast<u64>(t >> 64);
+    }
+    for (; carry != 0; ++i) {
+        if (i == acc.size()) acc.push_back(0);
+        u128 t = static_cast<u128>(acc[i]) + carry;
+        acc[i] = static_cast<u64>(t);
+        carry = static_cast<u64>(t >> 64);
+    }
+    normalize(acc);
+    OpsCounter::add(x.size());
+}
+
+Limbs shl(const Limbs& a, std::size_t bits) {
+    if (a.empty()) return {};
+    const std::size_t limb_shift = bits / 64;
+    const unsigned bit_shift = static_cast<unsigned>(bits % 64);
+    Limbs out(a.size() + limb_shift + 1, 0);
+    if (bit_shift == 0) {
+        for (std::size_t i = 0; i < a.size(); ++i) out[i + limb_shift] = a[i];
+    } else {
+        u64 carry = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            out[i + limb_shift] = (a[i] << bit_shift) | carry;
+            carry = a[i] >> (64 - bit_shift);
+        }
+        out[a.size() + limb_shift] = carry;
+    }
+    normalize(out);
+    OpsCounter::add(a.size());
+    return out;
+}
+
+Limbs shr(const Limbs& a, std::size_t bits) {
+    const std::size_t limb_shift = bits / 64;
+    if (limb_shift >= a.size()) return {};
+    const unsigned bit_shift = static_cast<unsigned>(bits % 64);
+    Limbs out(a.size() - limb_shift, 0);
+    if (bit_shift == 0) {
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i + limb_shift];
+    } else {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            u64 hi = (i + limb_shift + 1 < a.size()) ? a[i + limb_shift + 1] : 0;
+            out[i] = (a[i + limb_shift] >> bit_shift) | (hi << (64 - bit_shift));
+        }
+    }
+    normalize(out);
+    OpsCounter::add(out.size());
+    return out;
+}
+
+std::uint64_t divmod_small(Limbs& a, u64 d) {
+    assert(d != 0);
+    u64 rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+        u128 cur = (static_cast<u128>(rem) << 64) | a[i];
+        a[i] = static_cast<u64>(cur / d);
+        rem = static_cast<u64>(cur % d);
+    }
+    normalize(a);
+    OpsCounter::add(a.size() + 1);
+    return rem;
+}
+
+void divmod(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r) {
+    assert(!b.empty());
+    if (cmp(a, b) < 0) {
+        q.clear();
+        r = a;
+        return;
+    }
+    if (b.size() == 1) {
+        q = a;
+        u64 rem = divmod_small(q, b[0]);
+        r = rem ? Limbs{rem} : Limbs{};
+        return;
+    }
+
+    // Knuth TAOCP vol.2 Algorithm D with the usual normalization so the
+    // divisor's top limb has its high bit set.
+    const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
+    Limbs vn = shl(b, s);
+    Limbs un = shl(a, s);
+    const std::size_t n = vn.size();
+    const std::size_t usize = a.size();
+    un.resize(usize + 1, 0);
+    const std::size_t m = usize - n;
+
+    q.assign(m + 1, 0);
+    for (std::size_t j = m + 1; j-- > 0;) {
+        const u64 u2 = un[j + n];
+        const u64 u1 = un[j + n - 1];
+        const u64 u0 = un[j + n - 2];
+        const u128 num = (static_cast<u128>(u2) << 64) | u1;
+
+        u128 qhat = num / vn[n - 1];
+        u128 rhat = num % vn[n - 1];
+        while (qhat >= (static_cast<u128>(1) << 64) ||
+               qhat * vn[n - 2] > ((rhat << 64) | u0)) {
+            --qhat;
+            rhat += vn[n - 1];
+            if (rhat >= (static_cast<u128>(1) << 64)) break;
+        }
+        u64 qh = static_cast<u64>(qhat);
+
+        // Multiply-and-subtract qh * vn from un[j .. j+n].
+        u64 mul_carry = 0;
+        u64 borrow = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            u128 p = static_cast<u128>(qh) * vn[i] + mul_carry;
+            mul_carry = static_cast<u64>(p >> 64);
+            const u64 plo = static_cast<u64>(p);
+            const u64 ui = un[j + i];
+            const u64 t = ui - plo;
+            const u64 b1 = t > ui;
+            const u64 t2 = t - borrow;
+            const u64 b2 = t2 > t;
+            un[j + i] = t2;
+            borrow = b1 + b2;  // never both 1: t == 0 forces b1 == 0
+        }
+        const u64 top = un[j + n];
+        const u128 need = static_cast<u128>(mul_carry) + borrow;
+        if (static_cast<u128>(top) < need) {
+            // qh was one too large: wraparound-subtract, then add back vn.
+            un[j + n] = top - static_cast<u64>(need);
+            --qh;
+            u64 c = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                u128 ssum = static_cast<u128>(un[j + i]) + vn[i] + c;
+                un[j + i] = static_cast<u64>(ssum);
+                c = static_cast<u64>(ssum >> 64);
+            }
+            un[j + n] += c;  // wraps back to the correct limb
+        } else {
+            un[j + n] = top - static_cast<u64>(need);
+        }
+        q[j] = qh;
+    }
+
+    un.resize(n);
+    r = shr(un, s);
+    normalize(q);
+    OpsCounter::add((m + 1) * n);
+}
+
+std::size_t bit_length(const Limbs& a) {
+    if (a.empty()) return 0;
+    return 64 * a.size() - static_cast<std::size_t>(std::countl_zero(a.back()));
+}
+
+bool get_bit(const Limbs& a, std::size_t i) {
+    const std::size_t limb = i / 64;
+    if (limb >= a.size()) return false;
+    return (a[limb] >> (i % 64)) & 1u;
+}
+
+}  // namespace ftmul::detail

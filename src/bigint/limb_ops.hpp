@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftmul::detail {
+
+/// Magnitude of a big integer: little-endian 64-bit limbs, normalized so the
+/// most significant limb is nonzero. The empty vector represents zero.
+using Limbs = std::vector<std::uint64_t>;
+
+/// Drop trailing (most-significant) zero limbs.
+void normalize(Limbs& a);
+
+/// Three-way magnitude comparison: negative / zero / positive.
+int cmp(const Limbs& a, const Limbs& b);
+
+/// a + b.
+Limbs add(const Limbs& a, const Limbs& b);
+
+/// a - b; requires cmp(a, b) >= 0.
+Limbs sub(const Limbs& a, const Limbs& b);
+
+/// Schoolbook product, Theta(|a|*|b|) limb multiplications.
+Limbs mul(const Limbs& a, const Limbs& b);
+
+/// a * m for a single-limb multiplier.
+Limbs mul_small(const Limbs& a, std::uint64_t m);
+
+/// acc += x * m in place (single-limb multiplier) — the fused kernel behind
+/// the evaluation/interpolation linear maps; avoids two temporaries per
+/// accumulation.
+void addmul_small(Limbs& acc, const Limbs& x, std::uint64_t m);
+
+/// a << bits.
+Limbs shl(const Limbs& a, std::size_t bits);
+
+/// a >> bits (toward zero).
+Limbs shr(const Limbs& a, std::size_t bits);
+
+/// In-place divide by a single limb d != 0; a becomes the quotient and the
+/// remainder is returned.
+std::uint64_t divmod_small(Limbs& a, std::uint64_t d);
+
+/// Knuth Algorithm D long division: computes q, r with a = q*b + r and
+/// 0 <= r < b. Requires b nonzero.
+void divmod(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r);
+
+/// Number of significant bits (0 for zero).
+std::size_t bit_length(const Limbs& a);
+
+/// Value of bit i (false beyond the top).
+bool get_bit(const Limbs& a, std::size_t i);
+
+}  // namespace ftmul::detail

@@ -1,0 +1,97 @@
+#include "bigint/montgomery.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "bigint/ops_counter.hpp"
+
+namespace ftmul {
+
+namespace {
+
+/// -m0^{-1} mod 2^64 by Newton iteration (m0 odd).
+std::uint64_t neg_inverse_u64(std::uint64_t m0) {
+    std::uint64_t inv = m0;  // correct mod 2^3
+    for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;  // doubles precision
+    return ~inv + 1;  // negate mod 2^64
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(BigInt modulus, MulFn mul)
+    : m_(std::move(modulus)), mul_(std::move(mul)) {
+    if (m_.sign() <= 0 || m_ == BigInt{1}) {
+        throw std::invalid_argument("Montgomery: modulus must be > 1");
+    }
+    if ((m_.magnitude()[0] & 1u) == 0) {
+        throw std::invalid_argument("Montgomery: modulus must be odd");
+    }
+    n_ = m_.limb_count();
+    m_inv_neg_ = neg_inverse_u64(m_.magnitude()[0]);
+    if (!mul_) {
+        mul_ = [](const BigInt& x, const BigInt& y) { return x * y; };
+    }
+    // R^2 mod m with R = 2^(64 n).
+    r2_ = BigInt::mod_floor(BigInt::power_of_two(2 * 64 * n_), m_);
+}
+
+BigInt MontgomeryContext::redc(const BigInt& t) const {
+    assert(!t.is_negative());
+    // Word-by-word REDC (Montgomery 1985): after n rounds the low n limbs
+    // are zero and the shifted value is t R^{-1} mod m, possibly plus m.
+    detail::Limbs acc = t.magnitude();
+    acc.resize(std::max(acc.size(), 2 * n_) + 1, 0);
+    const auto& m = m_.magnitude();
+    using u128 = unsigned __int128;
+
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::uint64_t u = acc[i] * m_inv_neg_;
+        // acc += u * m << (64 i)
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < n_; ++j) {
+            const u128 p = static_cast<u128>(u) * m[j] +
+                           acc[i + j] + carry;
+            acc[i + j] = static_cast<std::uint64_t>(p);
+            carry = static_cast<std::uint64_t>(p >> 64);
+        }
+        for (std::size_t j = i + n_; carry != 0; ++j) {
+            const u128 s = static_cast<u128>(acc[j]) + carry;
+            acc[j] = static_cast<std::uint64_t>(s);
+            carry = static_cast<std::uint64_t>(s >> 64);
+        }
+        assert(acc[i] == 0);
+    }
+    OpsCounter::add(n_ * n_);
+    detail::Limbs shifted(acc.begin() + static_cast<std::ptrdiff_t>(n_),
+                          acc.end());
+    detail::normalize(shifted);
+    BigInt out = BigInt::from_parts(1, std::move(shifted));
+    if (out >= m_) out -= m_;
+    return out;
+}
+
+BigInt MontgomeryContext::to_mont(const BigInt& x) const {
+    return redc(mul_(BigInt::mod_floor(x, m_), r2_));
+}
+
+BigInt MontgomeryContext::from_mont(const BigInt& x) const { return redc(x); }
+
+BigInt MontgomeryContext::mul(const BigInt& a, const BigInt& b) const {
+    return redc(mul_(a, b));
+}
+
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
+    if (exp.is_negative()) {
+        throw std::invalid_argument("Montgomery::pow: negative exponent");
+    }
+    BigInt result = to_mont(BigInt{1});
+    const BigInt b = to_mont(base);
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+        result = mul(result, result);
+        if (detail::get_bit(exp.magnitude(), i)) result = mul(result, b);
+    }
+    return from_mont(result);
+}
+
+}  // namespace ftmul

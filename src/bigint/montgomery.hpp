@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+/// Montgomery modular arithmetic context (cf. the paper's reference [31],
+/// Gu & Li: "A division-free Toom-Cook multiplication-based Montgomery
+/// modular multiplication"). All heavy multiplications are delegated to a
+/// pluggable kernel so Toom-Cook variants can drive modular exponentiation
+/// without any trial division in the hot loop.
+///
+/// Values in "Montgomery form" carry an implicit factor R = 2^(64*n), where
+/// n is the modulus limb count; REDC reduces a 2n-limb product back to n
+/// limbs using only multiplications, additions and shifts.
+class MontgomeryContext {
+public:
+    using MulFn = std::function<BigInt(const BigInt&, const BigInt&)>;
+
+    /// @param modulus odd modulus > 1; throws std::invalid_argument
+    ///                otherwise (Montgomery reduction needs gcd(m, R) = 1).
+    /// @param mul multiplication kernel (defaults to schoolbook).
+    explicit MontgomeryContext(BigInt modulus, MulFn mul = {});
+
+    const BigInt& modulus() const noexcept { return m_; }
+    std::size_t limbs() const noexcept { return n_; }
+
+    /// x (reduced mod m) -> xR mod m.
+    BigInt to_mont(const BigInt& x) const;
+
+    /// xR mod m -> x.
+    BigInt from_mont(const BigInt& x) const;
+
+    /// Montgomery product: (aR)(bR) -> abR (mod m).
+    BigInt mul(const BigInt& a, const BigInt& b) const;
+
+    /// Full modular exponentiation with plain inputs/outputs:
+    /// base^exp mod m (exp >= 0).
+    BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+    /// REDC(t) = t R^{-1} mod m for 0 <= t < m*R. Exposed for testing.
+    BigInt redc(const BigInt& t) const;
+
+private:
+    BigInt m_;
+    std::size_t n_;            // limbs of m
+    std::uint64_t m_inv_neg_;  // -m^{-1} mod 2^64
+    BigInt r2_;                // R^2 mod m
+    MulFn mul_;
+};
+
+}  // namespace ftmul

@@ -1,0 +1,50 @@
+#include "bigint/serialize.hpp"
+
+#include <stdexcept>
+
+namespace ftmul {
+
+std::size_t serialize_bigint(const BigInt& v, std::vector<std::uint64_t>& out) {
+    const std::size_t start = out.size();
+    out.push_back(static_cast<std::uint64_t>(static_cast<std::int64_t>(v.sign())));
+    out.push_back(v.limb_count());
+    const auto& mag = v.magnitude();
+    out.insert(out.end(), mag.begin(), mag.end());
+    return out.size() - start;
+}
+
+BigInt deserialize_bigint(std::span<const std::uint64_t> words, std::size_t& pos) {
+    if (pos + 2 > words.size()) {
+        throw std::runtime_error("deserialize_bigint: truncated header");
+    }
+    const int sign = static_cast<int>(static_cast<std::int64_t>(words[pos++]));
+    const std::size_t n = words[pos++];
+    if (pos + n > words.size()) {
+        throw std::runtime_error("deserialize_bigint: truncated payload");
+    }
+    detail::Limbs mag(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                      words.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return BigInt::from_parts(sign, std::move(mag));
+}
+
+std::vector<std::uint64_t> serialize_vec(std::span<const BigInt> values) {
+    std::vector<std::uint64_t> out;
+    out.push_back(values.size());
+    for (const BigInt& v : values) serialize_bigint(v, out);
+    return out;
+}
+
+std::vector<BigInt> deserialize_vec(std::span<const std::uint64_t> words) {
+    std::size_t pos = 0;
+    if (words.empty()) throw std::runtime_error("deserialize_vec: empty buffer");
+    const std::size_t count = words[pos++];
+    std::vector<BigInt> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(deserialize_bigint(words, pos));
+    }
+    return out;
+}
+
+}  // namespace ftmul

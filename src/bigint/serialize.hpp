@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+/// Wire format for BigInt values and vectors of them, used by the simulated
+/// message-passing runtime. Layout per value: [sign-as-u64, limb-count,
+/// limbs...]. Words are the unit the runtime's bandwidth counter charges for,
+/// matching the paper's "words moved" (BW) metric.
+
+/// Append the encoding of @p v to @p out; returns words appended.
+std::size_t serialize_bigint(const BigInt& v, std::vector<std::uint64_t>& out);
+
+/// Decode one BigInt starting at @p pos; advances @p pos past it.
+BigInt deserialize_bigint(std::span<const std::uint64_t> words, std::size_t& pos);
+
+/// Encode a whole vector: [count, value, value, ...].
+std::vector<std::uint64_t> serialize_vec(std::span<const BigInt> values);
+
+/// Decode a vector encoded by serialize_vec.
+std::vector<BigInt> deserialize_vec(std::span<const std::uint64_t> words);
+
+}  // namespace ftmul

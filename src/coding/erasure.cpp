@@ -1,0 +1,138 @@
+#include "coding/erasure.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/exact_solve.hpp"
+#include "linalg/vandermonde.hpp"
+
+namespace ftmul {
+
+ErasureCode::ErasureCode(std::size_t data_count, std::size_t parity_count)
+    : m_(data_count), f_(parity_count) {
+    if (m_ == 0) throw std::invalid_argument("ErasureCode: need data symbols");
+    // Distinct positive etas: every minor of this Vandermonde block is
+    // invertible (totally positive matrix), giving MDS distance f+1.
+    etas_.resize(f_);
+    std::iota(etas_.begin(), etas_.end(), std::int64_t{1});
+    parity_matrix_ = vandermonde(etas_, m_);
+}
+
+std::vector<BigInt> ErasureCode::encode(std::span<const BigInt> data) const {
+    return encode_blocks(data, 1);
+}
+
+std::vector<BigInt> ErasureCode::encode_blocks(std::span<const BigInt> data,
+                                               std::size_t block_len) const {
+    assert(data.size() == m_ * block_len);
+    std::vector<BigInt> parity(f_ * block_len);
+    for (std::size_t i = 0; i < f_; ++i) {
+        for (std::size_t t = 0; t < block_len; ++t) {
+            BigInt acc;
+            for (std::size_t j = 0; j < m_; ++j) {
+                const BigInt& w = parity_matrix_(i, j);
+                if (w == BigInt{1}) {
+                    acc += data[j * block_len + t];
+                } else {
+                    acc += w * data[j * block_len + t];
+                }
+            }
+            parity[i * block_len + t] = std::move(acc);
+        }
+    }
+    return parity;
+}
+
+std::vector<std::vector<BigInt>> ErasureCode::reconstruct_blocks(
+    const std::vector<std::optional<std::vector<BigInt>>>& data,
+    const std::vector<std::optional<std::vector<BigInt>>>& parity) const {
+    if (data.size() != m_ || parity.size() != f_) {
+        throw std::invalid_argument("ErasureCode::reconstruct: bad slot count");
+    }
+    std::vector<std::size_t> missing;
+    for (std::size_t j = 0; j < m_; ++j) {
+        if (!data[j].has_value()) missing.push_back(j);
+    }
+    std::vector<std::size_t> parity_avail;
+    for (std::size_t i = 0; i < f_; ++i) {
+        if (parity[i].has_value()) parity_avail.push_back(i);
+    }
+    if (missing.size() > parity_avail.size()) {
+        throw std::invalid_argument(
+            "ErasureCode::reconstruct: more erasures than surviving parity");
+    }
+
+    // Determine the block length from any present symbol.
+    std::size_t block_len = 0;
+    for (const auto& d : data) {
+        if (d) {
+            block_len = d->size();
+            break;
+        }
+    }
+    if (block_len == 0) {
+        for (const auto& p : parity) {
+            if (p) {
+                block_len = p->size();
+                break;
+            }
+        }
+    }
+
+    std::vector<std::vector<BigInt>> out(m_);
+    for (std::size_t j = 0; j < m_; ++j) {
+        if (data[j]) out[j] = *data[j];
+    }
+    if (missing.empty()) return out;
+
+    // Solve, per element, the Vandermonde-minor system
+    //   sum_{j in missing} eta_i^j x_j = parity_i - sum_{j present} eta_i^j d_j
+    // over the first |missing| available parity rows.
+    const std::size_t t = missing.size();
+    Matrix<BigRational> a(t, t);
+    for (std::size_t r = 0; r < t; ++r) {
+        for (std::size_t c = 0; c < t; ++c) {
+            a(r, c) = BigRational{parity_matrix_(parity_avail[r], missing[c])};
+        }
+    }
+    const Matrix<BigRational> ainv = inverse(a);
+
+    for (std::size_t elem = 0; elem < block_len; ++elem) {
+        std::vector<BigRational> rhs(t);
+        for (std::size_t r = 0; r < t; ++r) {
+            const std::size_t pi = parity_avail[r];
+            BigInt acc = (*parity[pi])[elem];
+            for (std::size_t j = 0; j < m_; ++j) {
+                if (!data[j]) continue;
+                acc -= parity_matrix_(pi, j) * (*data[j])[elem];
+            }
+            rhs[r] = BigRational{std::move(acc)};
+        }
+        const std::vector<BigRational> x = ainv.apply(rhs);
+        for (std::size_t c = 0; c < t; ++c) {
+            out[missing[c]].resize(block_len);
+            out[missing[c]][elem] = x[c].as_integer();
+        }
+    }
+    return out;
+}
+
+std::vector<BigInt> ErasureCode::reconstruct(
+    const std::vector<std::optional<BigInt>>& data,
+    const std::vector<std::optional<BigInt>>& parity) const {
+    std::vector<std::optional<std::vector<BigInt>>> d(data.size());
+    std::vector<std::optional<std::vector<BigInt>>> p(parity.size());
+    for (std::size_t j = 0; j < data.size(); ++j) {
+        if (data[j]) d[j] = std::vector<BigInt>{*data[j]};
+    }
+    for (std::size_t i = 0; i < parity.size(); ++i) {
+        if (parity[i]) p[i] = std::vector<BigInt>{*parity[i]};
+    }
+    auto blocks = reconstruct_blocks(d, p);
+    std::vector<BigInt> out(blocks.size());
+    for (std::size_t j = 0; j < blocks.size(); ++j) out[j] = std::move(blocks[j][0]);
+    return out;
+}
+
+}  // namespace ftmul

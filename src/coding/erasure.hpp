@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ftmul {
+
+/// Systematic (m+f, m, f+1) linear erasure code over the integers with a
+/// Vandermonde parity block (paper Section 2.5): parity row i holds
+/// sum_j eta_i^j * data_j for distinct etas. Any f erasures among the m+f
+/// symbols are recoverable; recovery solves a Vandermonde-minor system
+/// exactly over the rationals and the result is asserted integral.
+///
+/// In the FT algorithm (Section 4.1) each symbol is a *processor's block of
+/// the input*, so encode/reconstruct also come in blockwise variants.
+class ErasureCode {
+public:
+    /// @param data_count  m, number of data symbols (column height P/(2k-1)).
+    /// @param parity_count f, number of code processors per column.
+    ErasureCode(std::size_t data_count, std::size_t parity_count);
+
+    std::size_t data_count() const noexcept { return m_; }
+    std::size_t parity_count() const noexcept { return f_; }
+
+    /// Distance of the code (f + 1): any f erasures are recoverable.
+    std::size_t distance() const noexcept { return f_ + 1; }
+
+    /// The eta of parity row i.
+    std::int64_t eta(std::size_t i) const { return etas_[i]; }
+
+    /// Parity symbols for one word per data symbol.
+    std::vector<BigInt> encode(std::span<const BigInt> data) const;
+
+    /// Parity blocks: @p data is m consecutive blocks of @p block_len words;
+    /// returns f blocks.
+    std::vector<BigInt> encode_blocks(std::span<const BigInt> data,
+                                      std::size_t block_len) const;
+
+    /// Reconstruct the full data vector from survivors. @p data has m slots,
+    /// @p parity f slots; nullopt marks an erased symbol. Throws
+    /// std::invalid_argument when more symbols are missing than surviving
+    /// parity can cover.
+    std::vector<BigInt> reconstruct(
+        const std::vector<std::optional<BigInt>>& data,
+        const std::vector<std::optional<BigInt>>& parity) const;
+
+    /// Blockwise reconstruction (every present block must share one length).
+    std::vector<std::vector<BigInt>> reconstruct_blocks(
+        const std::vector<std::optional<std::vector<BigInt>>>& data,
+        const std::vector<std::optional<std::vector<BigInt>>>& parity) const;
+
+private:
+    std::size_t m_;
+    std::size_t f_;
+    std::vector<std::int64_t> etas_;
+    Matrix<BigInt> parity_matrix_;  // f x m Vandermonde
+};
+
+}  // namespace ftmul

@@ -1,0 +1,159 @@
+#include "coding/redundant_points.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/exact_solve.hpp"
+
+namespace ftmul {
+
+namespace {
+
+/// Visit every size-@p choose subset of {0..n-1}; stop early when the
+/// visitor returns false.
+template <typename Visit>
+bool for_each_subset(std::size_t n, std::size_t choose, const Visit& visit) {
+    if (choose > n) return true;
+    std::vector<std::size_t> idx(choose);
+    for (std::size_t i = 0; i < choose; ++i) idx[i] = i;
+    if (choose == 0) return visit(idx);
+    while (true) {
+        if (!visit(idx)) return false;
+        // Advance to the next combination.
+        std::size_t i = choose;
+        while (i-- > 0) {
+            if (idx[i] != i + n - choose) {
+                ++idx[i];
+                for (std::size_t j = i + 1; j < choose; ++j) idx[j] = idx[j - 1] + 1;
+                break;
+            }
+            if (i == 0) return true;
+        }
+    }
+}
+
+}  // namespace
+
+bool in_general_position(std::span<const MultiPoint> pts, std::size_t r,
+                         std::size_t l) {
+    std::size_t n_monomials = 1;
+    for (std::size_t t = 0; t < l; ++t) n_monomials *= r;
+    if (pts.size() < n_monomials) return false;
+
+    const Matrix<BigInt> full = multivariate_eval_matrix(pts, r, l);
+    return for_each_subset(pts.size(), n_monomials,
+                           [&](const std::vector<std::size_t>& idx) {
+                               return is_invertible(full.select_rows(idx));
+                           });
+}
+
+bool extends_general_position(std::span<const MultiPoint> s,
+                              const MultiPoint& x, std::size_t r,
+                              std::size_t l) {
+    std::size_t n_monomials = 1;
+    for (std::size_t t = 0; t < l; ++t) n_monomials *= r;
+    if (n_monomials == 0 || s.size() < n_monomials - 1) {
+        throw std::invalid_argument(
+            "extends_general_position: base set too small");
+    }
+
+    std::vector<MultiPoint> all(s.begin(), s.end());
+    all.push_back(x);
+    const Matrix<BigInt> full = multivariate_eval_matrix(all, r, l);
+    const std::size_t xrow = s.size();
+
+    // Claim 6.2: q_P(x) != 0 for every P in T_S, i.e. every subset of size
+    // r^l - 1 of s completed by x yields an invertible evaluation matrix.
+    return for_each_subset(
+        s.size(), n_monomials - 1, [&](const std::vector<std::size_t>& idx) {
+            std::vector<std::size_t> rows = idx;
+            rows.push_back(xrow);
+            return is_invertible(full.select_rows(rows));
+        });
+}
+
+namespace {
+
+/// Visit integer points of Z^l ordered by max-coordinate magnitude
+/// (1, 2, ...), lexicographic within a shell; stop when the visitor accepts.
+template <typename Visit>
+bool enumerate_by_magnitude(std::size_t l, std::int64_t max_radius,
+                            const Visit& visit) {
+    for (std::int64_t radius = 1; radius <= max_radius; ++radius) {
+        // Iterate the full cube [-radius, radius]^l, keeping only points on
+        // the shell (max |coord| == radius).
+        const std::int64_t side = 2 * radius + 1;
+        std::uint64_t total = 1;
+        for (std::size_t t = 0; t < l; ++t) total *= static_cast<std::uint64_t>(side);
+        for (std::uint64_t idx = 0; idx < total; ++idx) {
+            MultiPoint cand(l);
+            std::uint64_t rem = idx;
+            std::int64_t maxc = 0;
+            for (std::size_t t = 0; t < l; ++t) {
+                const std::int64_t c =
+                    static_cast<std::int64_t>(rem % static_cast<std::uint64_t>(side)) -
+                    radius;
+                rem /= static_cast<std::uint64_t>(side);
+                cand[t] = EvalPoint{c, 1};
+                maxc = std::max(maxc, c < 0 ? -c : c);
+            }
+            if (maxc != radius) continue;
+            if (visit(cand)) return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<MultiPoint> find_redundant_points(const std::vector<EvalPoint>& s,
+                                              std::size_t k, std::size_t l,
+                                              std::size_t f, Rng& rng,
+                                              PointSearch strategy) {
+    const std::size_t r = 2 * k - 1;
+    if (s.size() != r) {
+        throw std::invalid_argument(
+            "find_redundant_points: base set must have 2k-1 points");
+    }
+    std::vector<MultiPoint> pts = product_points(s, l);
+
+    // Candidate coordinates stay small so downstream evaluation stays cheap;
+    // Claim 6.5 guarantees integer candidates exist in a bounded grid, and in
+    // practice nearly every random point works (U_S is a null set).
+    constexpr int kMaxAttempts = 4096;
+    const std::int64_t coord_range = 2 * static_cast<std::int64_t>(r) + 3;
+
+    for (std::size_t added = 0; added < f; ++added) {
+        bool found = false;
+        if (strategy == PointSearch::SmallestFirst) {
+            found = enumerate_by_magnitude(
+                l, coord_range, [&](const MultiPoint& cand) {
+                    if (!extends_general_position(pts, cand, r, l)) return false;
+                    pts.push_back(cand);
+                    return true;
+                });
+        } else {
+            for (int attempt = 0; attempt < kMaxAttempts && !found; ++attempt) {
+                MultiPoint cand(l);
+                for (std::size_t t = 0; t < l; ++t) {
+                    cand[t] = EvalPoint{
+                        static_cast<std::int64_t>(rng.next_below(
+                            static_cast<std::uint64_t>(2 * coord_range + 1))) -
+                            coord_range,
+                        1};
+                }
+                if (extends_general_position(pts, cand, r, l)) {
+                    pts.push_back(std::move(cand));
+                    found = true;
+                }
+            }
+        }
+        if (!found) {
+            throw std::runtime_error(
+                "find_redundant_points: no candidate passed the heuristic");
+        }
+    }
+    return pts;
+}
+
+}  // namespace ftmul

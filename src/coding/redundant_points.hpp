@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bigint/random.hpp"
+#include "toom/multivariate.hpp"
+
+namespace ftmul {
+
+/// (r, l)-general position and the paper's heuristic for finding redundant
+/// evaluation points for multi-step fault-tolerant Toom-Cook (Section 6).
+
+/// Exhaustive test of Definition 6.1 via Claim 6.1: every r^l-subset of
+/// @p pts must have an invertible Poly_{r,l} evaluation matrix. Cost is
+/// combinatorial — intended for small instances and tests.
+bool in_general_position(std::span<const MultiPoint> pts, std::size_t r,
+                         std::size_t l);
+
+/// Incremental test of Claim 6.2: given @p s already in (r, l)-general
+/// position, does s + {x} remain so? Checks det(A_P(x)) != 0 for every
+/// (r^l - 1)-subset P of s — polynomially many determinants instead of the
+/// full exhaustive test.
+bool extends_general_position(std::span<const MultiPoint> s,
+                              const MultiPoint& x, std::size_t r,
+                              std::size_t l);
+
+/// Candidate generation order for the redundant-point heuristic.
+enum class PointSearch {
+    /// Random integer candidates (the paper's "a random point almost surely
+    /// works" reading of Claim 6.4).
+    Randomized,
+    /// Enumerate Z^l by growing coordinate magnitude and take the first
+    /// valid point — minimizing evaluation-coefficient growth, the paper's
+    /// "optimizing the choice of redundant evaluation points" future work.
+    SmallestFirst,
+};
+
+/// The paper's recursive heuristic (Section 6.2): starting from the product
+/// set S^l of a valid 1-D point set S (in general position by Claim 2.2),
+/// add @p f integer points one at a time, drawing candidates from Z^l until
+/// each passes extends_general_position (one always exists by Claim 6.5).
+/// Returns S^l followed by the f redundant points.
+std::vector<MultiPoint> find_redundant_points(
+    const std::vector<EvalPoint>& s, std::size_t k, std::size_t l,
+    std::size_t f, Rng& rng, PointSearch strategy = PointSearch::Randomized);
+
+}  // namespace ftmul

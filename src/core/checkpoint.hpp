@@ -1,0 +1,30 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// Configuration of the checkpoint-restart baseline (diskless
+/// checkpointing, cf. Plank et al. — the second general-purpose strategy
+/// the paper's introduction compares against, next to replication).
+struct CheckpointConfig {
+    ParallelConfig base;
+};
+
+/// Parallel Toom-Cook with buddy checkpointing: before each protected phase
+/// every rank ships its state to a buddy rank; a failed rank rolls back to
+/// the last checkpoint (the buddy re-sends it) and replays the lost phase.
+/// No extra processors, but every checkpoint moves the full working set —
+/// the bandwidth overhead the paper's coded algorithms avoid.
+///
+/// Protected fault phases: "eval-L0", "leaf-mul", "interp-L0" (as in
+/// ft_linear). Tolerates any fault set in which no rank fails together with
+/// its buddy at the same phase; throws std::invalid_argument otherwise.
+FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
+                                     const CheckpointConfig& cfg,
+                                     const FaultPlan& plan);
+
+}  // namespace ftmul

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// Configuration of the linear-coded fault-tolerant algorithm
+/// (paper Section 4.1, Figure 1).
+struct FtLinearConfig {
+    ParallelConfig base;
+
+    /// Number of tolerated faults f per protected phase: adds f rows of code
+    /// processors (f * (2k-1) ranks) below the grid.
+    int faults = 1;
+};
+
+/// Fault-tolerant parallel Toom-Cook with a systematic Vandermonde erasure
+/// code across grid columns. Each code processor holds an eta-weighted sum
+/// of its column's state; a failed processor's state is rebuilt with one
+/// reduce over the column's survivors and code processors, and the
+/// replacement resumes at the same grid position.
+///
+/// Faults may be scheduled at every protected phase boundary:
+///   - "eval-L<i>"   for each BFS level i (state = the level's input digit
+///                   slices; columns are the level-i grid columns, i.e. the
+///                   i-th base-(2k-1) digit of the rank label, matching the
+///                   paper's per-step repositioning),
+///   - "leaf-mul"    (multiplication phase; recovery decodes the leaf inputs
+///                   and *recomputes* the leaf product — the expensive
+///                   Birnbaum-style recovery the polynomial code avoids),
+///   - "interp-L<i>" for each BFS level i (state = child coefficient
+///                   slices).
+/// The code is refreshed by a column reduce before each protected phase
+/// (the paper re-encodes at every BFS step; with faults modeled at phase
+/// boundaries the refresh points coincide). At most f ranks may fail per
+/// column per phase. Requires forced_dfs_steps <= 0 (unlimited memory).
+FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
+                               const FtLinearConfig& cfg,
+                               const FaultPlan& plan);
+
+}  // namespace ftmul

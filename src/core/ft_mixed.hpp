@@ -1,0 +1,34 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// Configuration of the paper's combined fault-tolerant algorithm
+/// (Section 4, Theorem 5.2): linear coding for the evaluation and
+/// interpolation phases *and* polynomial coding for the multiplication
+/// phase, in a single run.
+struct FtMixedConfig {
+    ParallelConfig base;
+
+    /// Number of tolerated faults f per protected phase.
+    int faults = 1;
+};
+
+/// The mixed-code fault-tolerant parallel Toom-Cook. The processor grid is
+/// (P/(2k-1) + f) x (2k-1 + f): f redundant evaluation-point columns
+/// (polynomial code) and f code rows holding Vandermonde sums of every
+/// column (linear code). Supported fault phases:
+///   - "eval-L0"   : any data rank; linear-code reduce recovery.
+///   - "mul"       : column-halt + on-the-fly interpolation from surviving
+///                   points (no recomputation).
+///   - "interp-L0" : any data rank in a surviving non-substitute column;
+///                   linear-code recovery of its child coefficients.
+/// Faults at different phases compose (the code is refreshed per phase).
+FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
+                              const FtMixedConfig& cfg, const FaultPlan& plan);
+
+}  // namespace ftmul

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// Configuration of the multi-step fault-tolerant algorithm
+/// (paper Sections 4.3 and 6, Figure 3).
+struct FtMultistepConfig {
+    ParallelConfig base;
+
+    /// Number of tolerated column faults f.
+    int faults = 1;
+
+    /// Number of fused BFS steps l >= 1: the top step spans (2k-1)^l data
+    /// columns plus f redundant columns of height P/(2k-1)^l, cutting the
+    /// extra-processor bill from f*P/(2k-1) to f*P/(2k-1)^l.
+    int fused_steps = 2;
+
+    /// Seed for the redundant-point search heuristic (Claims 6.2-6.5).
+    std::uint64_t point_seed = 1;
+
+    /// Use the smallest-magnitude valid redundant points instead of random
+    /// ones (the paper's "optimizing the choice of redundant evaluation
+    /// points" future-work knob): smaller coefficients, less digit growth.
+    bool optimized_points = false;
+};
+
+/// Multi-step traversal: the first l BFS steps are fused into one wide step
+/// whose evaluation points are the product set S^l plus f redundant
+/// multipoints found in (2k-1, l)-general position by the paper's
+/// determinant heuristic. Fault semantics match ft_poly: faults only at
+/// phase "mul", at most f distinct columns, whole columns halt, and
+/// interpolation runs on the fly from any (2k-1)^l surviving columns.
+FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
+                                  const FtMultistepConfig& cfg,
+                                  const FaultPlan& plan);
+
+}  // namespace ftmul

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/parallel.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// Configuration of the polynomial-coded fault-tolerant algorithm
+/// (paper Section 4.2, Figure 2).
+struct FtPolyConfig {
+    ParallelConfig base;
+
+    /// Number of tolerated faults f: the top BFS step evaluates at 2k-1+f
+    /// points, adding f redundant columns of P/(2k-1) code processors each.
+    int faults = 1;
+};
+
+struct FtRunResult {
+    BigInt product;
+    ResolvedShape shape;
+    RunStats stats;
+    int extra_processors = 0;   ///< code processors beyond P
+    int faults_injected = 0;
+};
+
+/// Fault-tolerant parallel Toom-Cook with polynomial coding: the redundant
+/// evaluation points turn each extra grid column into a code column, so the
+/// *multiplication phase* — where linear codes break and Birnbaum et al.
+/// need recomputation — survives whole-column failures for free. When a
+/// column dies, its remaining processors halt, interpolation proceeds from
+/// any 2k-1 surviving columns with an interpolation operator computed on the
+/// fly, and a designated row sibling substitutes for each dead rank's share
+/// of the result.
+///
+/// Faults may be scheduled only at phase "mul" (the multiplication phase);
+/// the evaluation/interpolation phases are the linear code's job (Section
+/// 4.1, see ft_linear.hpp). At most `faults` distinct columns may fail.
+/// Throws std::invalid_argument on plans violating either rule.
+FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
+                             const FtPolyConfig& cfg, const FaultPlan& plan);
+
+}  // namespace ftmul

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+
+namespace ftmul {
+
+/// Schedule of *soft* faults (paper Section 2.1 category ii / Section 7):
+/// a processor miscalculates — here modeled as its state silently gaining a
+/// deterministic pseudorandom error vector upon entering a phase.
+class SoftFaultPlan {
+public:
+    void add(std::string phase, int rank) {
+        events_.emplace_back(std::move(phase), rank);
+    }
+
+    bool corrupts_at(const std::string& phase, int rank) const {
+        for (const auto& [p, r] : events_) {
+            if (r == rank && p == phase) return true;
+        }
+        return false;
+    }
+
+    const std::vector<std::pair<std::string, int>>& all() const {
+        return events_;
+    }
+
+    std::size_t total() const { return events_.size(); }
+
+private:
+    std::vector<std::pair<std::string, int>> events_;
+};
+
+struct FtSoftConfig {
+    ParallelConfig base;
+
+    /// Code rows f >= 2: syndrome s_j = sum_l eta_j^l state_l - code_j is
+    /// zero on clean columns; one corrupted rank e gives s_j = eta_j^e * err,
+    /// so s_1/s_0 locates e and s_0 (eta_0 = 1) is the correction. f = 1
+    /// detects but cannot correct.
+    int code_rows = 2;
+};
+
+struct FtSoftResult {
+    BigInt product;
+    ResolvedShape shape;
+    RunStats stats;
+    int extra_processors = 0;
+    int corruptions_injected = 0;
+    int corruptions_detected = 0;
+    int corruptions_corrected = 0;
+};
+
+/// Fault-tolerant parallel Toom-Cook against soft faults: the Section 4.1
+/// linear code reused as an error-*detecting/correcting* code. At each
+/// protected boundary ("eval-L0", "leaf-mul", "interp-L0") every column
+/// verifies its syndromes; a single corrupted rank per column per boundary
+/// is located and corrected in place (f >= 2). Corruptions at "leaf-mul"
+/// are checked against the code taken over the leaf inputs, so a corrupted
+/// *input* is repaired before the multiplication runs.
+FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
+                              const FtSoftConfig& cfg,
+                              const SoftFaultPlan& plan);
+
+}  // namespace ftmul

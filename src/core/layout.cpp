@@ -1,0 +1,158 @@
+#include "core/layout.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ftmul {
+
+std::vector<std::size_t> owned_positions(std::size_t len, std::size_t bs,
+                                         std::size_t m, std::size_t j) {
+    assert(len % (bs * m) == 0);
+    std::vector<std::size_t> out;
+    out.reserve(len / m);
+    for (std::size_t chunk = j * bs; chunk < len; chunk += bs * m) {
+        for (std::size_t t = 0; t < bs; ++t) out.push_back(chunk + t);
+    }
+    return out;
+}
+
+std::vector<BigInt> slice_of(const std::vector<BigInt>& full, std::size_t bs,
+                             std::size_t m, std::size_t j) {
+    std::vector<BigInt> out;
+    for (std::size_t t : owned_positions(full.size(), bs, m, j)) {
+        out.push_back(full[t]);
+    }
+    return out;
+}
+
+std::vector<BigInt> unslice(const std::vector<std::vector<BigInt>>& slices,
+                            std::size_t bs) {
+    const std::size_t m = slices.size();
+    assert(m > 0);
+    const std::size_t len = slices[0].size() * m;
+    std::vector<BigInt> full(len);
+    for (std::size_t j = 0; j < m; ++j) {
+        assert(slices[j].size() == slices[0].size());
+        const auto pos = owned_positions(len, bs, m, j);
+        for (std::size_t i = 0; i < pos.size(); ++i) full[pos[i]] = slices[j][i];
+    }
+    return full;
+}
+
+Group column_subgroup(const Group& g, std::size_t npts, std::size_t col) {
+    assert(g.size() % npts == 0);
+    Group out;
+    for (std::size_t r = 0; r * npts + col < g.size(); ++r) {
+        out.members.push_back(g.members[r * npts + col]);
+    }
+    return out;
+}
+
+std::vector<BigInt> exchange_forward(Rank& rank, const Group& g,
+                                     std::size_t npts, std::size_t bs,
+                                     std::vector<BigInt> eval_local, int tag) {
+    const std::size_t m = g.size();
+    assert(m % npts == 0);
+    if (eval_local.size() % npts != 0) {
+        throw std::invalid_argument("exchange_forward: bad local size");
+    }
+    const std::size_t s = eval_local.size() / npts;
+    assert(s % bs == 0);
+
+    const std::size_t me = g.index_of(rank.id());
+    const std::size_t row = me / npts;
+    const std::size_t col = me % npts;
+
+    // Ship my slice of block i to the row peer owning column i.
+    std::vector<std::vector<BigInt>> mine(npts);
+    for (std::size_t i = 0; i < npts; ++i) {
+        mine[i].assign(eval_local.begin() + static_cast<std::ptrdiff_t>(i * s),
+                       eval_local.begin() + static_cast<std::ptrdiff_t>((i + 1) * s));
+    }
+    for (std::size_t i = 0; i < npts; ++i) {
+        if (i == col) continue;
+        rank.send_bigints(g.members[row * npts + i], tag, mine[i]);
+    }
+    std::vector<std::vector<BigInt>> pieces(npts);
+    pieces[col] = std::move(mine[col]);
+    for (std::size_t c2 = 0; c2 < npts; ++c2) {
+        if (c2 == col) continue;
+        pieces[c2] = rank.recv_bigints(g.members[row * npts + c2], tag);
+        if (pieces[c2].size() != s) {
+            throw std::runtime_error("exchange_forward: piece size mismatch");
+        }
+    }
+    rank.add_latency(npts - 1);
+
+    // Interleave: ascending global positions alternate bs-chunks by source
+    // column (owner indices row*npts + c2 are consecutive within the cycle).
+    std::vector<BigInt> out;
+    out.reserve(npts * s);
+    const std::size_t chunks = s / bs;
+    for (std::size_t q = 0; q < chunks; ++q) {
+        for (std::size_t c2 = 0; c2 < npts; ++c2) {
+            for (std::size_t t = 0; t < bs; ++t) {
+                out.push_back(std::move(pieces[c2][q * bs + t]));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<BigInt> exchange_backward(Rank& rank, const Group& g,
+                                      std::size_t npts, std::size_t bs,
+                                      std::vector<BigInt> child_local,
+                                      int tag) {
+    const std::size_t m = g.size();
+    assert(m % npts == 0);
+    const std::size_t bs_new = bs * npts;
+    if (child_local.size() % bs_new != 0) {
+        throw std::invalid_argument("exchange_backward: bad local size");
+    }
+    const std::size_t sc = child_local.size();
+    const std::size_t piece_len = sc / npts;
+
+    const std::size_t me = g.index_of(rank.id());
+    const std::size_t row = me / npts;
+    const std::size_t col = me % npts;
+
+    // De-interleave my new-layout slice into the old-layout pieces per row
+    // peer: within each bs_new superchunk, the c2-th bs-chunk belongs to the
+    // peer at column c2.
+    std::vector<std::vector<BigInt>> pieces(npts);
+    for (auto& p : pieces) p.reserve(piece_len);
+    const std::size_t superchunks = sc / bs_new;
+    for (std::size_t q = 0; q < superchunks; ++q) {
+        for (std::size_t c2 = 0; c2 < npts; ++c2) {
+            for (std::size_t t = 0; t < bs; ++t) {
+                pieces[c2].push_back(
+                    std::move(child_local[q * bs_new + c2 * bs + t]));
+            }
+        }
+    }
+    for (std::size_t c2 = 0; c2 < npts; ++c2) {
+        if (c2 == col) continue;
+        rank.send_bigints(g.members[row * npts + c2], tag, pieces[c2]);
+    }
+
+    // Receive my old-layout slice of every column's child result.
+    std::vector<BigInt> out;
+    out.reserve(sc);
+    for (std::size_t i = 0; i < npts; ++i) {
+        if (i == col) {
+            out.insert(out.end(), std::make_move_iterator(pieces[col].begin()),
+                       std::make_move_iterator(pieces[col].end()));
+        } else {
+            auto got = rank.recv_bigints(g.members[row * npts + i], tag);
+            if (got.size() != piece_len) {
+                throw std::runtime_error("exchange_backward: piece mismatch");
+            }
+            out.insert(out.end(), std::make_move_iterator(got.begin()),
+                       std::make_move_iterator(got.end()));
+        }
+    }
+    rank.add_latency(npts - 1);
+    return out;
+}
+
+}  // namespace ftmul

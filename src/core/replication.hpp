@@ -1,0 +1,34 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// Configuration of the general-purpose replication baseline
+/// (paper Theorem 5.3).
+struct ReplicationConfig {
+    ParallelConfig base;
+
+    /// Number of tolerated faults f: f+1 full replicas run the parallel
+    /// algorithm independently (f * P additional processors).
+    int faults = 1;
+};
+
+/// Toom-Cook with replication: f+1 copies of the P-processor machine each
+/// run Parallel Toom-Cook on the same input; any replica untouched by faults
+/// delivers the product. This is the general-purpose strawman the paper's
+/// coded algorithms beat by a Theta(P/(2k-1)) factor in arithmetic and
+/// bandwidth *overhead* cost.
+///
+/// Fault model: a fault anywhere in a replica dooms that whole replica (its
+/// ranks halt at the fault's phase). Fault phases may be any of the phases
+/// the parallel algorithm announces. At least one replica must stay clean;
+/// otherwise std::invalid_argument.
+FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
+                                     const ReplicationConfig& cfg,
+                                     const FaultPlan& plan);
+
+}  // namespace ftmul

@@ -1,0 +1,175 @@
+#include "funcs/elementary.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ftmul {
+
+namespace {
+
+BigInt default_mul(const BigInt& x, const BigInt& y) { return x * y; }
+
+}  // namespace
+
+BigInt isqrt(const BigInt& a) {
+    if (a.is_negative()) {
+        throw std::invalid_argument("isqrt: negative argument");
+    }
+    if (a.is_zero()) return {};
+    const std::size_t bits = a.bit_length();
+    if (bits <= 62) {
+        // Exact by construction for small values.
+        const auto v = static_cast<std::uint64_t>(a.to_int64());
+        auto s = static_cast<std::uint64_t>(
+            std::sqrt(static_cast<double>(v)));
+        while (s * s > v) --s;
+        while ((s + 1) * (s + 1) <= v) ++s;
+        return BigInt{static_cast<std::int64_t>(s)};
+    }
+
+    // Newton from above: x0 = 2^ceil(bits/2) >= sqrt(a); the iteration
+    // x <- (x + a/x) / 2 is monotone decreasing until it crosses, then
+    // oscillates within +-1 of the floor — detect and finish exactly.
+    BigInt x = BigInt::power_of_two((bits + 1) / 2);
+    while (true) {
+        BigInt next = (x + a / x) >> 1;
+        if (next >= x) break;  // stopped decreasing: x is the candidate
+        x = std::move(next);
+    }
+    while (x * x > a) x -= BigInt{1};
+    while ((x + BigInt{1}) * (x + BigInt{1}) <= a) x += BigInt{1};
+    return x;
+}
+
+BigInt gcd_binary(BigInt a, BigInt b) {
+    a = a.abs();
+    b = b.abs();
+    if (a.is_zero()) return b;
+    if (b.is_zero()) return a;
+
+    auto trailing_zeros = [](const BigInt& v) {
+        const auto& mag = v.magnitude();
+        std::size_t tz = 0;
+        for (std::size_t i = 0; i < mag.size(); ++i) {
+            if (mag[i] == 0) {
+                tz += 64;
+            } else {
+                tz += static_cast<std::size_t>(std::countr_zero(mag[i]));
+                break;
+            }
+        }
+        return tz;
+    };
+
+    const std::size_t shift = std::min(trailing_zeros(a), trailing_zeros(b));
+    a >>= trailing_zeros(a);
+    b >>= trailing_zeros(b);
+    // Both odd from here; classic Stein loop.
+    while (!b.is_zero()) {
+        while (true) {
+            const std::size_t tz = trailing_zeros(b);
+            if (tz == 0) break;
+            b >>= tz;
+        }
+        if (a > b) std::swap(a, b);
+        b -= a;  // even now (odd - odd), or zero
+    }
+    return a << shift;
+}
+
+void newton_divmod(
+    const BigInt& a, const BigInt& b, BigInt& q, BigInt& r,
+    const std::function<BigInt(const BigInt&, const BigInt&)>& mul_in) {
+    if (b.is_zero()) throw std::domain_error("newton_divmod: division by zero");
+    const auto& mul = mul_in ? mul_in : default_mul;
+
+    const BigInt am = a.abs();
+    const BigInt bm = b.abs();
+    if (am < bm) {
+        q = BigInt{};
+        r = a;  // remainder carries the dividend's sign
+        return;
+    }
+
+    const std::size_t nb = bm.bit_length();
+    if (nb <= 63) {
+        // Small divisors: the word-division kernel is already optimal.
+        BigInt::divmod(a, b, q, r);
+        return;
+    }
+
+    // Reciprocal y ~ 2^(nb + p) / bm to p fractional bits by Newton
+    // iteration with precision doubling: each step works on b truncated to
+    // ~2p bits, so the total cost is a small constant number of full-size
+    // multiplications (the standard fast-division construction).
+    const std::size_t p_target =
+        std::max<std::size_t>(64, am.bit_length() - nb + 8);
+
+    // Seed: ~60 correct bits from the top 63 bits of bm.
+    const auto bt =
+        static_cast<std::uint64_t>((bm >> (nb - 63)).to_int64());
+    using u128 = unsigned __int128;
+    const u128 seed = (static_cast<u128>(1) << 123) / bt;  // ~2^(nb+60)/bm
+    BigInt y = BigInt::from_parts(
+        1, {static_cast<std::uint64_t>(seed),
+            static_cast<std::uint64_t>(seed >> 64)});
+    std::size_t p = 60;
+
+    while (p < p_target) {
+        const std::size_t p2 = std::min(2 * p - 2, p_target);
+        const std::size_t tb = std::min(nb, p2 + 32);  // truncated divisor
+        const BigInt bm_t = bm >> (nb - tb);
+        // Residual at the truncated scale: e ~ 2^(tb+p) - bm_t * y.
+        const BigInt e = BigInt::power_of_two(tb + p) - mul(bm_t, y);
+        // y2 = y*2^(p2-p) + y*e / 2^(tb + 2p - p2).
+        BigInt corr = mul(y, e.abs()) >> (tb + 2 * p - p2);
+        if (e.is_negative()) corr = -corr;
+        y = (y << (p2 - p)) + corr;
+        p = p2;
+    }
+
+    // Quotient estimate + exact correction.
+    BigInt qm = mul(am, y) >> (nb + p);
+    BigInt rm = am - mul(qm, bm);
+    int guard = 0;
+    while (rm.is_negative() || rm >= bm) {
+        if (rm.is_negative()) {
+            qm -= BigInt{1};
+            rm += bm;
+        } else {
+            qm += BigInt{1};
+            rm -= bm;
+        }
+        if (++guard > 64) {
+            // Engineering guard: exact fallback (never hit in tests).
+            BigInt::divmod(a, b, q, r);
+            return;
+        }
+    }
+    assert(qm * bm + rm == am);
+
+    // Apply truncating-division signs.
+    q = a.sign() * b.sign() < 0 ? -qm : qm;
+    r = a.is_negative() ? -rm : rm;
+}
+
+BigInt factorial(
+    std::uint64_t n,
+    const std::function<BigInt(const BigInt&, const BigInt&)>& mul_in) {
+    const auto& mul = mul_in ? mul_in : default_mul;
+    // Product tree over [1..n]: balanced operand sizes.
+    std::function<BigInt(std::uint64_t, std::uint64_t)> range =
+        [&](std::uint64_t lo, std::uint64_t hi) -> BigInt {
+        if (lo > hi) return BigInt{1};
+        if (lo == hi) return BigInt{static_cast<std::int64_t>(lo)};
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        return mul(range(lo, mid), range(mid + 1, hi));
+    };
+    return n == 0 ? BigInt{1} : range(1, n);
+}
+
+}  // namespace ftmul

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+/// Elementary integer kernels built on top of fast multiplication — the
+/// paper's opening motivation ("primitives for many elementary functions,
+/// including power, square root, and greatest common divisor"). Power lives
+/// in MontgomeryContext::pow; this header supplies the rest.
+
+/// Integer square root: the unique s with s^2 <= a < (s+1)^2. Newton's
+/// iteration with exact integer arithmetic; requires a >= 0.
+BigInt isqrt(const BigInt& a);
+
+/// Stein's binary GCD: shift/subtract only — no division. Non-negative
+/// result; gcd(0, 0) == 0.
+BigInt gcd_binary(BigInt a, BigInt b);
+
+/// Division via Newton-reciprocal: computes q, r with a = q*b + r and
+/// 0 <= r < |b| using only multiplications (pluggable: pass a Toom-Cook
+/// kernel to make division ride fast multiplication) plus shifts and adds.
+/// Semantics match BigInt::divmod (truncating, remainder carries the
+/// dividend's sign). Falls back to the built-in Knuth division only if the
+/// reciprocal correction fails to settle (never observed; kept as an
+/// engineering guard).
+void newton_divmod(
+    const BigInt& a, const BigInt& b, BigInt& q, BigInt& r,
+    const std::function<BigInt(const BigInt&, const BigInt&)>& mul = {});
+
+/// Factorial via product-tree (balanced products keep operands similar in
+/// size, the shape where Toom-Cook shines).
+BigInt factorial(std::uint64_t n,
+                 const std::function<BigInt(const BigInt&, const BigInt&)>&
+                     mul = {});
+
+}  // namespace ftmul

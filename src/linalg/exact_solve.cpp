@@ -1,0 +1,81 @@
+#include "linalg/exact_solve.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ftmul {
+
+Matrix<BigRational> inverse(const Matrix<BigRational>& m) {
+    assert(m.rows() == m.cols());
+    const std::size_t n = m.rows();
+    Matrix<BigRational> a = m;
+    Matrix<BigRational> inv = Matrix<BigRational>::identity(n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Find a nonzero pivot in this column.
+        std::size_t pivot = col;
+        while (pivot < n && a(pivot, col).is_zero()) ++pivot;
+        if (pivot == n) throw SingularMatrixError{};
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j) {
+                std::swap(a(pivot, j), a(col, j));
+                std::swap(inv(pivot, j), inv(col, j));
+            }
+        }
+        const BigRational scale = a(col, col).reciprocal();
+        for (std::size_t j = 0; j < n; ++j) {
+            a(col, j) *= scale;
+            inv(col, j) *= scale;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == col || a(i, col).is_zero()) continue;
+            const BigRational factor = a(i, col);
+            for (std::size_t j = 0; j < n; ++j) {
+                a(i, j) -= factor * a(col, j);
+                inv(i, j) -= factor * inv(col, j);
+            }
+        }
+    }
+    return inv;
+}
+
+std::vector<BigRational> solve(const Matrix<BigRational>& a,
+                               const std::vector<BigRational>& b) {
+    assert(a.rows() == a.cols() && b.size() == a.rows());
+    return inverse(a).apply(b);
+}
+
+BigInt determinant_bareiss(Matrix<BigInt> m) {
+    assert(m.rows() == m.cols());
+    const std::size_t n = m.rows();
+    if (n == 0) return BigInt{1};
+
+    int sign = 1;
+    BigInt prev{1};
+    for (std::size_t col = 0; col + 1 < n; ++col) {
+        // Pivot selection (any nonzero entry works for exactness).
+        std::size_t pivot = col;
+        while (pivot < n && m(pivot, col).is_zero()) ++pivot;
+        if (pivot == n) return BigInt{0};
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(m(pivot, j), m(col, j));
+            sign = -sign;
+        }
+        for (std::size_t i = col + 1; i < n; ++i) {
+            for (std::size_t j = col + 1; j < n; ++j) {
+                BigInt t = m(col, col) * m(i, j) - m(i, col) * m(col, j);
+                m(i, j) = t.divexact(prev);  // Bareiss: division is always exact
+            }
+            m(i, col) = BigInt{0};
+        }
+        prev = m(col, col);
+    }
+    BigInt det = m(n - 1, n - 1);
+    return sign > 0 ? det : -det;
+}
+
+bool is_invertible(const Matrix<BigInt>& m) {
+    return !determinant_bareiss(m).is_zero();
+}
+
+}  // namespace ftmul

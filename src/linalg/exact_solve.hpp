@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rational/rational.hpp"
+
+namespace ftmul {
+
+/// Thrown by inverse/solve when the matrix has no inverse. The FT algorithms
+/// treat this as "these evaluation points / code rows cannot reconstruct".
+class SingularMatrixError : public std::runtime_error {
+public:
+    SingularMatrixError() : std::runtime_error("singular matrix") {}
+};
+
+/// Exact inverse by Gauss-Jordan elimination over the rationals.
+/// Throws SingularMatrixError when not invertible.
+Matrix<BigRational> inverse(const Matrix<BigRational>& m);
+
+/// Solve A x = b exactly. Throws SingularMatrixError when A is singular.
+std::vector<BigRational> solve(const Matrix<BigRational>& a,
+                               const std::vector<BigRational>& b);
+
+/// Fraction-free (Bareiss) determinant over the integers — no rational
+/// blow-up; this is the kernel of the (r, l)-general-position test.
+BigInt determinant_bareiss(Matrix<BigInt> m);
+
+/// Convenience: is the square matrix invertible (nonzero determinant)?
+bool is_invertible(const Matrix<BigInt>& m);
+
+}  // namespace ftmul

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ftmul {
+
+/// Dense row-major matrix over an exact arithmetic type (BigInt, BigRational
+/// or a native integer). Small by design: the matrices in this library are
+/// evaluation/interpolation operators and code generators whose dimension is
+/// O(k^l + f), never the data itself.
+template <typename T>
+class Matrix {
+public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+    static Matrix identity(std::size_t n) {
+        Matrix m(n, n);
+        for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+        return m;
+    }
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+
+    T& operator()(std::size_t i, std::size_t j) {
+        assert(i < rows_ && j < cols_);
+        return data_[i * cols_ + j];
+    }
+    const T& operator()(std::size_t i, std::size_t j) const {
+        assert(i < rows_ && j < cols_);
+        return data_[i * cols_ + j];
+    }
+
+    friend bool operator==(const Matrix& a, const Matrix& b) {
+        return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+    }
+
+    Matrix transposed() const {
+        Matrix out(cols_, rows_);
+        for (std::size_t i = 0; i < rows_; ++i)
+            for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+        return out;
+    }
+
+    /// Matrix of the rows with the given indices, in the given order.
+    Matrix select_rows(const std::vector<std::size_t>& idx) const {
+        Matrix out(idx.size(), cols_);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            assert(idx[i] < rows_);
+            for (std::size_t j = 0; j < cols_; ++j) out(i, j) = (*this)(idx[i], j);
+        }
+        return out;
+    }
+
+    friend Matrix operator*(const Matrix& a, const Matrix& b) {
+        assert(a.cols_ == b.rows_);
+        Matrix out(a.rows_, b.cols_);
+        for (std::size_t i = 0; i < a.rows_; ++i) {
+            for (std::size_t l = 0; l < a.cols_; ++l) {
+                const T& ail = a(i, l);
+                for (std::size_t j = 0; j < b.cols_; ++j) {
+                    out(i, j) += ail * b(l, j);
+                }
+            }
+        }
+        return out;
+    }
+
+    /// y = M x.
+    std::vector<T> apply(const std::vector<T>& x) const {
+        assert(x.size() == cols_);
+        std::vector<T> y(rows_);
+        for (std::size_t i = 0; i < rows_; ++i) {
+            for (std::size_t j = 0; j < cols_; ++j) y[i] += (*this)(i, j) * x[j];
+        }
+        return y;
+    }
+
+    /// Element-wise conversion, e.g. Matrix<std::int64_t> -> Matrix<BigInt>.
+    template <typename U>
+    Matrix<U> cast() const {
+        Matrix<U> out(rows_, cols_);
+        for (std::size_t i = 0; i < rows_; ++i)
+            for (std::size_t j = 0; j < cols_; ++j) out(i, j) = U{(*this)(i, j)};
+        return out;
+    }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+}  // namespace ftmul

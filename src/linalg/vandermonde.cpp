@@ -1,0 +1,29 @@
+#include "linalg/vandermonde.hpp"
+
+namespace ftmul {
+
+Matrix<BigInt> vandermonde(const std::vector<std::int64_t>& etas, std::size_t m) {
+    Matrix<BigInt> v(etas.size(), m);
+    for (std::size_t i = 0; i < etas.size(); ++i) {
+        BigInt power{1};
+        const BigInt eta{etas[i]};
+        for (std::size_t j = 0; j < m; ++j) {
+            v(i, j) = power;
+            power *= eta;
+        }
+    }
+    return v;
+}
+
+Matrix<BigInt> systematic_vandermonde_generator(
+    std::size_t m, const std::vector<std::int64_t>& etas) {
+    Matrix<BigInt> g(m + etas.size(), m);
+    for (std::size_t i = 0; i < m; ++i) g(i, i) = BigInt{1};
+    const Matrix<BigInt> v = vandermonde(etas, m);
+    for (std::size_t i = 0; i < etas.size(); ++i) {
+        for (std::size_t j = 0; j < m; ++j) g(m + i, j) = v(i, j);
+    }
+    return g;
+}
+
+}  // namespace ftmul

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ftmul {
+
+/// Vandermonde row builders used both by the erasure code (Section 2.5 of the
+/// paper) and by the Toom-Cook evaluation matrices (Section 2.2).
+
+/// f x m Vandermonde matrix with rows (1, eta_i, eta_i^2, ..., eta_i^(m-1)).
+/// The etas must be pairwise distinct for every minor to be invertible.
+Matrix<BigInt> vandermonde(const std::vector<std::int64_t>& etas, std::size_t m);
+
+/// Systematic generator matrix [ I_m ; V_{f,m} ] of an (m+f, m, f+1) code.
+Matrix<BigInt> systematic_vandermonde_generator(std::size_t m,
+                                                const std::vector<std::int64_t>& etas);
+
+}  // namespace ftmul

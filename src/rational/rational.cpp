@@ -1,0 +1,74 @@
+#include "rational/rational.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ftmul {
+
+BigRational::BigRational(BigInt n, BigInt d)
+    : num_(std::move(n)), den_(std::move(d)) {
+    if (den_.is_zero()) throw std::domain_error("BigRational: zero denominator");
+    normalize();
+}
+
+void BigRational::normalize() {
+    if (den_.is_negative()) {
+        num_ = -num_;
+        den_ = -den_;
+    }
+    if (num_.is_zero()) {
+        den_ = BigInt{1};
+        return;
+    }
+    BigInt g = BigInt::gcd(num_, den_);
+    if (g != BigInt{1}) {
+        num_ = num_.divexact(g);
+        den_ = den_.divexact(g);
+    }
+}
+
+const BigInt& BigRational::as_integer() const {
+    if (!is_integer()) {
+        throw std::domain_error("BigRational::as_integer: not integral");
+    }
+    return num_;
+}
+
+BigRational BigRational::operator-() const {
+    BigRational out = *this;
+    out.num_ = -out.num_;
+    return out;
+}
+
+BigRational BigRational::reciprocal() const {
+    if (is_zero()) throw std::domain_error("BigRational::reciprocal of zero");
+    return BigRational(den_, num_);
+}
+
+BigRational operator+(const BigRational& a, const BigRational& b) {
+    return BigRational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+BigRational operator-(const BigRational& a, const BigRational& b) {
+    return BigRational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+}
+
+BigRational operator*(const BigRational& a, const BigRational& b) {
+    return BigRational(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+BigRational operator/(const BigRational& a, const BigRational& b) {
+    if (b.is_zero()) throw std::domain_error("BigRational: division by zero");
+    return BigRational(a.num_ * b.den_, a.den_ * b.num_);
+}
+
+int BigRational::compare(const BigRational& a, const BigRational& b) {
+    return BigInt::compare(a.num_ * b.den_, b.num_ * a.den_);
+}
+
+std::string BigRational::to_string() const {
+    if (is_integer()) return num_.to_decimal();
+    return num_.to_decimal() + "/" + den_.to_decimal();
+}
+
+}  // namespace ftmul

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+/// Exact rational number over BigInt.
+///
+/// Invariants: denominator > 0, gcd(|num|, den) == 1, zero is 0/1. Used for
+/// the exact inverses of interpolation/evaluation matrices and for erasure
+/// decoding; exactness is what lets the library *assert* that every
+/// interpolation division comes out integral.
+class BigRational {
+public:
+    /// Zero.
+    BigRational() : num_(0), den_(1) {}
+
+    /// Integer n/1 (implicit: matrices mix integers and rationals).
+    BigRational(BigInt n) : num_(std::move(n)), den_(1) {}
+    BigRational(std::int64_t n) : num_(n), den_(1) {}
+    BigRational(int n) : num_(n), den_(1) {}
+
+    /// n/d; throws std::domain_error when d == 0.
+    BigRational(BigInt n, BigInt d);
+
+    const BigInt& num() const noexcept { return num_; }
+    const BigInt& den() const noexcept { return den_; }
+
+    bool is_zero() const noexcept { return num_.is_zero(); }
+    bool is_integer() const { return den_ == BigInt{1}; }
+    int sign() const noexcept { return num_.sign(); }
+
+    /// The integer value; requires is_integer().
+    const BigInt& as_integer() const;
+
+    BigRational operator-() const;
+    BigRational reciprocal() const;
+
+    friend BigRational operator+(const BigRational& a, const BigRational& b);
+    friend BigRational operator-(const BigRational& a, const BigRational& b);
+    friend BigRational operator*(const BigRational& a, const BigRational& b);
+    friend BigRational operator/(const BigRational& a, const BigRational& b);
+
+    BigRational& operator+=(const BigRational& o) { return *this = *this + o; }
+    BigRational& operator-=(const BigRational& o) { return *this = *this - o; }
+    BigRational& operator*=(const BigRational& o) { return *this = *this * o; }
+    BigRational& operator/=(const BigRational& o) { return *this = *this / o; }
+
+    static int compare(const BigRational& a, const BigRational& b);
+    friend bool operator==(const BigRational& a, const BigRational& b) {
+        return compare(a, b) == 0;
+    }
+    friend bool operator!=(const BigRational& a, const BigRational& b) {
+        return compare(a, b) != 0;
+    }
+    friend bool operator<(const BigRational& a, const BigRational& b) {
+        return compare(a, b) < 0;
+    }
+    friend bool operator>(const BigRational& a, const BigRational& b) {
+        return compare(a, b) > 0;
+    }
+
+    /// "p/q", or just "p" when integral.
+    std::string to_string() const;
+
+private:
+    void normalize();
+
+    BigInt num_;
+    BigInt den_;
+};
+
+}  // namespace ftmul

@@ -1,0 +1,166 @@
+#include "runtime/collectives.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ftmul {
+
+namespace {
+
+/// Binary-tree helpers over group positions, rotated so @p root sits at
+/// position 0. Depth is ceil(log2(n)).
+struct Tree {
+    std::size_t n;
+    std::size_t self;  // rotated position of the calling rank
+
+    Tree(const Group& g, int root, int self_rank)
+        : n(g.size()),
+          self((g.index_of(self_rank) + n - g.index_of(root)) % n) {}
+
+    bool has_parent() const { return self != 0; }
+    std::size_t parent() const { return (self - 1) / 2; }
+    std::vector<std::size_t> children() const {
+        std::vector<std::size_t> out;
+        if (2 * self + 1 < n) out.push_back(2 * self + 1);
+        if (2 * self + 2 < n) out.push_back(2 * self + 2);
+        return out;
+    }
+
+    std::uint64_t depth() const {
+        return static_cast<std::uint64_t>(std::bit_width(n));
+    }
+};
+
+int unrotate(const Group& g, int root, std::size_t pos) {
+    const std::size_t n = g.size();
+    return g.members[(pos + g.index_of(root)) % n];
+}
+
+void add_elementwise(std::vector<BigInt>& acc, const std::vector<BigInt>& v) {
+    // An empty vector is the width-agnostic zero: a participant (e.g. a
+    // code processor about to receive its column's code, or a failed rank
+    // whose data is gone) may contribute it without knowing the width.
+    if (v.empty()) return;
+    if (acc.empty()) {
+        acc = v;
+        return;
+    }
+    if (acc.size() != v.size()) {
+        throw std::invalid_argument("reduce: vector length mismatch");
+    }
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += v[i];
+}
+
+}  // namespace
+
+void bcast(Rank& self, const Group& g, int root, std::vector<BigInt>& data,
+           int tag) {
+    assert(g.contains(self.id()));
+    const Tree tree(g, root, self.id());
+    if (tree.has_parent()) {
+        data = self.recv_bigints(unrotate(g, root, tree.parent()), tag);
+    }
+    for (std::size_t child : tree.children()) {
+        self.send_bigints(unrotate(g, root, child), tag, data);
+    }
+    self.add_latency(tree.depth());
+}
+
+std::vector<BigInt> reduce_sum(Rank& self, const Group& g, int root,
+                               std::vector<BigInt> local, int tag) {
+    assert(g.contains(self.id()));
+    const Tree tree(g, root, self.id());
+    // Post-order: fold children into the local value, then pass up.
+    for (std::size_t child : tree.children()) {
+        add_elementwise(local, self.recv_bigints(unrotate(g, root, child), tag));
+    }
+    self.add_latency(tree.depth());
+    if (tree.has_parent()) {
+        self.send_bigints(unrotate(g, root, tree.parent()), tag, local);
+        return {};
+    }
+    return local;
+}
+
+std::vector<BigInt> allreduce_sum(Rank& self, const Group& g,
+                                  std::vector<BigInt> local, int tag) {
+    const int root = g.members.front();
+    std::vector<BigInt> sum = reduce_sum(self, g, root, std::move(local), tag);
+    bcast(self, g, root, sum, tag);
+    return sum;
+}
+
+std::vector<std::vector<BigInt>> gather(Rank& self, const Group& g, int root,
+                                        std::vector<BigInt> local, int tag) {
+    assert(g.contains(self.id()));
+    if (self.id() != root) {
+        self.send_bigints(root, tag, local);
+        self.add_latency(1);
+        return {};
+    }
+    std::vector<std::vector<BigInt>> out(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        const int member = g.members[i];
+        out[i] = member == root ? std::move(local)
+                                : self.recv_bigints(member, tag);
+    }
+    self.add_latency(g.size() > 1 ? g.size() - 1 : 1);
+    return out;
+}
+
+std::vector<std::vector<BigInt>> allgather(Rank& self, const Group& g,
+                                           std::vector<BigInt> local, int tag) {
+    const int root = g.members.front();
+    auto gathered = gather(self, g, root, std::move(local), tag);
+    // Broadcast the concatenation with section lengths preserved.
+    std::vector<BigInt> flat;
+    std::vector<BigInt> lengths;
+    if (self.id() == root) {
+        for (const auto& v : gathered) {
+            lengths.emplace_back(static_cast<std::int64_t>(v.size()));
+            flat.insert(flat.end(), v.begin(), v.end());
+        }
+    }
+    bcast(self, g, root, lengths, tag);
+    bcast(self, g, root, flat, tag);
+    std::vector<std::vector<BigInt>> out(g.size());
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        const auto len = static_cast<std::size_t>(lengths[i].to_int64());
+        out[i].assign(std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(pos)),
+                      std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(pos + len)));
+        pos += len;
+    }
+    return out;
+}
+
+std::vector<std::vector<BigInt>> alltoall(Rank& self, const Group& g,
+                                          std::vector<std::vector<BigInt>> blocks,
+                                          int tag) {
+    assert(g.contains(self.id()));
+    if (blocks.size() != g.size()) {
+        throw std::invalid_argument("alltoall: need one block per member");
+    }
+    const std::size_t me = g.index_of(self.id());
+    std::vector<std::vector<BigInt>> out(g.size());
+    // Send to every peer first (non-blocking semantics: mailbox buffers).
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        if (i == me) {
+            out[i] = std::move(blocks[i]);
+        } else {
+            self.send_bigints(g.members[i], tag, blocks[i]);
+        }
+    }
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        if (i != me) out[i] = self.recv_bigints(g.members[i], tag);
+    }
+    self.add_latency(g.size() > 1 ? g.size() - 1 : 0);
+    return out;
+}
+
+void barrier(Rank& self, const Group& g, int tag) {
+    allreduce_sum(self, g, std::vector<BigInt>{}, tag);
+}
+
+}  // namespace ftmul

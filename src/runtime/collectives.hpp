@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "runtime/group.hpp"
+#include "runtime/machine.hpp"
+
+namespace ftmul {
+
+/// Tree-based collective operations over an explicit group (paper Section
+/// 2.4). All members of the group must call the same collective with the
+/// same tag in the same program order. Reduce/broadcast are binomial-tree,
+/// log-depth; each participant is charged the tree depth in latency, so the
+/// critical-path L matches Lemma 2.5 / Corollary 2.6.
+
+/// Broadcast @p data (significant at root) to every member; in-place.
+void bcast(Rank& self, const Group& g, int root, std::vector<BigInt>& data,
+           int tag);
+
+/// Element-wise sum-reduce of equal-length vectors to @p root. Returns the
+/// sum at root, an empty vector elsewhere.
+std::vector<BigInt> reduce_sum(Rank& self, const Group& g, int root,
+                               std::vector<BigInt> local, int tag);
+
+/// reduce_sum followed by bcast.
+std::vector<BigInt> allreduce_sum(Rank& self, const Group& g,
+                                  std::vector<BigInt> local, int tag);
+
+/// Collect every member's vector at root, indexed by group position.
+/// Returns g.size() vectors at root, empty elsewhere.
+std::vector<std::vector<BigInt>> gather(Rank& self, const Group& g, int root,
+                                        std::vector<BigInt> local, int tag);
+
+/// gather + bcast: every member gets every member's vector.
+std::vector<std::vector<BigInt>> allgather(Rank& self, const Group& g,
+                                           std::vector<BigInt> local, int tag);
+
+/// Personalized all-to-all: @p blocks[i] is sent to group member i; returns
+/// the block received from each member (own block passes through locally).
+std::vector<std::vector<BigInt>> alltoall(Rank& self, const Group& g,
+                                          std::vector<std::vector<BigInt>> blocks,
+                                          int tag);
+
+/// Synchronization only.
+void barrier(Rank& self, const Group& g, int tag);
+
+}  // namespace ftmul

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ftmul {
+
+/// Cost counters in the paper's machine model (Section 2.1): F arithmetic
+/// word-operations, BW words moved, raw message count, and L — modeled
+/// critical-path message rounds (a tree collective over n ranks contributes
+/// O(log n) rounds to every participant).
+struct CostCounters {
+    std::uint64_t flops = 0;
+    std::uint64_t words = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t latency = 0;
+
+    CostCounters& operator+=(const CostCounters& o) {
+        flops += o.flops;
+        words += o.words;
+        msgs += o.msgs;
+        latency += o.latency;
+        return *this;
+    }
+
+    /// Component-wise maximum — the per-phase critical-path combination.
+    void max_with(const CostCounters& o) {
+        flops = flops > o.flops ? flops : o.flops;
+        words = words > o.words ? words : o.words;
+        msgs = msgs > o.msgs ? msgs : o.msgs;
+        latency = latency > o.latency ? latency : o.latency;
+    }
+};
+
+/// Machine parameters of the run-time model C = alpha*L + beta*BW + gamma*F.
+struct CostModel {
+    double alpha = 1e-6;  ///< per-message latency (seconds)
+    double beta = 1e-9;   ///< per-word transfer time
+    double gamma = 1e-10; ///< per-word-operation compute time
+};
+
+/// Costs aggregated over a completed run.
+struct RunStats {
+    /// Per-phase maxima across ranks (bulk-synchronous critical path).
+    std::map<std::string, CostCounters> per_phase;
+
+    /// Sum of the per-phase maxima: the paper's F / BW / L along the
+    /// critical path.
+    CostCounters critical;
+
+    /// Sum over every rank (total work / traffic of the whole machine).
+    CostCounters aggregate;
+
+    /// Largest locally-held working set any rank reported (words).
+    std::uint64_t peak_memory_words = 0;
+
+    double modeled_time(const CostModel& m) const {
+        return m.alpha * static_cast<double>(critical.latency) +
+               m.beta * static_cast<double>(critical.words) +
+               m.gamma * static_cast<double>(critical.flops);
+    }
+};
+
+}  // namespace ftmul

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftmul {
+
+/// Deterministic hard-fault schedule: rank r fails when it reaches phase p.
+///
+/// The paper's model (Section 2.1): on a fault the processor ceases
+/// operation, loses its data, and is replaced by an alternative processor at
+/// the same grid position. The plan is fixed before the run, which models a
+/// perfect failure detector at phase boundaries — every survivor can query
+/// which ranks are gone at any synchronization point, with no data races.
+class FaultPlan {
+public:
+    FaultPlan() = default;
+
+    /// Schedule rank @p rank to fail upon entering phase @p phase.
+    void add(std::string phase, int rank) {
+        by_phase_[std::move(phase)].push_back(rank);
+    }
+
+    bool fails_at(const std::string& phase, int rank) const {
+        auto it = by_phase_.find(phase);
+        if (it == by_phase_.end()) return false;
+        for (int r : it->second) {
+            if (r == rank) return true;
+        }
+        return false;
+    }
+
+    /// Ranks scheduled to fail at exactly this phase.
+    std::vector<int> failing_at(const std::string& phase) const {
+        auto it = by_phase_.find(phase);
+        return it == by_phase_.end() ? std::vector<int>{} : it->second;
+    }
+
+    /// Every scheduled fault, as (phase, rank) pairs.
+    std::vector<std::pair<std::string, int>> all() const {
+        std::vector<std::pair<std::string, int>> out;
+        for (const auto& [phase, ranks] : by_phase_) {
+            for (int r : ranks) out.emplace_back(phase, r);
+        }
+        return out;
+    }
+
+    std::size_t total_faults() const {
+        std::size_t n = 0;
+        for (const auto& [phase, ranks] : by_phase_) n += ranks.size();
+        return n;
+    }
+
+    bool empty() const { return by_phase_.empty(); }
+
+private:
+    std::map<std::string, std::vector<int>> by_phase_;
+};
+
+}  // namespace ftmul

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ftmul {
+
+/// An ordered communicator: the subset of ranks participating in a
+/// collective. FT algorithms build groups from *alive* members only — a dead
+/// processor is simply excluded, which is how the paper's failure-detector
+/// assumption surfaces in the code.
+struct Group {
+    std::vector<int> members;
+
+    std::size_t size() const noexcept { return members.size(); }
+
+    bool contains(int rank) const {
+        return std::find(members.begin(), members.end(), rank) != members.end();
+    }
+
+    /// Position of @p rank inside the group; throws if absent.
+    std::size_t index_of(int rank) const {
+        auto it = std::find(members.begin(), members.end(), rank);
+        if (it == members.end()) {
+            throw std::invalid_argument("Group::index_of: rank not a member");
+        }
+        return static_cast<std::size_t>(it - members.begin());
+    }
+
+    /// {first, first+stride, ...} with @p count members.
+    static Group strided(int first, int count, int stride = 1) {
+        Group g;
+        g.members.reserve(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) g.members.push_back(first + i * stride);
+        return g;
+    }
+};
+
+}  // namespace ftmul

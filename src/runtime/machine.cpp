@@ -1,0 +1,153 @@
+#include "runtime/machine.hpp"
+
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "bigint/ops_counter.hpp"
+#include "bigint/serialize.hpp"
+
+namespace ftmul {
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+void Rank::flush_flops() {
+    current_.flops += OpsCounter::get();
+    OpsCounter::reset();
+}
+
+void Rank::close_phase() {
+    flush_flops();
+    ledger_.emplace_back(current_phase_, current_);
+    current_ = CostCounters{};
+}
+
+bool Rank::phase(std::string_view name) {
+    close_phase();
+    current_phase_ = std::string(name);
+    if (machine_.tracer_) {
+        machine_.tracer_->record_phase(id_, current_phase_, ledger_.size());
+    }
+    return fails_at(name);
+}
+
+bool Rank::fails_at(std::string_view name) const {
+    return machine_.plan_.fails_at(std::string(name), id_);
+}
+
+const FaultPlan& Rank::fault_plan() const { return machine_.plan_; }
+
+void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
+    assert(dst >= 0 && dst < size_);
+    flush_flops();
+    current_.words += payload.size();
+    current_.msgs += 1;
+    if (machine_.tracer_) {
+        machine_.tracer_->record_send(id_, dst, tag, payload.size(),
+                                      current_phase_);
+    }
+    machine_.mailboxes_[static_cast<std::size_t>(dst)]->push(id_, tag,
+                                                             std::move(payload));
+}
+
+std::vector<std::uint64_t> Rank::recv(int src, int tag) {
+    assert(src >= 0 && src < size_);
+    return machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
+        src, tag, machine_.timeout_);
+}
+
+void Rank::send_bigints(int dst, int tag, std::span<const BigInt> values) {
+    send(dst, tag, serialize_vec(values));
+}
+
+std::vector<BigInt> Rank::recv_bigints(int src, int tag) {
+    return deserialize_vec(recv(src, tag));
+}
+
+void Rank::note_memory(std::uint64_t words) {
+    if (words > peak_memory_) peak_memory_ = words;
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(int world_size, FaultPlan plan)
+    : size_(world_size), plan_(std::move(plan)) {
+    if (world_size <= 0) {
+        throw std::invalid_argument("Machine: world_size must be positive");
+    }
+    mailboxes_.reserve(static_cast<std::size_t>(world_size));
+    for (int i = 0; i < world_size; ++i) {
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+Machine::~Machine() = default;
+
+Tracer& Machine::enable_tracing() {
+    if (!tracer_) tracer_ = std::make_unique<Tracer>();
+    return *tracer_;
+}
+
+void Machine::run(const std::function<void(Rank&)>& body) {
+    stats_ = RunStats{};
+    if (tracer_) tracer_->clear();
+    // Fresh mailboxes per run so stale messages never leak across runs.
+    for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+
+    std::vector<std::vector<std::pair<std::string, CostCounters>>> ledgers(
+        static_cast<std::size_t>(size_));
+    std::vector<std::uint64_t> peaks(static_cast<std::size_t>(size_), 0);
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+        threads.emplace_back([&, r] {
+            OpsCounter::reset();
+            Rank rank(*this, r, size_);
+            try {
+                body(rank);
+            } catch (const RunAborted&) {
+                // Secondary casualty of another rank's abort; keep only the
+                // original error.
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                // Fail fast: release every blocked receiver.
+                for (auto& mb : mailboxes_) mb->abort();
+            }
+            rank.close_phase();
+            ledgers[static_cast<std::size_t>(r)] = std::move(rank.ledger_);
+            peaks[static_cast<std::size_t>(r)] = rank.peak_memory_;
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+
+    // Combine: per-phase max across ranks (critical path), plus aggregates.
+    for (int r = 0; r < size_; ++r) {
+        std::map<std::string, CostCounters> mine;
+        for (const auto& [name, c] : ledgers[static_cast<std::size_t>(r)]) {
+            mine[name] += c;
+            stats_.aggregate += c;
+        }
+        for (const auto& [name, c] : mine) {
+            stats_.per_phase[name].max_with(c);
+        }
+        if (peaks[static_cast<std::size_t>(r)] > stats_.peak_memory_words) {
+            stats_.peak_memory_words = peaks[static_cast<std::size_t>(r)];
+        }
+    }
+    for (const auto& [name, c] : stats_.per_phase) stats_.critical += c;
+}
+
+}  // namespace ftmul

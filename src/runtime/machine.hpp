@@ -1,0 +1,121 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "runtime/costs.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/trace.hpp"
+
+namespace ftmul {
+
+class Machine;
+
+/// Per-processor execution context handed to the SPMD body: identity,
+/// point-to-point messaging, phase/cost bookkeeping and fault queries.
+///
+/// Phases: algorithms call phase("name") at every bulk-synchronous step.
+/// Arithmetic performed since the previous phase switch (measured through
+/// the BigInt OpsCounter) and all traffic is charged to the current phase;
+/// the Machine later combines equal-named phases across ranks with max() to
+/// produce critical-path totals.
+class Rank {
+public:
+    int id() const noexcept { return id_; }
+    int size() const noexcept { return size_; }
+
+    /// Begin a new cost phase. Also the fault trigger point: returns true
+    /// when the fault plan kills this rank *here* — the caller must then act
+    /// as a failed processor (drop data, skip work until its replacement is
+    /// re-filled by the algorithm's recovery protocol).
+    bool phase(std::string_view name);
+
+    /// Does the plan fail this rank at the given phase (without switching)?
+    bool fails_at(std::string_view name) const;
+
+    const FaultPlan& fault_plan() const;
+
+    void send(int dst, int tag, std::vector<std::uint64_t> payload);
+    std::vector<std::uint64_t> recv(int src, int tag);
+
+    /// Typed conveniences over the word-level wire format.
+    void send_bigints(int dst, int tag, std::span<const BigInt> values);
+    std::vector<BigInt> recv_bigints(int src, int tag);
+
+    /// Record a local working-set high-water mark, in words.
+    void note_memory(std::uint64_t words);
+
+    /// Charge extra critical-path message rounds (used by tree collectives,
+    /// which are log-depth even though each rank sends O(1) messages).
+    void add_latency(std::uint64_t rounds) { current_.latency += rounds; }
+
+    /// Raw access for tests.
+    const CostCounters& current_counters() const noexcept { return current_; }
+
+private:
+    friend class Machine;
+    Rank(Machine& m, int id, int size) : machine_(m), id_(id), size_(size) {}
+
+    void flush_flops();
+    void close_phase();
+
+    Machine& machine_;
+    int id_;
+    int size_;
+    std::string current_phase_ = "startup";
+    CostCounters current_{};
+    std::vector<std::pair<std::string, CostCounters>> ledger_;
+    std::uint64_t peak_memory_ = 0;
+};
+
+/// A simulated P-processor distributed-memory machine: each rank runs the
+/// SPMD body on its own thread with a private mailbox; there is no shared
+/// algorithm state. Costs are gathered per rank per phase and combined into
+/// RunStats after the join.
+class Machine {
+public:
+    /// @param world_size number of processors (standard + code processors).
+    /// @param plan deterministic hard-fault schedule (may be empty).
+    explicit Machine(int world_size, FaultPlan plan = {});
+    ~Machine();
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    int size() const noexcept { return size_; }
+    const FaultPlan& fault_plan() const noexcept { return plan_; }
+
+    /// Execute the SPMD body on every rank and join. Any exception thrown by
+    /// a rank (other than a scheduled fault) is rethrown here.
+    void run(const std::function<void(Rank&)>& body);
+
+    /// Costs of the last run.
+    const RunStats& stats() const noexcept { return stats_; }
+
+    /// Deadlock-detection receive timeout (default 60 s).
+    void set_recv_timeout(std::chrono::milliseconds t) { timeout_ = t; }
+
+    /// Turn on message/phase tracing for subsequent runs; returns the
+    /// tracer (owned by the machine, cleared at each run start).
+    Tracer& enable_tracing();
+    Tracer* tracer() noexcept { return tracer_.get(); }
+
+private:
+    friend class Rank;
+
+    int size_;
+    FaultPlan plan_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    RunStats stats_;
+    std::chrono::milliseconds timeout_{60000};
+    std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace ftmul

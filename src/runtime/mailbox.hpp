@@ -1,0 +1,78 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ftmul {
+
+/// Thrown when a receive waits past the deadlock-detection timeout; turns a
+/// communication-protocol bug into a test failure instead of a hang.
+class RecvTimeout : public std::runtime_error {
+public:
+    explicit RecvTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown out of a blocked receive when another rank aborted the run, so the
+/// whole machine fails fast instead of cascading into timeouts.
+class RunAborted : public std::runtime_error {
+public:
+    RunAborted() : std::runtime_error("run aborted by another rank") {}
+};
+
+/// One rank's incoming-message queue. Messages are matched by (source, tag)
+/// and delivered FIFO per matching pair, like an MPI receive queue.
+class Mailbox {
+public:
+    using Payload = std::vector<std::uint64_t>;
+
+    void push(int src, int tag, Payload payload) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queues_[{src, tag}].push_back(std::move(payload));
+        }
+        cv_.notify_all();
+    }
+
+    /// Wake any blocked pop and make it throw RunAborted.
+    void abort() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            aborted_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    Payload pop(int src, int tag, std::chrono::milliseconds timeout) {
+        std::unique_lock<std::mutex> lock(mu_);
+        const auto key = std::make_pair(src, tag);
+        if (!cv_.wait_for(lock, timeout, [&] {
+                if (aborted_) return true;
+                auto it = queues_.find(key);
+                return it != queues_.end() && !it->second.empty();
+            })) {
+            throw RecvTimeout("recv timed out waiting for src=" +
+                              std::to_string(src) +
+                              " tag=" + std::to_string(tag));
+        }
+        if (aborted_) throw RunAborted{};
+        auto& q = queues_[key];
+        Payload out = std::move(q.front());
+        q.pop_front();
+        return out;
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<std::pair<int, int>, std::deque<Payload>> queues_;
+    bool aborted_ = false;
+};
+
+}  // namespace ftmul

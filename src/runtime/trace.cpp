@@ -1,0 +1,103 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace ftmul {
+
+std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix(
+    int world, const std::string& phase_prefix) const {
+    std::vector<std::vector<std::uint64_t>> m(
+        static_cast<std::size_t>(world),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(world), 0));
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Message& msg : messages_) {
+        if (!phase_prefix.empty() &&
+            msg.phase.rfind(phase_prefix, 0) != 0) {
+            continue;
+        }
+        if (msg.src >= 0 && msg.src < world && msg.dst >= 0 &&
+            msg.dst < world) {
+            m[static_cast<std::size_t>(msg.src)]
+             [static_cast<std::size_t>(msg.dst)] += msg.words;
+        }
+    }
+    return m;
+}
+
+std::string Tracer::render_comm_matrix(int world,
+                                       const std::string& phase_prefix) const {
+    const auto m = comm_matrix(world, phase_prefix);
+    std::string out;
+    out += "      ";
+    for (int j = 0; j < world; ++j) {
+        out += std::to_string(j % 10);
+        out += ' ';
+    }
+    out += "  (columns = destination rank)\n";
+    for (int i = 0; i < world; ++i) {
+        char head[16];
+        std::snprintf(head, sizeof head, "%4d  ", i);
+        out += head;
+        for (int j = 0; j < world; ++j) {
+            const std::uint64_t w =
+                m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+            if (w == 0) {
+                out += ". ";
+            } else {
+                // Single-digit log10 magnitude.
+                int mag = 0;
+                for (std::uint64_t v = w; v >= 10; v /= 10) ++mag;
+                out += static_cast<char>('0' + std::min(mag, 9));
+                out += ' ';
+            }
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string Tracer::render_phase_sequences(int world) const {
+    std::vector<std::vector<std::pair<std::uint64_t, std::string>>> per_rank(
+        static_cast<std::size_t>(world));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const PhaseSwitch& p : phases_) {
+            if (p.rank >= 0 && p.rank < world) {
+                per_rank[static_cast<std::size_t>(p.rank)].emplace_back(p.seq,
+                                                                        p.phase);
+            }
+        }
+    }
+    std::string out;
+    for (int r = 0; r < world; ++r) {
+        auto& seq = per_rank[static_cast<std::size_t>(r)];
+        std::sort(seq.begin(), seq.end());
+        out += "rank " + std::to_string(r) + ": ";
+        std::string last;
+        bool first = true;
+        for (const auto& [s, name] : seq) {
+            if (name == last) continue;
+            if (!first) out += " -> ";
+            out += name;
+            last = name;
+            first = false;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string Tracer::to_csv() const {
+    std::string out = "src,dst,tag,words,phase\n";
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Message& m : messages_) {
+        out += std::to_string(m.src) + ',' + std::to_string(m.dst) + ',' +
+               std::to_string(m.tag) + ',' + std::to_string(m.words) + ',' +
+               m.phase + '\n';
+    }
+    return out;
+}
+
+}  // namespace ftmul

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ftmul {
+
+/// Execution trace of a Machine run: message flows and phase switches, used
+/// for observability and for checking structural claims (e.g. the paper's
+/// "communication occurs only within the rows of the grid").
+class Tracer {
+public:
+    struct Message {
+        int src;
+        int dst;
+        int tag;
+        std::uint64_t words;
+        std::string phase;  // sender's phase at the time
+    };
+
+    struct PhaseSwitch {
+        int rank;
+        std::string phase;
+        std::uint64_t seq;  // per-rank sequence number
+    };
+
+    void record_send(int src, int dst, int tag, std::uint64_t words,
+                     const std::string& phase) {
+        std::lock_guard<std::mutex> lock(mu_);
+        messages_.push_back({src, dst, tag, words, phase});
+    }
+
+    void record_phase(int rank, const std::string& phase, std::uint64_t seq) {
+        std::lock_guard<std::mutex> lock(mu_);
+        phases_.push_back({rank, phase, seq});
+    }
+
+    void clear() {
+        std::lock_guard<std::mutex> lock(mu_);
+        messages_.clear();
+        phases_.clear();
+    }
+
+    std::vector<Message> messages() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return messages_;
+    }
+
+    std::vector<PhaseSwitch> phases() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return phases_;
+    }
+
+    /// world x world matrix of words sent from row index (src) to column
+    /// index (dst), optionally restricted to one phase prefix.
+    std::vector<std::vector<std::uint64_t>> comm_matrix(
+        int world, const std::string& phase_prefix = "") const;
+
+    /// ASCII heat rendering of comm_matrix ('.' none, digits = log scale).
+    std::string render_comm_matrix(int world,
+                                   const std::string& phase_prefix = "") const;
+
+    /// One line per rank: the sequence of phases it passed through
+    /// (consecutive repeats collapsed).
+    std::string render_phase_sequences(int world) const;
+
+    /// CSV export of all messages: src,dst,tag,words,phase.
+    std::string to_csv() const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<Message> messages_;
+    std::vector<PhaseSwitch> phases_;
+};
+
+}  // namespace ftmul

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+/// Digit-vector helpers shared by every Toom-Cook variant: an integer is
+/// viewed as a polynomial in B = 2^digit_bits with non-negative digit
+/// coefficients; products are digit polynomials whose coefficients exceed B,
+/// resolved by one carry pass at recomposition (the paper's "compute the
+/// carry" step, deferred wholesale by Lazy Interpolation).
+
+/// Split a non-negative value into exactly @p count digits of @p digit_bits
+/// bits (most significant digits zero-padded). Requires the value to fit,
+/// i.e. bit_length() <= count * digit_bits.
+std::vector<BigInt> split_digits(const BigInt& v, std::size_t digit_bits,
+                                 std::size_t count);
+
+/// Evaluate a digit polynomial at B = 2^digit_bits: sum_i digits[i] << (i *
+/// digit_bits). Digits may be signed and wider than digit_bits.
+BigInt recompose_digits(std::span<const BigInt> digits, std::size_t digit_bits);
+
+/// Plain schoolbook polynomial product: out[t] = sum_{i+j==t} a[i]*b[j];
+/// result length |a| + |b| - 1. The recursion base of the lazy algorithm.
+std::vector<BigInt> convolve_schoolbook(std::span<const BigInt> a,
+                                        std::span<const BigInt> b);
+
+/// Split a possibly-negative value into @p count digits carrying the value's
+/// sign, so recompose_digits inverts it exactly. Requires |v| to fit.
+std::vector<BigInt> split_digits_signed(const BigInt& v, std::size_t digit_bits,
+                                        std::size_t count);
+
+}  // namespace ftmul

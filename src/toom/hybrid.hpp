@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "toom/plan.hpp"
+
+namespace ftmul {
+
+/// Hybrid multiplication (cf. De Stefani's hybrid-algorithm analysis, paper
+/// reference [19], and what production libraries actually ship): pick the
+/// split number k by operand size — large k amortizes its linear work only
+/// on large inputs — and fall through to schoolbook at the bottom.
+struct HybridLevel {
+    /// Use this plan while max(|a|, |b|) has at least this many bits.
+    std::size_t min_bits;
+    const ToomPlan* plan;
+};
+
+struct HybridSchedule {
+    /// Sorted descending by min_bits; below the last level: schoolbook.
+    std::vector<HybridLevel> levels;
+
+    /// A sensible default: Toom-4 above 1 Mbit, Toom-3 above 96 kbit,
+    /// Toom-2 above 6 kbit, schoolbook below. The referenced plans must
+    /// outlive the schedule.
+    static HybridSchedule standard(const ToomPlan& toom2, const ToomPlan& toom3,
+                                   const ToomPlan& toom4);
+};
+
+/// Multiply with per-level plan selection. Exact for all signed inputs.
+BigInt toom_multiply_hybrid(const BigInt& a, const BigInt& b,
+                            const HybridSchedule& schedule);
+
+}  // namespace ftmul

@@ -1,0 +1,56 @@
+#include "toom/kronecker.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ftmul {
+
+std::size_t kronecker_slot_bits(std::size_t coeff_bits, std::size_t min_len) {
+    // A product coefficient is a sum of at most min_len terms, each below
+    // 2^(2*coeff_bits): slot = 2*coeff_bits + ceil(log2(min_len)) suffices.
+    const std::size_t overlap =
+        static_cast<std::size_t>(std::bit_width(
+            static_cast<std::uint64_t>(min_len == 0 ? 1 : min_len)));
+    return 2 * coeff_bits + overlap;
+}
+
+BigInt kronecker_pack(std::span<const BigInt> coeffs, std::size_t slot_bits) {
+    BigInt packed;
+    for (std::size_t i = coeffs.size(); i-- > 0;) {
+        if (coeffs[i].is_negative() ||
+            coeffs[i].bit_length() > slot_bits) {
+            throw std::invalid_argument(
+                "kronecker_pack: coefficient out of slot range");
+        }
+        packed <<= slot_bits;
+        packed += coeffs[i];
+    }
+    return packed;
+}
+
+std::vector<BigInt> kronecker_unpack(const BigInt& packed,
+                                     std::size_t slot_bits,
+                                     std::size_t count) {
+    assert(!packed.is_negative());
+    std::vector<BigInt> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = packed.extract_bits(i * slot_bits, slot_bits);
+    }
+    return out;
+}
+
+std::vector<BigInt> kronecker_poly_multiply(
+    std::span<const BigInt> a, std::span<const BigInt> b,
+    std::size_t coeff_bits,
+    const std::function<BigInt(const BigInt&, const BigInt&)>& mul) {
+    if (a.empty() || b.empty()) return {};
+    const std::size_t slot =
+        kronecker_slot_bits(coeff_bits, std::min(a.size(), b.size()));
+    const BigInt pa = kronecker_pack(a, slot);
+    const BigInt pb = kronecker_pack(b, slot);
+    const BigInt prod = mul ? mul(pa, pb) : pa * pb;
+    return kronecker_unpack(prod, slot, a.size() + b.size() - 1);
+}
+
+}  // namespace ftmul

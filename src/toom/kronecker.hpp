@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+
+/// Kronecker substitution: multiply integer polynomials through any integer
+/// multiplication engine. The polynomials are packed at x = 2^slot_bits with
+/// slots wide enough that product coefficients never overlap; one integer
+/// product then carries the whole convolution — so polynomial workloads can
+/// ride the parallel and fault-tolerant integer engines unchanged.
+
+/// Slot width needed to multiply two polynomials whose coefficients are
+/// non-negative and < 2^coeff_bits, with min(len_a, len_b) terms overlapping.
+std::size_t kronecker_slot_bits(std::size_t coeff_bits, std::size_t min_len);
+
+/// Pack coefficients (non-negative, each < 2^slot_bits) at x = 2^slot_bits.
+BigInt kronecker_pack(std::span<const BigInt> coeffs, std::size_t slot_bits);
+
+/// Unpack @p count coefficients of @p slot_bits each.
+std::vector<BigInt> kronecker_unpack(const BigInt& packed,
+                                     std::size_t slot_bits, std::size_t count);
+
+/// Multiply two polynomials with non-negative coefficients bounded by
+/// 2^coeff_bits via one integer product. @p mul is any integer
+/// multiplication engine (defaults to schoolbook). Returns the exact
+/// convolution (length |a| + |b| - 1).
+std::vector<BigInt> kronecker_poly_multiply(
+    std::span<const BigInt> a, std::span<const BigInt> b,
+    std::size_t coeff_bits,
+    const std::function<BigInt(const BigInt&, const BigInt&)>& mul = {});
+
+}  // namespace ftmul

@@ -1,0 +1,208 @@
+#include "toom/lazy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "toom/digits.hpp"
+
+namespace ftmul {
+
+namespace {
+
+std::vector<std::size_t> base_row_indices(const ToomPlan& plan) {
+    std::vector<std::size_t> rows(plan.num_base_points());
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+    return rows;
+}
+
+}  // namespace
+
+std::size_t lazy_result_len(int k, std::size_t len, std::size_t base_len) {
+    const auto uk = static_cast<std::size_t>(k);
+    if (len <= base_len || len < uk || len % uk != 0) return 2 * len - 1;
+    return (2 * uk - 1) * lazy_result_len(k, len / uk, base_len);
+}
+
+std::vector<BigInt> lazy_convolve(const ToomPlan& plan,
+                                  std::span<const BigInt> a,
+                                  std::span<const BigInt> b,
+                                  std::size_t base_len) {
+    assert(a.size() == b.size() && !a.empty());
+    const auto k = static_cast<std::size_t>(plan.k());
+    const std::size_t len = a.size();
+    // Lengths that are small or not divisible by k fall back to the direct
+    // convolution (the generalized "fits one operation" base case).
+    if (len <= base_len || len < k || len % k != 0) {
+        return convolve_schoolbook(a, b);
+    }
+
+    const std::size_t m = len / k;
+    const std::size_t npts = plan.num_base_points();
+    const auto rows = base_row_indices(plan);
+
+    std::vector<BigInt> ea(npts * m), eb(npts * m);
+    plan.evaluate_blocks(a, ea, m, rows);
+    plan.evaluate_blocks(b, eb, m, rows);
+
+    std::vector<BigInt> children;
+    std::size_t child_len = 0;
+    for (std::size_t i = 0; i < npts; ++i) {
+        auto child = lazy_convolve(
+            plan, std::span<const BigInt>(ea).subspan(i * m, m),
+            std::span<const BigInt>(eb).subspan(i * m, m), base_len);
+        child_len = child.size();
+        children.insert(children.end(),
+                        std::make_move_iterator(child.begin()),
+                        std::make_move_iterator(child.end()));
+    }
+
+    std::vector<BigInt> out(npts * child_len);
+    plan.interpolation().apply_blocks(children, out, child_len);
+    return out;
+}
+
+BigInt lazy_recompose(const ToomPlan& plan, std::span<const BigInt> coeffs,
+                      std::size_t digit_bits, std::size_t input_len,
+                      std::size_t base_len) {
+    const auto k = static_cast<std::size_t>(plan.k());
+    if (input_len <= base_len || input_len < k || input_len % k != 0) {
+        assert(coeffs.size() == 2 * input_len - 1);
+        return recompose_digits(coeffs, digit_bits);
+    }
+    const std::size_t m = input_len / k;
+    const std::size_t npts = plan.num_base_points();
+    assert(coeffs.size() % npts == 0);
+    const std::size_t child_len = coeffs.size() / npts;
+
+    BigInt acc;
+    for (std::size_t i = npts; i-- > 0;) {
+        // Horner over the level variable y = B^m.
+        acc <<= m * digit_bits;
+        acc += lazy_recompose(plan, coeffs.subspan(i * child_len, child_len),
+                              digit_bits, m, base_len);
+    }
+    return acc;
+}
+
+namespace {
+
+void fold_positional(const ToomPlan& plan, std::span<const BigInt> coeffs,
+                     std::size_t input_len, std::size_t base_len,
+                     std::size_t offset, std::vector<BigInt>& out) {
+    const auto k = static_cast<std::size_t>(plan.k());
+    if (input_len <= base_len || input_len < k || input_len % k != 0) {
+        assert(coeffs.size() == 2 * input_len - 1);
+        for (std::size_t i = 0; i < coeffs.size(); ++i) {
+            out[offset + i] += coeffs[i];
+        }
+        return;
+    }
+    const std::size_t m = input_len / k;
+    const std::size_t npts = plan.num_base_points();
+    assert(coeffs.size() % npts == 0);
+    const std::size_t child_len = coeffs.size() / npts;
+    for (std::size_t i = 0; i < npts; ++i) {
+        fold_positional(plan, coeffs.subspan(i * child_len, child_len), m,
+                        base_len, offset + i * m, out);
+    }
+}
+
+}  // namespace
+
+std::vector<BigInt> lazy_to_positional(const ToomPlan& plan,
+                                       std::span<const BigInt> coeffs,
+                                       std::size_t input_len,
+                                       std::size_t base_len) {
+    std::vector<BigInt> out(2 * input_len - 1);
+    fold_positional(plan, coeffs, input_len, base_len, 0, out);
+    return out;
+}
+
+namespace {
+
+/// Positional Toom-Cook convolution: interpolation results are overlap-added
+/// into positional coefficients at every level (the same carry-free fold as
+/// the distributed algorithm), so lengths that are not multiples of k can be
+/// zero-padded per level and truncated afterwards at no structural cost.
+std::vector<BigInt> convolve_rec(const ToomPlan& plan,
+                                 std::span<const BigInt> a,
+                                 std::span<const BigInt> b,
+                                 std::size_t base_len) {
+    const auto k = static_cast<std::size_t>(plan.k());
+    const std::size_t len = a.size();
+    if (len <= base_len || len < k) return convolve_schoolbook(a, b);
+    if (len % k != 0) {
+        const std::size_t padded = (len / k + 1) * k;
+        std::vector<BigInt> ap(a.begin(), a.end()), bp(b.begin(), b.end());
+        ap.resize(padded);
+        bp.resize(padded);
+        auto out = convolve_rec(plan, ap, bp, base_len);
+        out.resize(2 * len - 1);  // trailing coefficients are zero
+        return out;
+    }
+
+    const std::size_t m = len / k;
+    const std::size_t npts = plan.num_base_points();
+    std::vector<std::size_t> rows(npts);
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+
+    std::vector<BigInt> ea(npts * m), eb(npts * m);
+    plan.evaluate_blocks(a, ea, m, rows);
+    plan.evaluate_blocks(b, eb, m, rows);
+
+    const std::size_t rc = 2 * m;  // padded child result length
+    std::vector<BigInt> children(npts * rc);
+    for (std::size_t i = 0; i < npts; ++i) {
+        auto child = convolve_rec(
+            plan, std::span<const BigInt>(ea).subspan(i * m, m),
+            std::span<const BigInt>(eb).subspan(i * m, m), base_len);
+        for (std::size_t t = 0; t < child.size(); ++t) {
+            children[i * rc + t] = std::move(child[t]);
+        }
+    }
+
+    std::vector<BigInt> coeffs(npts * rc);
+    plan.interpolation().apply_blocks(children, coeffs, rc);
+
+    std::vector<BigInt> out(2 * len - 1);
+    for (std::size_t i = 0; i < npts; ++i) {
+        const std::size_t limit = std::min(rc, out.size() - i * m);
+        for (std::size_t t = 0; t < limit; ++t) {
+            out[i * m + t] += coeffs[i * rc + t];
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<BigInt> toom_convolve(const ToomPlan& plan,
+                                  std::span<const BigInt> a,
+                                  std::span<const BigInt> b,
+                                  std::size_t base_len) {
+    return convolve_rec(plan, a, b, base_len);
+}
+
+BigInt toom_multiply_lazy(const BigInt& a, const BigInt& b,
+                          const ToomPlan& plan, const LazyOptions& opts) {
+    if (a.is_zero() || b.is_zero()) return {};
+    const auto k = static_cast<std::size_t>(plan.k());
+    const std::size_t n = std::max(a.bit_length(), b.bit_length());
+
+    // Smallest k^l digit count that fits both inputs.
+    std::size_t count = 1;
+    while (count * opts.digit_bits < n) count *= k;
+
+    const std::vector<BigInt> da = split_digits(a.abs(), opts.digit_bits, count);
+    const std::vector<BigInt> db = split_digits(b.abs(), opts.digit_bits, count);
+    const std::vector<BigInt> coeffs =
+        lazy_convolve(plan, da, db, opts.base_len);
+    BigInt result =
+        lazy_recompose(plan, coeffs, opts.digit_bits, count, opts.base_len);
+    assert(!result.is_negative());
+    return a.sign() * b.sign() < 0 ? -result : result;
+}
+
+}  // namespace ftmul

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "toom/plan.hpp"
+
+namespace ftmul {
+
+/// Options for Toom-Cook with Lazy Interpolation (paper Algorithm 2,
+/// Bermudo Mera et al.): both inputs are split into k^l digits up front,
+/// every level works on digit-block vectors, and the carry is computed once
+/// at the end. This variant is the backbone of the parallel algorithms: each
+/// level is a pure linear map on blocks, which is exactly what the BFS data
+/// exchanges and the linear erasure code of Section 4.1 require.
+struct LazyOptions {
+    /// Bits per top-level digit (the shared base is 2^digit_bits).
+    std::size_t digit_bits = 512;
+
+    /// Recursion stops when a block has at most this many digits; the base
+    /// case is a schoolbook digit-polynomial convolution (the paper's
+    /// "computed using one operation" threshold s, generalized to a block).
+    std::size_t base_len = 4;
+};
+
+/// Multiply two digit polynomials of equal length k^l via Toom-Cook-k with
+/// lazy interpolation. Returns the coefficient vector of the product in the
+/// recursive (multivariate) layout of paper Claim 2.1; decode with
+/// lazy_recompose. Lengths must be a power of k times a value <= base_len.
+std::vector<BigInt> lazy_convolve(const ToomPlan& plan,
+                                  std::span<const BigInt> a,
+                                  std::span<const BigInt> b,
+                                  std::size_t base_len);
+
+/// Length of the coefficient vector lazy_convolve produces for inputs of
+/// length @p len.
+std::size_t lazy_result_len(int k, std::size_t len, std::size_t base_len);
+
+/// Evaluate a lazy_convolve result back into an integer: the coefficient with
+/// recursive block index (i_1, ..., i_l) carries weight B^(sum_t i_t k^(l-t)),
+/// i.e. variable y_t = B^(k^(l-t)) per Claim 2.1.
+BigInt lazy_recompose(const ToomPlan& plan, std::span<const BigInt> coeffs,
+                      std::size_t digit_bits, std::size_t input_len,
+                      std::size_t base_len);
+
+/// Fold a lazy_convolve result into the *positional* coefficient vector of
+/// the product polynomial (length 2 * input_len - 1): multivariate
+/// coefficients sharing a weight B^p are summed. This is a polynomial
+/// identity — no carries are involved — so the output is the exact
+/// convolution of the input digit vectors.
+std::vector<BigInt> lazy_to_positional(const ToomPlan& plan,
+                                       std::span<const BigInt> coeffs,
+                                       std::size_t input_len,
+                                       std::size_t base_len);
+
+/// Exact convolution of two equal-length digit vectors using Toom-Cook with
+/// lazy interpolation internally: lazy_convolve + lazy_to_positional.
+std::vector<BigInt> toom_convolve(const ToomPlan& plan,
+                                  std::span<const BigInt> a,
+                                  std::span<const BigInt> b,
+                                  std::size_t base_len);
+
+/// Full Algorithm 2: split, lazily convolve, recompose, with sign handling.
+BigInt toom_multiply_lazy(const BigInt& a, const BigInt& b,
+                          const ToomPlan& plan, const LazyOptions& opts = {});
+
+}  // namespace ftmul

@@ -1,0 +1,85 @@
+#include "toom/multivariate.hpp"
+
+#include <cassert>
+
+namespace ftmul {
+
+std::string to_string(const MultiPoint& p) {
+    std::string out = "(";
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (i) out += ", ";
+        out += p[i].to_string();
+    }
+    return out + ")";
+}
+
+std::vector<MultiPoint> product_points(const std::vector<EvalPoint>& s,
+                                       std::size_t l) {
+    std::vector<MultiPoint> out;
+    std::size_t total = 1;
+    for (std::size_t t = 0; t < l; ++t) total *= s.size();
+    out.reserve(total);
+    for (std::size_t idx = 0; idx < total; ++idx) {
+        MultiPoint p(l);
+        std::size_t rem = idx;
+        for (std::size_t t = l; t-- > 0;) {
+            p[t] = s[rem % s.size()];
+            rem /= s.size();
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+Matrix<BigInt> multivariate_eval_matrix(std::span<const MultiPoint> pts,
+                                        std::size_t r, std::size_t l) {
+    std::size_t ncols = 1;
+    for (std::size_t t = 0; t < l; ++t) ncols *= r;
+
+    Matrix<BigInt> m(pts.size(), ncols);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        assert(pts[i].size() == l);
+        // Per-variable power tables h^(r-1-e) x^e.
+        std::vector<std::vector<BigInt>> table(l);
+        for (std::size_t t = 0; t < l; ++t) {
+            table[t] = evaluation_row(pts[i][t], r - 1);
+        }
+        for (std::size_t col = 0; col < ncols; ++col) {
+            BigInt v{1};
+            std::size_t rem = col;
+            for (std::size_t t = l; t-- > 0;) {
+                v *= table[t][rem % r];
+                rem /= r;
+            }
+            m(i, col) = std::move(v);
+        }
+    }
+    return m;
+}
+
+BigInt evaluate_digits_at(std::span<const BigInt> digits, const MultiPoint& p,
+                          std::size_t k) {
+    const std::size_t l = p.size();
+    std::size_t expect = 1;
+    for (std::size_t t = 0; t < l; ++t) expect *= k;
+    assert(digits.size() == expect);
+
+    BigInt acc;
+    std::vector<std::vector<BigInt>> table(l);
+    for (std::size_t t = 0; t < l; ++t) table[t] = evaluation_row(p[t], k - 1);
+    for (std::size_t idx = 0; idx < digits.size(); ++idx) {
+        if (digits[idx].is_zero()) continue;
+        BigInt w{1};
+        std::size_t rem = idx;
+        // Digit index in the recursive layout: highest variable most
+        // significant; exponent of variable t is that base-k digit.
+        for (std::size_t t = l; t-- > 0;) {
+            w *= table[t][rem % k];
+            rem /= k;
+        }
+        acc += w * digits[idx];
+    }
+    return acc;
+}
+
+}  // namespace ftmul

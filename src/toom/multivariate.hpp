@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "linalg/matrix.hpp"
+#include "toom/points.hpp"
+
+namespace ftmul {
+
+/// A point of F^l for multivariate evaluation, one homogeneous coordinate
+/// pair per variable (paper Claim 2.1: l-step Toom-Cook-k evaluates at S^l).
+using MultiPoint = std::vector<EvalPoint>;
+
+std::string to_string(const MultiPoint& p);
+
+/// The product set S^l, ordered so that index sum_t s_t * |S|^(l-1-t)
+/// (first coordinate most significant) matches the recursive block layout of
+/// lazy_convolve and the fused-BFS column order of the multi-step algorithm.
+std::vector<MultiPoint> product_points(const std::vector<EvalPoint>& s,
+                                       std::size_t l);
+
+/// Evaluation matrix of @p pts for Poly_{r,l} (paper Definition 2.4): each
+/// variable's degree is at most r-1, N = r^l monomials. Monomial with
+/// exponents (e_1..e_l) sits at column sum_t e_t * r^(l-1-t); its value at a
+/// point is prod_t x_t^{e_t} h_t^{r-1-e_t}.
+Matrix<BigInt> multivariate_eval_matrix(std::span<const MultiPoint> pts,
+                                        std::size_t r, std::size_t l);
+
+/// Evaluate the digit vector of length k^l (recursive layout, first split
+/// most significant) at one multipoint, for Poly_{k,l}. This is what a fused
+/// multi-step evaluation column computes.
+BigInt evaluate_digits_at(std::span<const BigInt> digits, const MultiPoint& p,
+                          std::size_t k);
+
+}  // namespace ftmul

@@ -1,0 +1,121 @@
+#include "toom/plan.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/exact_solve.hpp"
+
+namespace ftmul {
+
+namespace {
+
+Matrix<std::int64_t> small_eval_matrix(const std::vector<EvalPoint>& pts,
+                                       std::size_t degree) {
+    const Matrix<BigInt> big = evaluation_matrix(pts, degree);
+    Matrix<std::int64_t> m(big.rows(), big.cols());
+    for (std::size_t i = 0; i < big.rows(); ++i) {
+        for (std::size_t j = 0; j < big.cols(); ++j) {
+            if (!big(i, j).fits_int64()) {
+                throw std::invalid_argument(
+                    "ToomPlan: evaluation coefficient exceeds int64");
+            }
+            m(i, j) = big(i, j).to_int64();
+        }
+    }
+    return m;
+}
+
+InterpOperator interp_for_points(const std::vector<EvalPoint>& pts, int k) {
+    const std::size_t degree = static_cast<std::size_t>(2 * k - 2);
+    const Matrix<BigInt> e = evaluation_matrix(pts, degree);
+    return InterpOperator::from_rational(inverse(e.cast<BigRational>()));
+}
+
+}  // namespace
+
+ToomPlan ToomPlan::make(int k, std::size_t redundancy) {
+    return from_points(
+        k, standard_points(static_cast<std::size_t>(2 * k - 1) + redundancy));
+}
+
+ToomPlan ToomPlan::from_points(int k, std::vector<EvalPoint> pts) {
+    if (k < 2) throw std::invalid_argument("ToomPlan: k must be >= 2");
+    const std::size_t base = static_cast<std::size_t>(2 * k - 1);
+    if (pts.size() < base) {
+        throw std::invalid_argument("ToomPlan: need at least 2k-1 points");
+    }
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].x == 0 && pts[i].h == 0) {
+            throw std::invalid_argument("ToomPlan: (0,0) is not a point");
+        }
+        for (std::size_t j = i + 1; j < pts.size(); ++j) {
+            if (EvalPoint::projectively_equal(pts[i], pts[j])) {
+                throw std::invalid_argument(
+                    "ToomPlan: points must be projectively distinct");
+            }
+        }
+    }
+
+    ToomPlan plan;
+    plan.k_ = k;
+    plan.points_ = std::move(pts);
+    plan.eval_ =
+        small_eval_matrix(plan.points_, static_cast<std::size_t>(k - 1));
+    plan.interp_ = interp_for_points(
+        std::vector<EvalPoint>(plan.points_.begin(),
+                               plan.points_.begin() + static_cast<std::ptrdiff_t>(base)),
+        k);
+    return plan;
+}
+
+InterpOperator ToomPlan::interpolation_for(
+    const std::vector<std::size_t>& point_idx) const {
+    if (point_idx.size() != num_base_points()) {
+        throw std::invalid_argument(
+            "interpolation_for: need exactly 2k-1 surviving points");
+    }
+    std::vector<EvalPoint> pts;
+    pts.reserve(point_idx.size());
+    for (std::size_t i : point_idx) {
+        if (i >= points_.size()) {
+            throw std::invalid_argument("interpolation_for: bad point index");
+        }
+        pts.push_back(points_[i]);
+    }
+    return interp_for_points(pts, k_);
+}
+
+void ToomPlan::evaluate_blocks(std::span<const BigInt> in,
+                               std::span<BigInt> out, std::size_t block_len,
+                               std::span<const std::size_t> rows) const {
+    const std::size_t k = static_cast<std::size_t>(k_);
+    assert(in.size() == k * block_len);
+
+    std::vector<std::size_t> all_rows;
+    if (rows.empty()) {
+        all_rows.resize(num_points());
+        std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+        rows = all_rows;
+    }
+    assert(out.size() == rows.size() * block_len);
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const std::size_t row = rows[r];
+        for (std::size_t t = 0; t < block_len; ++t) {
+            BigInt acc;
+            for (std::size_t j = 0; j < k; ++j) {
+                add_scaled(acc, in[j * block_len + t], eval_(row, j));
+            }
+            out[r * block_len + t] = std::move(acc);
+        }
+    }
+}
+
+std::vector<BigInt> ToomPlan::evaluate(std::span<const BigInt> digits) const {
+    std::vector<BigInt> out(num_points());
+    evaluate_blocks(digits, out, 1);
+    return out;
+}
+
+}  // namespace ftmul

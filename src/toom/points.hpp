@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ftmul {
+
+/// Homogeneous evaluation point (x, h) following Zanoni's notation (paper
+/// Remark 2.2): the classical infinity point is (1, 0), finite points are
+/// (x, 1). Two points are equivalent iff projectively equal; all point sets
+/// in this library are pairwise projectively distinct.
+struct EvalPoint {
+    std::int64_t x = 0;
+    std::int64_t h = 1;
+
+    friend bool operator==(const EvalPoint&, const EvalPoint&) = default;
+
+    /// Projective distinctness: (x1, h1) ~ (x2, h2) iff x1*h2 == x2*h1.
+    static bool projectively_equal(const EvalPoint& a, const EvalPoint& b) {
+        return static_cast<__int128>(a.x) * b.h == static_cast<__int128>(b.x) * a.h;
+    }
+
+    std::string to_string() const;
+};
+
+/// The standard point sequence 0, inf, 1, -1, 2, -2, 3, ... as used by GMP and
+/// the Toom-Cook literature (the paper's Section 1.1 default for Toom-3 is
+/// {0, 1, -1, 2, inf}). count points are returned, pairwise projectively
+/// distinct; redundant points for the polynomial code (Section 4.2) are simply
+/// further elements of the same sequence.
+std::vector<EvalPoint> standard_points(std::size_t count);
+
+/// Evaluation row of a point for homogeneous polynomials of degree
+/// @p degree: (h^degree x^0, h^(degree-1) x^1, ..., h^0 x^degree).
+std::vector<BigInt> evaluation_row(const EvalPoint& p, std::size_t degree);
+
+/// Evaluation matrix of a point set for homogeneous polynomials of degree
+/// @p degree (the paper's U/V for degree k-1 and (W^T)^-1 for degree 2k-2).
+Matrix<BigInt> evaluation_matrix(const std::vector<EvalPoint>& pts,
+                                 std::size_t degree);
+
+}  // namespace ftmul

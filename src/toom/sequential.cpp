@@ -1,0 +1,58 @@
+#include "toom/sequential.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "toom/digits.hpp"
+
+namespace ftmul {
+
+namespace {
+
+BigInt multiply_rec(const BigInt& a, const BigInt& b, const ToomPlan& plan,
+                    const ToomOptions& opts,
+                    std::span<const std::size_t> base_rows) {
+    if (a.is_zero() || b.is_zero()) return {};
+    const std::size_t n = std::max(a.bit_length(), b.bit_length());
+    if (n <= opts.threshold_bits) return a * b;
+
+    const auto k = static_cast<std::size_t>(plan.k());
+    // Shared base B = 2^digit_bits (paper Section 2.2).
+    const std::size_t digit_bits = (n + k - 1) / k;
+
+    const std::vector<BigInt> da = split_digits(a.abs(), digit_bits, k);
+    const std::vector<BigInt> db = split_digits(b.abs(), digit_bits, k);
+
+    const std::size_t m = base_rows.size();  // 2k-1
+    std::vector<BigInt> ea(m), eb(m);
+    plan.evaluate_blocks(da, ea, 1, base_rows);
+    plan.evaluate_blocks(db, eb, 1, base_rows);
+
+    std::vector<BigInt> products(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        products[i] = multiply_rec(ea[i], eb[i], plan, opts, base_rows);
+    }
+
+    std::vector<BigInt> coeffs;
+    if (opts.custom_interpolation) {
+        coeffs = std::move(products);
+        opts.custom_interpolation(coeffs);
+    } else {
+        coeffs = plan.interpolation().apply(products);
+    }
+    BigInt result = recompose_digits(coeffs, digit_bits);
+    assert(!result.is_negative());
+    return a.sign() * b.sign() < 0 ? -result : result;
+}
+
+}  // namespace
+
+BigInt toom_multiply(const BigInt& a, const BigInt& b, const ToomPlan& plan,
+                     const ToomOptions& opts) {
+    std::vector<std::size_t> base_rows(plan.num_base_points());
+    std::iota(base_rows.begin(), base_rows.end(), std::size_t{0});
+    return multiply_rec(a, b, plan, opts, base_rows);
+}
+
+}  // namespace ftmul

@@ -1,0 +1,46 @@
+#include "toom/squaring.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "toom/digits.hpp"
+
+namespace ftmul {
+
+namespace {
+
+BigInt square_rec(const BigInt& a, const ToomPlan& plan,
+                  const SquareOptions& opts,
+                  std::span<const std::size_t> base_rows) {
+    if (a.is_zero()) return {};
+    const std::size_t n = a.bit_length();
+    if (n <= opts.threshold_bits) return a * a;
+
+    const auto k = static_cast<std::size_t>(plan.k());
+    const std::size_t digit_bits = (n + k - 1) / k;
+    const std::vector<BigInt> digits = split_digits(a.abs(), digit_bits, k);
+
+    const std::size_t m = base_rows.size();
+    std::vector<BigInt> ev(m);
+    plan.evaluate_blocks(digits, ev, 1, base_rows);
+
+    std::vector<BigInt> squares(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        squares[i] = square_rec(ev[i], plan, opts, base_rows);
+    }
+    const std::vector<BigInt> coeffs = plan.interpolation().apply(squares);
+    BigInt result = recompose_digits(coeffs, digit_bits);
+    assert(!result.is_negative());
+    return result;
+}
+
+}  // namespace
+
+BigInt toom_square(const BigInt& a, const ToomPlan& plan,
+                   const SquareOptions& opts) {
+    std::vector<std::size_t> base_rows(plan.num_base_points());
+    std::iota(base_rows.begin(), base_rows.end(), std::size_t{0});
+    return square_rec(a, plan, opts, base_rows);
+}
+
+}  // namespace ftmul

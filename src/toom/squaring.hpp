@@ -1,0 +1,18 @@
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "toom/plan.hpp"
+
+namespace ftmul {
+
+/// Toom-Cook squaring (cf. Zuras, paper reference [86]): a^2 needs only one
+/// evaluation sweep and pointwise squares, saving roughly a third of the
+/// linear work versus a general multiplication.
+struct SquareOptions {
+    std::size_t threshold_bits = 2048;
+};
+
+BigInt toom_square(const BigInt& a, const ToomPlan& plan,
+                   const SquareOptions& opts = {});
+
+}  // namespace ftmul

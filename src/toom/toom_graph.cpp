@@ -1,0 +1,160 @@
+#include "toom/toom_graph.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "toom/points.hpp"
+
+namespace ftmul {
+
+namespace {
+
+bool is_pow2(std::int64_t v) {
+    return v > 0 && std::has_single_bit(static_cast<std::uint64_t>(v));
+}
+
+std::int64_t to_small(const BigInt& v) {
+    if (!v.fits_int64()) {
+        throw std::overflow_error("toom-graph: coefficient exceeds int64");
+    }
+    return v.to_int64();
+}
+
+/// Apply one op to the rows of a matrix.
+void apply_to_matrix(Matrix<BigInt>& m, const RowOp& op) {
+    switch (op.kind) {
+        case RowOp::Kind::Swap:
+            for (std::size_t t = 0; t < m.cols(); ++t) std::swap(m(op.i, t), m(op.j, t));
+            break;
+        case RowOp::Kind::Scale:
+            for (std::size_t t = 0; t < m.cols(); ++t) m(op.i, t) *= BigInt{op.c};
+            break;
+        case RowOp::Kind::AddMul:
+            for (std::size_t t = 0; t < m.cols(); ++t) {
+                add_scaled(m(op.i, t), m(op.j, t), op.c);
+            }
+            break;
+        case RowOp::Kind::DivExact:
+            for (std::size_t t = 0; t < m.cols(); ++t) {
+                m(op.i, t) = m(op.i, t).divexact(BigInt{op.c});
+            }
+            break;
+    }
+}
+
+}  // namespace
+
+double RowOp::cost() const {
+    switch (kind) {
+        case Kind::Swap:
+            return 0.0;
+        case Kind::Scale:
+            return (c == 1 || c == -1) ? 0.0 : (is_pow2(c < 0 ? -c : c) ? 0.5 : 1.0);
+        case Kind::AddMul:
+            return (c == 1 || c == -1) ? 1.0 : 2.0;
+        case Kind::DivExact:
+            return is_pow2(c < 0 ? -c : c) ? 0.5 : 2.0;
+    }
+    return 0.0;
+}
+
+double InversionSequence::total_cost() const {
+    double sum = 0.0;
+    for (const RowOp& op : ops) sum += op.cost();
+    return sum;
+}
+
+void InversionSequence::apply(std::vector<BigInt>& v) const {
+    for (const RowOp& op : ops) {
+        switch (op.kind) {
+            case RowOp::Kind::Swap:
+                std::swap(v[op.i], v[op.j]);
+                break;
+            case RowOp::Kind::Scale:
+                v[op.i] *= BigInt{op.c};
+                break;
+            case RowOp::Kind::AddMul:
+                add_scaled(v[op.i], v[op.j], op.c);
+                break;
+            case RowOp::Kind::DivExact:
+                v[op.i] = v[op.i].divexact(BigInt{op.c});
+                break;
+        }
+    }
+}
+
+InversionSequence find_inversion_sequence(const Matrix<BigInt>& e) {
+    assert(e.rows() == e.cols());
+    const std::size_t n = e.rows();
+    Matrix<BigInt> m = e;
+    InversionSequence seq;
+
+    auto record = [&](RowOp op) {
+        apply_to_matrix(m, op);
+        seq.ops.push_back(op);
+    };
+
+    auto gcd_reduce_row = [&](std::size_t row) {
+        BigInt g;
+        for (std::size_t t = 0; t < n; ++t) g = BigInt::gcd(g, m(row, t));
+        if (!g.is_zero() && g != BigInt{1}) {
+            record({RowOp::Kind::DivExact, row, 0, to_small(g)});
+        }
+    };
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Pick the pivot with the smallest nonzero magnitude in this column
+        // among rows not already fixed — small pivots keep later AddMul
+        // multipliers small (the greedy part of the heuristic).
+        std::size_t best = n;
+        for (std::size_t r = col; r < n; ++r) {
+            if (m(r, col).is_zero()) continue;
+            if (best == n ||
+                BigInt::compare(m(r, col).abs(), m(best, col).abs()) < 0) {
+                best = r;
+            }
+        }
+        if (best == n) throw std::runtime_error("toom-graph: singular matrix");
+        if (best != col) record({RowOp::Kind::Swap, col, best, 0});
+
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col || m(r, col).is_zero()) continue;
+            const BigInt p = m(col, col);
+            const BigInt q = m(r, col);
+            const BigInt g = BigInt::gcd(p, q);
+            const std::int64_t scale = to_small(p.divexact(g));
+            const std::int64_t factor = to_small(q.divexact(g));
+            if (scale != 1) record({RowOp::Kind::Scale, r, 0, scale});
+            record({RowOp::Kind::AddMul, r, col, -factor});
+            assert(m(r, col).is_zero());
+            gcd_reduce_row(r);
+        }
+    }
+
+    // Diagonal cleanup: divide each row down to a unit.
+    for (std::size_t r = 0; r < n; ++r) {
+        const BigInt d = m(r, r);
+        assert(!d.is_zero());
+        if (d != BigInt{1}) record({RowOp::Kind::DivExact, r, 0, to_small(d)});
+    }
+    return seq;
+}
+
+InversionSequence inversion_sequence_for(const ToomPlan& plan) {
+    const std::size_t base = plan.num_base_points();
+    std::vector<EvalPoint> pts(plan.points().begin(),
+                               plan.points().begin() + static_cast<std::ptrdiff_t>(base));
+    return find_inversion_sequence(
+        evaluation_matrix(pts, static_cast<std::size_t>(2 * plan.k() - 2)));
+}
+
+bool verify_inversion_sequence(const Matrix<BigInt>& e,
+                               const InversionSequence& seq) {
+    Matrix<BigInt> m = e;
+    for (const RowOp& op : seq.ops) apply_to_matrix(m, op);
+    return m == Matrix<BigInt>::identity(e.rows());
+}
+
+}  // namespace ftmul

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "linalg/matrix.hpp"
+#include "toom/plan.hpp"
+
+namespace ftmul {
+
+/// One elementary row operation in a Toom-Graph inversion sequence
+/// (Bodrato-Zanoni, paper Definition 2.3). Applied to the evaluation matrix
+/// E the sequence reduces it to the identity; mirrored on the point-value
+/// vector v = E c it therefore computes the coefficients c using only
+/// integer adds, small scalings and exact divisions.
+struct RowOp {
+    enum class Kind : std::uint8_t {
+        Swap,      ///< rows i and j exchange
+        Scale,     ///< row i *= c
+        AddMul,    ///< row i += c * row j
+        DivExact,  ///< row i /= c (exact on matrix rows and on values)
+    };
+
+    Kind kind;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::int64_t c = 0;
+
+    /// Heuristic word-operation cost used by the search: adds and shifts are
+    /// cheap, general multiplies/divides cost more (mirrors the edge weights
+    /// of the Toom-Graph).
+    double cost() const;
+};
+
+/// A path in the Toom-Graph from E^-1... to the identity, i.e. a recipe for
+/// the interpolation stage.
+struct InversionSequence {
+    std::vector<RowOp> ops;
+
+    double total_cost() const;
+
+    /// Mirror the sequence on a point-value vector, turning it into the
+    /// coefficient vector in place. All DivExact steps are exact by
+    /// construction.
+    void apply(std::vector<BigInt>& v) const;
+};
+
+/// Greedy Toom-Graph search: integer Gauss-Jordan elimination over E with
+/// smallest-pivot selection and per-row gcd reduction, recording the row
+/// operations. This is a heuristic shortest-path (the paper cites the
+/// technique as a heuristic); it always returns a *valid* sequence.
+/// Throws std::overflow_error if an intermediate coefficient leaves int64.
+InversionSequence find_inversion_sequence(const Matrix<BigInt>& e);
+
+/// Sequence for a plan's base-point product-evaluation matrix.
+InversionSequence inversion_sequence_for(const ToomPlan& plan);
+
+/// Check symbolically that applying @p seq to @p e yields the identity.
+bool verify_inversion_sequence(const Matrix<BigInt>& e,
+                               const InversionSequence& seq);
+
+}  // namespace ftmul

@@ -1,0 +1,84 @@
+#include "toom/unbalanced.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "linalg/exact_solve.hpp"
+#include "toom/digits.hpp"
+
+namespace ftmul {
+
+namespace {
+
+Matrix<std::int64_t> small_matrix(const std::vector<EvalPoint>& pts,
+                                  std::size_t degree) {
+    const Matrix<BigInt> big = evaluation_matrix(pts, degree);
+    Matrix<std::int64_t> m(big.rows(), big.cols());
+    for (std::size_t i = 0; i < big.rows(); ++i) {
+        for (std::size_t j = 0; j < big.cols(); ++j) {
+            if (!big(i, j).fits_int64()) {
+                throw std::invalid_argument(
+                    "UnbalancedPlan: coefficient exceeds int64");
+            }
+            m(i, j) = big(i, j).to_int64();
+        }
+    }
+    return m;
+}
+
+}  // namespace
+
+UnbalancedPlan UnbalancedPlan::make(int k1, int k2) {
+    if (k1 < 1 || k2 < 1 || k1 + k2 < 3) {
+        throw std::invalid_argument("UnbalancedPlan: need k1+k2 >= 3, k >= 1");
+    }
+    UnbalancedPlan plan;
+    plan.k1_ = k1;
+    plan.k2_ = k2;
+    const auto m = static_cast<std::size_t>(k1 + k2 - 1);
+    plan.points_ = standard_points(m);
+    plan.u_ = small_matrix(plan.points_, static_cast<std::size_t>(k1 - 1));
+    plan.v_ = small_matrix(plan.points_, static_cast<std::size_t>(k2 - 1));
+    plan.interp_ = InterpOperator::from_rational(inverse(
+        evaluation_matrix(plan.points_, static_cast<std::size_t>(k1 + k2 - 2))
+            .cast<BigRational>()));
+    return plan;
+}
+
+BigInt toom_multiply_unbalanced(const BigInt& a, const BigInt& b,
+                                const UnbalancedPlan& plan,
+                                const UnbalancedOptions& opts) {
+    if (a.is_zero() || b.is_zero()) return {};
+    const std::size_t na = a.bit_length();
+    const std::size_t nb = b.bit_length();
+    if (std::max(na, nb) <= opts.threshold_bits) return a * b;
+
+    const auto k1 = static_cast<std::size_t>(plan.k1());
+    const auto k2 = static_cast<std::size_t>(plan.k2());
+    // Shared base accommodating both splits (paper Section 2.2 generalized).
+    const std::size_t digit_bits =
+        std::max((na + k1 - 1) / k1, (nb + k2 - 1) / k2);
+
+    const std::vector<BigInt> da = split_digits(a.abs(), digit_bits, k1);
+    const std::vector<BigInt> db = split_digits(b.abs(), digit_bits, k2);
+
+    const std::size_t m = plan.num_points();
+    std::vector<BigInt> ea(m), eb(m), products(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < k1; ++j) {
+            add_scaled(ea[i], da[j], plan.eval_a()(i, j));
+        }
+        for (std::size_t j = 0; j < k2; ++j) {
+            add_scaled(eb[i], db[j], plan.eval_b()(i, j));
+        }
+        products[i] = toom_multiply_unbalanced(ea[i], eb[i], plan, opts);
+    }
+
+    const std::vector<BigInt> coeffs = plan.interpolation().apply(products);
+    BigInt result = recompose_digits(coeffs, digit_bits);
+    assert(!result.is_negative());
+    return a.sign() * b.sign() < 0 ? -result : result;
+}
+
+}  // namespace ftmul

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "toom/interp.hpp"
+#include "toom/points.hpp"
+
+namespace ftmul {
+
+/// Unbalanced Toom-Cook-(k1, k2) (paper Section 1.1; Zanoni's
+/// "Toom-Cook-2.5" is (3, 2)): the first operand splits into k1 digits, the
+/// second into k2, over a shared base. The product polynomial has degree
+/// k1 + k2 - 2, so k1 + k2 - 1 evaluation points interpolate it. Useful when
+/// operand sizes differ by a rational factor close to k1/k2.
+class UnbalancedPlan {
+public:
+    /// Standard points; k1, k2 >= 1 and k1 + k2 >= 3.
+    static UnbalancedPlan make(int k1, int k2);
+
+    int k1() const noexcept { return k1_; }
+    int k2() const noexcept { return k2_; }
+    std::size_t num_points() const noexcept { return points_.size(); }
+    const std::vector<EvalPoint>& points() const noexcept { return points_; }
+
+    /// Evaluation matrices for the two operands (num_points x k1 / k2).
+    const Matrix<std::int64_t>& eval_a() const noexcept { return u_; }
+    const Matrix<std::int64_t>& eval_b() const noexcept { return v_; }
+
+    const InterpOperator& interpolation() const noexcept { return interp_; }
+
+private:
+    UnbalancedPlan() = default;
+
+    int k1_ = 0;
+    int k2_ = 0;
+    std::vector<EvalPoint> points_;
+    Matrix<std::int64_t> u_;
+    Matrix<std::int64_t> v_;
+    InterpOperator interp_;
+};
+
+struct UnbalancedOptions {
+    /// Below this bit size, fall back to schoolbook.
+    std::size_t threshold_bits = 2048;
+};
+
+/// Multiply via Toom-Cook-(k1, k2). Exact for all (signed) inputs; most
+/// effective when |a| ~ (k1/k2) * |b| in size.
+BigInt toom_multiply_unbalanced(const BigInt& a, const BigInt& b,
+                                const UnbalancedPlan& plan,
+                                const UnbalancedOptions& opts = {});
+
+}  // namespace ftmul

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bigint/bigint.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(BigIntIo, DecimalKnownValues) {
+    EXPECT_EQ(BigInt::from_decimal("0"), BigInt{});
+    EXPECT_EQ(BigInt::from_decimal("-0"), BigInt{});
+    EXPECT_EQ(BigInt::from_decimal("+17"), BigInt{17});
+    EXPECT_EQ(BigInt::from_decimal("18446744073709551616"),
+              BigInt::power_of_two(64));
+    EXPECT_EQ(
+        BigInt::from_decimal("340282366920938463463374607431768211456"),
+        BigInt::power_of_two(128));
+}
+
+TEST(BigIntIo, DecimalLeadingZeros) {
+    EXPECT_EQ(BigInt::from_decimal("000123"), BigInt{123});
+    EXPECT_EQ(BigInt::from_decimal("-000"), BigInt{});
+}
+
+TEST(BigIntIo, DecimalChunkBoundaries) {
+    // Exactly 19, 20 and 38 digits — the chunking edges.
+    EXPECT_EQ(BigInt::from_decimal("9999999999999999999").to_decimal(),
+              "9999999999999999999");
+    EXPECT_EQ(BigInt::from_decimal("10000000000000000000").to_decimal(),
+              "10000000000000000000");
+    const std::string d38(38, '9');
+    EXPECT_EQ(BigInt::from_decimal(d38).to_decimal(), d38);
+}
+
+TEST(BigIntIo, DecimalPadsInteriorZeros) {
+    // A value whose low 19-digit chunk is tiny must keep its zero padding.
+    BigInt v = BigInt::from_decimal("1" + std::string(19, '0')) + BigInt{7};
+    EXPECT_EQ(v.to_decimal(), "1" + std::string(18, '0') + "7");
+}
+
+TEST(BigIntIo, HexKnownValues) {
+    EXPECT_EQ(BigInt::from_hex("ff"), BigInt{255});
+    EXPECT_EQ(BigInt::from_hex("FF"), BigInt{255});
+    EXPECT_EQ(BigInt::from_hex("-10"), BigInt{-16});
+    EXPECT_EQ(BigInt::from_hex("10000000000000000"), BigInt::power_of_two(64));
+    EXPECT_EQ(BigInt{255}.to_hex(), "ff");
+    EXPECT_EQ(BigInt{-255}.to_hex(), "-ff");
+}
+
+TEST(BigIntIo, RejectsMalformed) {
+    EXPECT_THROW(BigInt::from_decimal(""), std::invalid_argument);
+    EXPECT_THROW(BigInt::from_decimal("-"), std::invalid_argument);
+    EXPECT_THROW(BigInt::from_decimal("12a3"), std::invalid_argument);
+    EXPECT_THROW(BigInt::from_hex(""), std::invalid_argument);
+    EXPECT_THROW(BigInt::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(BigIntIo, NegativeRoundTrip) {
+    BigInt v = BigInt::from_decimal("-123456789012345678901234567890");
+    EXPECT_EQ(v.to_decimal(), "-123456789012345678901234567890");
+    EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,383 @@
+#include "bigint/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bigint/ops_counter.hpp"
+#include "bigint/random.hpp"
+#include "bigint/serialize.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+    BigInt z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ(z.sign(), 0);
+    EXPECT_EQ(z.bit_length(), 0u);
+    EXPECT_EQ(z.to_decimal(), "0");
+}
+
+TEST(BigInt, Int64Construction) {
+    EXPECT_EQ(BigInt{42}.to_decimal(), "42");
+    EXPECT_EQ(BigInt{-42}.to_decimal(), "-42");
+    EXPECT_EQ(BigInt{INT64_MAX}.to_decimal(), "9223372036854775807");
+    EXPECT_EQ(BigInt{INT64_MIN}.to_decimal(), "-9223372036854775808");
+}
+
+TEST(BigInt, Int64RoundTrip) {
+    for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                           std::int64_t{123456789}, INT64_MAX, INT64_MIN}) {
+        BigInt b{v};
+        ASSERT_TRUE(b.fits_int64());
+        EXPECT_EQ(b.to_int64(), v);
+    }
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+    EXPECT_TRUE(BigInt{INT64_MAX}.fits_int64());
+    EXPECT_TRUE(BigInt{INT64_MIN}.fits_int64());
+    EXPECT_FALSE((BigInt{INT64_MAX} + BigInt{1}).fits_int64());
+    EXPECT_FALSE((BigInt{INT64_MIN} - BigInt{1}).fits_int64());
+    EXPECT_FALSE(BigInt{INT64_MIN}.abs().fits_int64());
+}
+
+TEST(BigInt, PowerOfTwo) {
+    EXPECT_EQ(BigInt::power_of_two(0), BigInt{1});
+    EXPECT_EQ(BigInt::power_of_two(10), BigInt{1024});
+    EXPECT_EQ(BigInt::power_of_two(64).bit_length(), 65u);
+    EXPECT_EQ(BigInt::power_of_two(64).to_hex(), "10000000000000000");
+}
+
+TEST(BigInt, AdditionBasics) {
+    EXPECT_EQ(BigInt{2} + BigInt{3}, BigInt{5});
+    EXPECT_EQ(BigInt{-2} + BigInt{3}, BigInt{1});
+    EXPECT_EQ(BigInt{2} + BigInt{-3}, BigInt{-1});
+    EXPECT_EQ(BigInt{-2} + BigInt{-3}, BigInt{-5});
+    EXPECT_EQ(BigInt{5} + BigInt{-5}, BigInt{});
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+    BigInt a = BigInt::power_of_two(64) - BigInt{1};
+    EXPECT_EQ(a + BigInt{1}, BigInt::power_of_two(64));
+    BigInt b = BigInt::power_of_two(256) - BigInt{1};
+    EXPECT_EQ((b + b) + BigInt{2}, BigInt::power_of_two(257));
+}
+
+TEST(BigInt, SubtractionBorrow) {
+    BigInt a = BigInt::power_of_two(128);
+    EXPECT_EQ(a - BigInt{1}, BigInt::from_hex(std::string(32, 'f')));
+}
+
+TEST(BigInt, MultiplicationBasics) {
+    EXPECT_EQ(BigInt{6} * BigInt{7}, BigInt{42});
+    EXPECT_EQ(BigInt{-6} * BigInt{7}, BigInt{-42});
+    EXPECT_EQ(BigInt{-6} * BigInt{-7}, BigInt{42});
+    EXPECT_EQ(BigInt{0} * BigInt{7}, BigInt{});
+}
+
+TEST(BigInt, MultiplicationKnownValue) {
+    // 2^64 * 2^64 = 2^128
+    BigInt p = BigInt::power_of_two(64) * BigInt::power_of_two(64);
+    EXPECT_EQ(p, BigInt::power_of_two(128));
+    // (10^20)^2 = 10^40
+    BigInt t = BigInt::from_decimal("100000000000000000000");
+    EXPECT_EQ((t * t).to_decimal(),
+              "10000000000000000000000000000000000000000");
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+    Rng rng{7};
+    BigInt a = random_bits(rng, 300);
+    for (std::size_t s : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                          std::size_t{65}, std::size_t{200}}) {
+        EXPECT_EQ((a << s) >> s, a) << "shift " << s;
+        EXPECT_EQ(a << s, a * BigInt::power_of_two(s));
+    }
+}
+
+TEST(BigInt, ShiftRightDiscards) {
+    EXPECT_EQ(BigInt{5} >> 1, BigInt{2});
+    EXPECT_EQ(BigInt{5} >> 10, BigInt{});
+}
+
+TEST(BigInt, CompareTotalOrder) {
+    EXPECT_LT(BigInt{-3}, BigInt{-2});
+    EXPECT_LT(BigInt{-2}, BigInt{0});
+    EXPECT_LT(BigInt{0}, BigInt{1});
+    EXPECT_LT(BigInt{1}, BigInt::power_of_two(100));
+    EXPECT_LT(-BigInt::power_of_two(100), BigInt{-1});
+}
+
+TEST(BigInt, DivmodSemanticsSigns) {
+    // C++ truncating semantics: remainder carries dividend sign.
+    BigInt q, r;
+    BigInt::divmod(BigInt{7}, BigInt{3}, q, r);
+    EXPECT_EQ(q, BigInt{2});
+    EXPECT_EQ(r, BigInt{1});
+    BigInt::divmod(BigInt{-7}, BigInt{3}, q, r);
+    EXPECT_EQ(q, BigInt{-2});
+    EXPECT_EQ(r, BigInt{-1});
+    BigInt::divmod(BigInt{7}, BigInt{-3}, q, r);
+    EXPECT_EQ(q, BigInt{-2});
+    EXPECT_EQ(r, BigInt{1});
+    BigInt::divmod(BigInt{-7}, BigInt{-3}, q, r);
+    EXPECT_EQ(q, BigInt{2});
+    EXPECT_EQ(r, BigInt{-1});
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+    BigInt q, r;
+    EXPECT_THROW(BigInt::divmod(BigInt{1}, BigInt{}, q, r), std::domain_error);
+}
+
+TEST(BigInt, ModFloorNonNegative) {
+    EXPECT_EQ(BigInt::mod_floor(BigInt{-7}, BigInt{3}), BigInt{2});
+    EXPECT_EQ(BigInt::mod_floor(BigInt{7}, BigInt{3}), BigInt{1});
+    EXPECT_EQ(BigInt::mod_floor(BigInt{-9}, BigInt{3}), BigInt{0});
+}
+
+TEST(BigInt, DivexactExact) {
+    BigInt a = BigInt::from_decimal("123456789123456789123456789");
+    BigInt b = BigInt::from_decimal("987654321987");
+    EXPECT_EQ((a * b).divexact(b), a);
+    EXPECT_EQ((a * b).divexact(-b), -a);
+}
+
+TEST(BigInt, Gcd) {
+    EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}), BigInt{6});
+    EXPECT_EQ(BigInt::gcd(BigInt{-12}, BigInt{18}), BigInt{6});
+    EXPECT_EQ(BigInt::gcd(BigInt{}, BigInt{5}), BigInt{5});
+    EXPECT_EQ(BigInt::gcd(BigInt{}, BigInt{}), BigInt{});
+    EXPECT_EQ(BigInt::gcd(BigInt{17}, BigInt{13}), BigInt{1});
+}
+
+TEST(BigInt, Pow) {
+    EXPECT_EQ(BigInt{2}.pow(10), BigInt{1024});
+    EXPECT_EQ(BigInt{3}.pow(0), BigInt{1});
+    EXPECT_EQ(BigInt{-2}.pow(3), BigInt{-8});
+    EXPECT_EQ(BigInt{-2}.pow(4), BigInt{16});
+    EXPECT_EQ(BigInt{10}.pow(30).to_decimal(),
+              "1000000000000000000000000000000");
+}
+
+TEST(BigInt, ExtractBits) {
+    BigInt v = BigInt::from_hex("abcdef0123456789abcdef");
+    // Low 8 bits.
+    EXPECT_EQ(v.extract_bits(0, 8), BigInt{0xef});
+    // Bits spanning limb boundary.
+    BigInt big = BigInt::power_of_two(100) + BigInt{5};
+    EXPECT_EQ(big.extract_bits(0, 64), BigInt{5});
+    EXPECT_EQ(big.extract_bits(100, 1), BigInt{1});
+    EXPECT_EQ(big.extract_bits(101, 64), BigInt{});
+}
+
+TEST(BigInt, ExtractBitsRecomposition) {
+    Rng rng{99};
+    const std::size_t digit_bits = 48;
+    BigInt v = random_bits(rng, 48 * 7 - 5);
+    BigInt rebuilt;
+    for (std::size_t i = 0; i < 8; ++i) {
+        rebuilt += v.extract_bits(i * digit_bits, digit_bits) << (i * digit_bits);
+    }
+    EXPECT_EQ(rebuilt, v);
+}
+
+TEST(BigInt, AddScaled) {
+    BigInt acc{10};
+    add_scaled(acc, BigInt{3}, 4);
+    EXPECT_EQ(acc, BigInt{22});
+    add_scaled(acc, BigInt{3}, -4);
+    EXPECT_EQ(acc, BigInt{10});
+    add_scaled(acc, BigInt{3}, 0);
+    EXPECT_EQ(acc, BigInt{10});
+    add_scaled(acc, BigInt{3}, 1);
+    EXPECT_EQ(acc, BigInt{13});
+    add_scaled(acc, BigInt{3}, -1);
+    EXPECT_EQ(acc, BigInt{10});
+}
+
+TEST(BigInt, AddScaledMatchesReferenceAcrossSigns) {
+    // The fused in-place path must agree with acc + x*c for every sign
+    // combination and magnitude mix, including INT64_MIN.
+    Rng rng{55};
+    for (int i = 0; i < 200; ++i) {
+        BigInt acc = random_signed_bits(rng, 1 + rng.next_below(200));
+        if (rng.next_below(5) == 0) acc = BigInt{};
+        BigInt x = random_signed_bits(rng, 1 + rng.next_below(200));
+        std::int64_t c;
+        switch (rng.next_below(6)) {
+            case 0: c = 0; break;
+            case 1: c = 1; break;
+            case 2: c = -1; break;
+            case 3: c = INT64_MIN; break;
+            case 4: c = INT64_MAX; break;
+            default:
+                c = static_cast<std::int64_t>(rng.next_u64() >> 20) -
+                    (1ll << 43);
+        }
+        const BigInt expect = acc + x * BigInt{c};
+        add_scaled(acc, x, c);
+        EXPECT_EQ(acc, expect) << "i=" << i << " c=" << c;
+    }
+}
+
+TEST(BigInt, OpsCounterCountsWork) {
+    OpsCounter::reset();
+    Rng rng{1};
+    BigInt a = random_bits(rng, 64 * 100);
+    BigInt b = random_bits(rng, 64 * 100);
+    OpsCounter::reset();
+    BigInt c = a * b;
+    // Schoolbook 100x100 limbs: about 10^4 limb multiplications.
+    EXPECT_GE(OpsCounter::get(), 10000u);
+    EXPECT_LE(OpsCounter::get(), 20000u);
+    (void)c;
+}
+
+TEST(BigInt, SerializeRoundTrip) {
+    Rng rng{5};
+    std::vector<BigInt> values{BigInt{}, BigInt{1}, BigInt{-1},
+                               random_bits(rng, 500),
+                               -random_bits(rng, 129)};
+    auto words = serialize_vec(values);
+    auto back = deserialize_vec(words);
+    ASSERT_EQ(back.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_EQ(back[i], values[i]) << "index " << i;
+    }
+}
+
+TEST(BigInt, SerializeTruncatedThrows) {
+    std::vector<BigInt> values{BigInt{12345}};
+    auto words = serialize_vec(values);
+    words.pop_back();
+    EXPECT_THROW(deserialize_vec(words), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: algebraic identities on random operands of varied widths.
+// ---------------------------------------------------------------------------
+
+class BigIntPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigIntPropertyTest, AddSubRoundTrip) {
+    Rng rng{GetParam()};
+    const std::size_t bits = 16 + GetParam() * 37;
+    for (int i = 0; i < 20; ++i) {
+        BigInt a = random_signed_bits(rng, bits);
+        BigInt b = random_signed_bits(rng, bits / 2 + 1);
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ((a - b) + b, a);
+        EXPECT_EQ(a + b, b + a);
+    }
+}
+
+TEST_P(BigIntPropertyTest, MulDistributesOverAdd) {
+    Rng rng{GetParam() * 31 + 1};
+    const std::size_t bits = 16 + GetParam() * 41;
+    for (int i = 0; i < 10; ++i) {
+        BigInt a = random_signed_bits(rng, bits);
+        BigInt b = random_signed_bits(rng, bits);
+        BigInt c = random_signed_bits(rng, bits / 3 + 1);
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a * b, b * a);
+    }
+}
+
+TEST_P(BigIntPropertyTest, DivmodInvariant) {
+    Rng rng{GetParam() * 17 + 3};
+    const std::size_t bits = 64 + GetParam() * 53;
+    for (int i = 0; i < 20; ++i) {
+        BigInt a = random_signed_bits(rng, bits);
+        BigInt b = random_signed_bits(rng, 1 + rng.next_below(bits));
+        if (b.is_zero()) continue;
+        BigInt q, r;
+        BigInt::divmod(a, b, q, r);
+        EXPECT_EQ(q * b + r, a);
+        EXPECT_LT(r.abs(), b.abs());
+        if (!r.is_zero()) {
+            EXPECT_EQ(r.sign(), a.sign());
+        }
+    }
+}
+
+TEST_P(BigIntPropertyTest, MulDivRoundTrip) {
+    Rng rng{GetParam() * 13 + 7};
+    const std::size_t bits = 32 + GetParam() * 61;
+    for (int i = 0; i < 10; ++i) {
+        BigInt a = random_signed_bits(rng, bits);
+        BigInt b = random_signed_bits(rng, bits / 2 + 1);
+        if (b.is_zero()) continue;
+        EXPECT_EQ((a * b) / b, a);
+        EXPECT_EQ((a * b) % b, BigInt{});
+    }
+}
+
+TEST_P(BigIntPropertyTest, DecimalRoundTrip) {
+    Rng rng{GetParam() * 11 + 5};
+    const std::size_t bits = 8 + GetParam() * 71;
+    for (int i = 0; i < 5; ++i) {
+        BigInt a = random_signed_bits(rng, bits);
+        EXPECT_EQ(BigInt::from_decimal(a.to_decimal()), a);
+        EXPECT_EQ(BigInt::from_hex(a.to_hex()), a);
+    }
+}
+
+TEST_P(BigIntPropertyTest, GcdDividesBoth) {
+    Rng rng{GetParam() * 23 + 11};
+    const std::size_t bits = 8 + GetParam() * 29;
+    for (int i = 0; i < 5; ++i) {
+        BigInt a = random_signed_bits(rng, bits);
+        BigInt b = random_signed_bits(rng, bits);
+        BigInt g = BigInt::gcd(a, b);
+        if (g.is_zero()) {
+            EXPECT_TRUE(a.is_zero());
+            EXPECT_TRUE(b.is_zero());
+            continue;
+        }
+        EXPECT_EQ(a % g, BigInt{});
+        EXPECT_EQ(b % g, BigInt{});
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthSweep, BigIntPropertyTest,
+                         ::testing::Range<std::size_t>(1, 13));
+
+// Targeted regression inputs for Knuth Algorithm D's rare branches.
+TEST(BigIntDivision, AddBackBranch) {
+    // Classic add-back trigger family: u = B^4 - 1 over v = B^2 + B - 1 style
+    // values (top limbs all-ones).
+    BigInt u = BigInt::power_of_two(256) - BigInt{1};
+    BigInt v = BigInt::power_of_two(128) + BigInt::power_of_two(64) - BigInt{1};
+    BigInt q, r;
+    BigInt::divmod(u, v, q, r);
+    EXPECT_EQ(q * v + r, u);
+    EXPECT_LT(r, v);
+}
+
+TEST(BigIntDivision, QhatOverflowBranch) {
+    // Dividend top limb equal to divisor top limb forces the qhat cap.
+    BigInt v = (BigInt::power_of_two(127) + BigInt{12345});
+    BigInt u = (v << 64) + (v << 1);
+    BigInt q, r;
+    BigInt::divmod(u, v, q, r);
+    EXPECT_EQ(q * v + r, u);
+    EXPECT_LT(r, v);
+}
+
+TEST(BigIntDivision, ExhaustiveSmallCross) {
+    for (std::int64_t a = -40; a <= 40; ++a) {
+        for (std::int64_t b = -7; b <= 7; ++b) {
+            if (b == 0) continue;
+            BigInt q, r;
+            BigInt::divmod(BigInt{a}, BigInt{b}, q, r);
+            EXPECT_EQ(q.to_int64(), a / b) << a << "/" << b;
+            EXPECT_EQ(r.to_int64(), a % b) << a << "%" << b;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ftmul

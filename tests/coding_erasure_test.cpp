@@ -1,0 +1,179 @@
+#include "coding/erasure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+
+namespace ftmul {
+namespace {
+
+std::vector<BigInt> random_words(Rng& rng, std::size_t n, std::size_t bits) {
+    std::vector<BigInt> out(n);
+    for (auto& w : out) w = random_signed_bits(rng, 1 + rng.next_below(bits));
+    return out;
+}
+
+TEST(Erasure, RejectsEmptyData) {
+    EXPECT_THROW(ErasureCode(0, 1), std::invalid_argument);
+}
+
+TEST(Erasure, EncodeKnownValues) {
+    // eta_1 = 1, eta_2 = 2: parity0 = sum, parity1 = sum 2^j d_j.
+    ErasureCode code(3, 2);
+    std::vector<BigInt> data{5, 7, 11};
+    auto parity = code.encode(data);
+    ASSERT_EQ(parity.size(), 2u);
+    EXPECT_EQ(parity[0], BigInt{23});            // 5+7+11
+    EXPECT_EQ(parity[1], BigInt{5 + 14 + 44});   // 5 + 2*7 + 4*11
+}
+
+TEST(Erasure, ZeroParityCode) {
+    ErasureCode code(4, 0);
+    std::vector<BigInt> data{1, 2, 3, 4};
+    EXPECT_TRUE(code.encode(data).empty());
+    EXPECT_EQ(code.distance(), 1u);
+}
+
+TEST(Erasure, ReconstructNoErasuresIsIdentity) {
+    ErasureCode code(3, 1);
+    Rng rng{1};
+    auto data = random_words(rng, 3, 64);
+    auto parity = code.encode(data);
+    std::vector<std::optional<BigInt>> d(data.begin(), data.end());
+    std::vector<std::optional<BigInt>> p(parity.begin(), parity.end());
+    EXPECT_EQ(code.reconstruct(d, p), data);
+}
+
+TEST(Erasure, TooManyErasuresThrows) {
+    ErasureCode code(3, 1);
+    std::vector<std::optional<BigInt>> d{std::nullopt, std::nullopt, BigInt{1}};
+    std::vector<std::optional<BigInt>> p{BigInt{10}};
+    EXPECT_THROW(code.reconstruct(d, p), std::invalid_argument);
+}
+
+TEST(Erasure, LostParityDoesNotBlockDataRecovery) {
+    // f=2, one data symbol and one parity symbol lost: still recoverable.
+    ErasureCode code(4, 2);
+    Rng rng{2};
+    auto data = random_words(rng, 4, 80);
+    auto parity = code.encode(data);
+    std::vector<std::optional<BigInt>> d(data.begin(), data.end());
+    std::vector<std::optional<BigInt>> p(parity.begin(), parity.end());
+    d[2] = std::nullopt;
+    p[0] = std::nullopt;
+    EXPECT_EQ(code.reconstruct(d, p), data);
+}
+
+struct ErasureCase {
+    std::size_t m;
+    std::size_t f;
+    std::uint64_t seed;
+};
+
+class ErasureSweep : public ::testing::TestWithParam<ErasureCase> {};
+
+TEST_P(ErasureSweep, EveryErasurePatternRecovers) {
+    // MDS property: every pattern of up to f data erasures is recoverable —
+    // the distance-(f+1) guarantee of Definition 2.7.
+    const auto [m, f, seed] = GetParam();
+    ErasureCode code(m, f);
+    Rng rng{seed};
+    auto data = random_words(rng, m, 100);
+    auto parity = code.encode(data);
+
+    // Enumerate erasure patterns as bitmasks with popcount <= f.
+    for (std::uint64_t mask = 0; mask < (1ull << m); ++mask) {
+        const auto erased =
+            static_cast<std::size_t>(__builtin_popcountll(mask));
+        if (erased == 0 || erased > f) continue;
+        std::vector<std::optional<BigInt>> d(data.begin(), data.end());
+        for (std::size_t j = 0; j < m; ++j) {
+            if (mask & (1ull << j)) d[j] = std::nullopt;
+        }
+        std::vector<std::optional<BigInt>> p(parity.begin(), parity.end());
+        EXPECT_EQ(code.reconstruct(d, p), data) << "mask=" << mask;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ErasureSweep,
+    ::testing::Values(ErasureCase{2, 1, 10}, ErasureCase{3, 1, 11},
+                      ErasureCase{3, 2, 12}, ErasureCase{4, 2, 13},
+                      ErasureCase{5, 3, 14}, ErasureCase{6, 2, 15},
+                      ErasureCase{8, 4, 16}, ErasureCase{9, 1, 17}));
+
+TEST(Erasure, BlockwiseMatchesScalar) {
+    ErasureCode code(3, 2);
+    Rng rng{5};
+    const std::size_t block = 4;
+    std::vector<BigInt> data = random_words(rng, 3 * block, 60);
+    auto parity = code.encode_blocks(data, block);
+    ASSERT_EQ(parity.size(), 2 * block);
+    for (std::size_t t = 0; t < block; ++t) {
+        std::vector<BigInt> col{data[0 * block + t], data[1 * block + t],
+                                data[2 * block + t]};
+        auto pcol = code.encode(col);
+        EXPECT_EQ(parity[0 * block + t], pcol[0]);
+        EXPECT_EQ(parity[1 * block + t], pcol[1]);
+    }
+}
+
+TEST(Erasure, BlockwiseReconstruct) {
+    ErasureCode code(4, 2);
+    Rng rng{6};
+    const std::size_t block = 3;
+    std::vector<BigInt> flat = random_words(rng, 4 * block, 50);
+    auto parity_flat = code.encode_blocks(flat, block);
+
+    std::vector<std::optional<std::vector<BigInt>>> d(4), p(2);
+    for (std::size_t j = 0; j < 4; ++j) {
+        d[j] = std::vector<BigInt>(flat.begin() + static_cast<std::ptrdiff_t>(j * block),
+                                   flat.begin() + static_cast<std::ptrdiff_t>((j + 1) * block));
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+        p[i] = std::vector<BigInt>(
+            parity_flat.begin() + static_cast<std::ptrdiff_t>(i * block),
+            parity_flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * block));
+    }
+    auto expect0 = *d[0];
+    auto expect3 = *d[3];
+    d[0] = std::nullopt;
+    d[3] = std::nullopt;
+    auto rec = code.reconstruct_blocks(d, p);
+    EXPECT_EQ(rec[0], expect0);
+    EXPECT_EQ(rec[3], expect3);
+}
+
+TEST(Erasure, LinearityUnderLinearMaps) {
+    // Section 4.1 correctness: the code commutes with the linear operations
+    // of the evaluation phase — parity of a linear combination equals the
+    // same combination of parities.
+    ErasureCode code(4, 2);
+    Rng rng{7};
+    auto x = random_words(rng, 4, 40);
+    auto y = random_words(rng, 4, 40);
+    auto px = code.encode(x);
+    auto py = code.encode(y);
+    std::vector<BigInt> combo(4);
+    for (std::size_t j = 0; j < 4; ++j) combo[j] = x[j] * BigInt{3} - y[j] * BigInt{5};
+    auto pc = code.encode(combo);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(pc[i], px[i] * BigInt{3} - py[i] * BigInt{5});
+    }
+}
+
+TEST(Erasure, NotPreservedByMultiplication) {
+    // The reason the paper needs a *polynomial* code for the multiplication
+    // stage: parity of elementwise products differs from product of
+    // parities.
+    ErasureCode code(2, 1);
+    std::vector<BigInt> x{2, 3}, y{5, 7};
+    auto px = code.encode(x);  // 5
+    auto py = code.encode(y);  // 12
+    std::vector<BigInt> prod{x[0] * y[0], x[1] * y[1]};  // 10, 21
+    auto pp = code.encode(prod);  // 31
+    EXPECT_NE(pp[0], px[0] * py[0]);  // 31 != 60
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,129 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "core/ft_linear.hpp"
+#include "core/parallel.hpp"
+
+namespace ftmul {
+namespace {
+
+CheckpointConfig make_cfg(int k, int P) {
+    CheckpointConfig cfg;
+    cfg.base.k = k;
+    cfg.base.processors = P;
+    cfg.base.digit_bits = 32;
+    cfg.base.base_len = 4;
+    return cfg;
+}
+
+TEST(Checkpoint, RejectsBadConfigs) {
+    Rng rng{1};
+    BigInt a = random_bits(rng, 400), b = random_bits(rng, 400);
+    EXPECT_THROW(checkpoint_toom_multiply(a, b, make_cfg(2, 8), {}),
+                 std::invalid_argument);
+    FaultPlan plan;
+    plan.add("xfwd-L0", 0);
+    EXPECT_THROW(checkpoint_toom_multiply(a, b, make_cfg(2, 9), plan),
+                 std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsBuddyPairFailure) {
+    Rng rng{2};
+    BigInt a = random_bits(rng, 400), b = random_bits(rng, 400);
+    FaultPlan plan;
+    plan.add("leaf-mul", 3);
+    plan.add("leaf-mul", 4);  // buddy of 3
+    EXPECT_THROW(checkpoint_toom_multiply(a, b, make_cfg(2, 9), plan),
+                 std::invalid_argument);
+}
+
+TEST(Checkpoint, FaultFree) {
+    Rng rng{3};
+    BigInt a = random_bits(rng, 2500), b = random_bits(rng, 2000);
+    auto res = checkpoint_toom_multiply(a, b, make_cfg(2, 9), {});
+    EXPECT_EQ(res.product, a * b);
+    EXPECT_EQ(res.extra_processors, 0);
+}
+
+struct CkptCase {
+    int k;
+    int P;
+    const char* phase;
+    std::vector<int> fail_ranks;
+    std::size_t bits;
+};
+
+class CheckpointSweep : public ::testing::TestWithParam<CkptCase> {};
+
+TEST_P(CheckpointSweep, RollbackRecovers) {
+    const auto& tc = GetParam();
+    Rng rng{static_cast<std::uint64_t>(tc.P)};
+    BigInt a = random_bits(rng, tc.bits);
+    BigInt b = random_bits(rng, tc.bits - 50);
+    FaultPlan plan;
+    for (int r : tc.fail_ranks) plan.add(tc.phase, r);
+    auto res = checkpoint_toom_multiply(a, b, make_cfg(tc.k, tc.P), plan);
+    EXPECT_EQ(res.product, a * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, CheckpointSweep,
+    ::testing::Values(CkptCase{2, 9, "eval-L0", {0}, 2000},
+                      CkptCase{2, 9, "eval-L0", {0, 4}, 2000},
+                      CkptCase{2, 9, "leaf-mul", {5}, 2000},
+                      CkptCase{2, 9, "leaf-mul", {0, 2, 6}, 2500},
+                      CkptCase{2, 9, "interp-L0", {8}, 2000},
+                      CkptCase{3, 25, "leaf-mul", {13}, 4000},
+                      CkptCase{2, 27, "eval-L0", {11}, 4000}));
+
+TEST(Checkpoint, MixedPhaseFaults) {
+    Rng rng{5};
+    BigInt a = random_bits(rng, 3000), b = random_bits(rng, 2500);
+    FaultPlan plan;
+    plan.add("eval-L0", 1);
+    plan.add("leaf-mul", 4);
+    plan.add("interp-L0", 7);
+    auto res = checkpoint_toom_multiply(a, b, make_cfg(2, 9), plan);
+    EXPECT_EQ(res.product, a * b);
+}
+
+TEST(Checkpoint, TradeOffVersusCodedApproach) {
+    // Checkpointing pays no extra processors but ships the full working set
+    // at every protected boundary (and keeps a buddy copy in memory);
+    // the coded approach pays f*(2k-1) processors. Both move O(M) words per
+    // rank per boundary — the paper's win over checkpointing comes from
+    // tolerance-per-resource, which we check via the processor bill.
+    Rng rng{6};
+    BigInt a = random_bits(rng, 32 * 9 * 16), b = random_bits(rng, 32 * 9 * 16);
+    ParallelConfig base;
+    base.k = 2;
+    base.processors = 9;
+    base.digit_bits = 32;
+    base.base_len = 4;
+    auto plain = parallel_toom_multiply(a, b, base);
+
+    CheckpointConfig ck{base};
+    auto ckpt = checkpoint_toom_multiply(a, b, ck, {});
+    FtLinearConfig lc{base, 1};
+    auto lin = ft_linear_multiply(a, b, lc, {});
+
+    EXPECT_EQ(ckpt.product, plain.product);
+    EXPECT_EQ(lin.product, plain.product);
+    // Checkpoint: zero extra processors but substantial extra traffic.
+    EXPECT_EQ(ckpt.extra_processors, 0);
+    EXPECT_GT(ckpt.stats.aggregate.words, plain.stats.aggregate.words);
+    // Linear code: f*(2k-1) extra processors.
+    EXPECT_EQ(lin.extra_processors, 3);
+    // Both protections cost the same order of traffic per boundary.
+    const auto ckpt_extra =
+        ckpt.stats.aggregate.words - plain.stats.aggregate.words;
+    const auto lin_extra =
+        lin.stats.aggregate.words - plain.stats.aggregate.words;
+    EXPECT_LT(ckpt_extra, 3 * lin_extra);
+    EXPECT_LT(lin_extra, 3 * ckpt_extra);
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,105 @@
+#include "core/ft_mixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+
+namespace ftmul {
+namespace {
+
+FtMixedConfig make_cfg(int k, int P, int f) {
+    FtMixedConfig cfg;
+    cfg.base.k = k;
+    cfg.base.processors = P;
+    cfg.base.digit_bits = 32;
+    cfg.base.base_len = 4;
+    cfg.faults = f;
+    return cfg;
+}
+
+TEST(FtMixed, RejectsBadConfigs) {
+    Rng rng{1};
+    BigInt a = random_bits(rng, 400), b = random_bits(rng, 400);
+    EXPECT_THROW(ft_mixed_multiply(a, b, make_cfg(2, 8, 1), {}),
+                 std::invalid_argument);
+    FaultPlan plan;
+    plan.add("xfwd-L0", 0);
+    EXPECT_THROW(ft_mixed_multiply(a, b, make_cfg(2, 9, 1), plan),
+                 std::invalid_argument);
+}
+
+TEST(FtMixed, FaultFree) {
+    Rng rng{2};
+    BigInt a = random_bits(rng, 2500), b = random_bits(rng, 2000);
+    auto res = ft_mixed_multiply(a, b, make_cfg(2, 9, 1), {});
+    EXPECT_EQ(res.product, a * b);
+    // Grid (3+1) x (3+1): extra = 16 - 9.
+    EXPECT_EQ(res.extra_processors, 7);
+}
+
+struct MixedCase {
+    int k;
+    int P;
+    int f;
+    std::vector<std::pair<const char*, int>> faults;
+    std::size_t bits;
+};
+
+class FtMixedSweep : public ::testing::TestWithParam<MixedCase> {};
+
+TEST_P(FtMixedSweep, RecoversAcrossPhases) {
+    const auto& tc = GetParam();
+    Rng rng{static_cast<std::uint64_t>(tc.P + tc.f)};
+    BigInt a = random_bits(rng, tc.bits);
+    BigInt b = random_bits(rng, tc.bits - 40);
+    FaultPlan plan;
+    for (const auto& [phase, rank] : tc.faults) plan.add(phase, rank);
+    auto res = ft_mixed_multiply(a, b, make_cfg(tc.k, tc.P, tc.f), plan);
+    EXPECT_EQ(res.product, a * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, FtMixedSweep,
+    ::testing::Values(
+        // Linear-code recovery in the evaluation phase. Grid is 3 x 4 at
+        // k=2, P=9, f=1: data ranks 0..11, columns mod 4.
+        MixedCase{2, 9, 1, {{"eval-L0", 0}}, 2000},
+        MixedCase{2, 9, 1, {{"eval-L0", 5}}, 2000},
+        // Polynomial column kill in the multiplication phase.
+        MixedCase{2, 9, 1, {{"mul", 2}}, 2000},
+        MixedCase{2, 9, 1, {{"mul", 3}}, 2000},  // the redundant column
+        // Linear-code recovery in the interpolation phase.
+        MixedCase{2, 9, 1, {{"interp-L0", 6}}, 2000},
+        // The paper's full story: an eval fault, a mult-phase column kill
+        // and an interp fault in one run.
+        MixedCase{2, 9, 1, {{"eval-L0", 0}, {"mul", 2}, {"interp-L0", 5}},
+                  2500},
+        MixedCase{2, 9, 2,
+                  {{"eval-L0", 0}, {"eval-L0", 1}, {"mul", 2}, {"mul", 7}},
+                  2500},
+        MixedCase{3, 25, 1, {{"eval-L0", 7}, {"mul", 0}}, 4000},
+        MixedCase{2, 27, 1, {{"mul", 1}, {"interp-L0", 10}}, 4000}));
+
+TEST(FtMixed, EvalAndMulFaultOnSameRank) {
+    // A rank whose column later dies can itself have been recovered earlier.
+    Rng rng{3};
+    BigInt a = random_bits(rng, 2000), b = random_bits(rng, 2000);
+    FaultPlan plan;
+    plan.add("eval-L0", 2);
+    plan.add("mul", 2);
+    auto res = ft_mixed_multiply(a, b, make_cfg(2, 9, 1), plan);
+    EXPECT_EQ(res.product, a * b);
+}
+
+TEST(FtMixed, RejectsInterpFaultOnDeadColumn) {
+    Rng rng{4};
+    BigInt a = random_bits(rng, 500), b = random_bits(rng, 500);
+    FaultPlan plan;
+    plan.add("mul", 2);        // kills column 2
+    plan.add("interp-L0", 2);  // same column: nobody left to recover
+    EXPECT_THROW(ft_mixed_multiply(a, b, make_cfg(2, 9, 1), plan),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftmul

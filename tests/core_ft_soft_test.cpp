@@ -1,0 +1,116 @@
+#include "core/ft_soft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+
+namespace ftmul {
+namespace {
+
+FtSoftConfig make_cfg(int k, int P, int f = 2) {
+    FtSoftConfig cfg;
+    cfg.base.k = k;
+    cfg.base.processors = P;
+    cfg.base.digit_bits = 32;
+    cfg.base.base_len = 4;
+    cfg.code_rows = f;
+    return cfg;
+}
+
+TEST(FtSoft, RejectsBadConfigs) {
+    Rng rng{1};
+    BigInt a = random_bits(rng, 400), b = random_bits(rng, 400);
+    EXPECT_THROW(ft_soft_multiply(a, b, make_cfg(2, 8), {}),
+                 std::invalid_argument);
+    SoftFaultPlan bad_phase;
+    bad_phase.add("xfwd-L0", 0);
+    EXPECT_THROW(ft_soft_multiply(a, b, make_cfg(2, 9), bad_phase),
+                 std::invalid_argument);
+    SoftFaultPlan two_in_column;
+    two_in_column.add("eval-L0", 0);
+    two_in_column.add("eval-L0", 3);
+    EXPECT_THROW(ft_soft_multiply(a, b, make_cfg(2, 9), two_in_column),
+                 std::invalid_argument);
+    SoftFaultPlan one;
+    one.add("eval-L0", 0);
+    EXPECT_THROW(ft_soft_multiply(a, b, make_cfg(2, 9, 1), one),
+                 std::invalid_argument);  // f = 1 cannot correct
+}
+
+TEST(FtSoft, CleanRunVerifies) {
+    Rng rng{2};
+    BigInt a = random_bits(rng, 2500), b = random_bits(rng, 2000);
+    auto res = ft_soft_multiply(a, b, make_cfg(2, 9), {});
+    EXPECT_EQ(res.product, a * b);
+    EXPECT_EQ(res.corruptions_detected, 0);
+    EXPECT_EQ(res.corruptions_corrected, 0);
+    EXPECT_EQ(res.extra_processors, 6);  // f * (2k-1)
+}
+
+struct SoftCase {
+    int k;
+    int P;
+    const char* phase;
+    std::vector<int> ranks;
+    std::size_t bits;
+};
+
+class FtSoftSweep : public ::testing::TestWithParam<SoftCase> {};
+
+TEST_P(FtSoftSweep, DetectsAndCorrects) {
+    const auto& tc = GetParam();
+    Rng rng{static_cast<std::uint64_t>(tc.P)};
+    BigInt a = random_bits(rng, tc.bits);
+    BigInt b = random_bits(rng, tc.bits - 32);
+    SoftFaultPlan plan;
+    for (int r : tc.ranks) plan.add(tc.phase, r);
+    auto res = ft_soft_multiply(a, b, make_cfg(tc.k, tc.P), plan);
+    EXPECT_EQ(res.product, a * b);
+    EXPECT_EQ(res.corruptions_detected, static_cast<int>(tc.ranks.size()));
+    EXPECT_EQ(res.corruptions_corrected, static_cast<int>(tc.ranks.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruptions, FtSoftSweep,
+    ::testing::Values(
+        SoftCase{2, 9, "eval-L0", {0}, 2000},
+        SoftCase{2, 9, "eval-L0", {8}, 2000},
+        // Two corruptions in *different* columns at one boundary.
+        SoftCase{2, 9, "eval-L0", {0, 1}, 2000},
+        SoftCase{2, 9, "eval-L0", {2, 4, 6}, 2000},
+        // Miscalculation right before the multiplication runs.
+        SoftCase{2, 9, "leaf-mul", {4}, 2000},
+        // Corrupted child coefficients before interpolation.
+        SoftCase{2, 9, "interp-L0", {7}, 2000},
+        SoftCase{3, 25, "eval-L0", {12}, 4000},
+        SoftCase{3, 25, "leaf-mul", {3, 4}, 4000},
+        SoftCase{2, 27, "interp-L0", {20}, 4000}));
+
+TEST(FtSoft, CorruptionsAtEveryBoundary) {
+    Rng rng{6};
+    BigInt a = random_bits(rng, 3000), b = random_bits(rng, 2500);
+    SoftFaultPlan plan;
+    plan.add("eval-L0", 0);
+    plan.add("leaf-mul", 4);
+    plan.add("interp-L0", 8);
+    auto res = ft_soft_multiply(a, b, make_cfg(2, 9), plan);
+    EXPECT_EQ(res.product, a * b);
+    EXPECT_EQ(res.corruptions_detected, 3);
+    EXPECT_EQ(res.corruptions_corrected, 3);
+}
+
+TEST(FtSoft, SilentDataCorruptionWouldHaveChangedProduct) {
+    // Sanity: the injected corruption is not a no-op — without the code the
+    // product would be wrong. We verify by checking the corrected product
+    // matches the oracle while detection fired.
+    Rng rng{7};
+    BigInt a = random_bits(rng, 2000), b = random_bits(rng, 2000);
+    SoftFaultPlan plan;
+    plan.add("leaf-mul", 0);
+    auto res = ft_soft_multiply(a, b, make_cfg(2, 9), plan);
+    EXPECT_EQ(res.corruptions_detected, 1);
+    EXPECT_EQ(res.product, a * b);
+}
+
+}  // namespace
+}  // namespace ftmul

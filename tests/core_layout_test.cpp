@@ -1,0 +1,110 @@
+#include "core/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "runtime/machine.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(Layout, OwnedPositionsCyclic) {
+    // len=12, bs=2, m=3: rank 1 owns chunks {2,3}, {8,9}.
+    auto pos = owned_positions(12, 2, 3, 1);
+    EXPECT_EQ(pos, (std::vector<std::size_t>{2, 3, 8, 9}));
+    // bs=1 degenerates to round-robin.
+    EXPECT_EQ(owned_positions(6, 1, 3, 0), (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(Layout, SlicesPartitionTheVector) {
+    const std::size_t len = 24, bs = 2, m = 4;
+    std::vector<bool> seen(len, false);
+    for (std::size_t j = 0; j < m; ++j) {
+        for (std::size_t t : owned_positions(len, bs, m, j)) {
+            EXPECT_FALSE(seen[t]);
+            seen[t] = true;
+        }
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Layout, SliceUnsliceRoundTrip) {
+    Rng rng{3};
+    const std::size_t len = 36, bs = 3, m = 4;
+    std::vector<BigInt> full(len);
+    for (auto& v : full) v = random_signed_bits(rng, 30);
+    std::vector<std::vector<BigInt>> slices;
+    for (std::size_t j = 0; j < m; ++j) slices.push_back(slice_of(full, bs, m, j));
+    EXPECT_EQ(unslice(slices, bs), full);
+}
+
+TEST(Layout, ColumnSubgroup) {
+    Group g = Group::strided(0, 9);
+    Group col1 = column_subgroup(g, 3, 1);
+    EXPECT_EQ(col1.members, (std::vector<int>{1, 4, 7}));
+}
+
+TEST(Layout, ExchangeForwardBackwardInverse) {
+    // 9 ranks in a 3x3 grid; verify that the forward exchange places every
+    // rank's new slice consistently with the block-cyclic law, and the
+    // backward exchange inverts it.
+    const int P = 9;
+    const std::size_t npts = 3, bs = 1;
+    const std::size_t s = 6;  // per-block slice length
+    const std::size_t len_over_k = s * P;  // one evaluated block's length
+
+    // Build the conceptual evaluated blocks: block i position t = 1000*i + t.
+    std::vector<std::vector<BigInt>> blocks(npts);
+    for (std::size_t i = 0; i < npts; ++i) {
+        blocks[i].resize(len_over_k);
+        for (std::size_t t = 0; t < len_over_k; ++t) {
+            blocks[i][t] = BigInt{static_cast<std::int64_t>(1000 * i + t)};
+        }
+    }
+
+    Machine machine(P);
+    machine.run([&](Rank& rank) {
+        Group g = Group::strided(0, P);
+        const auto j = static_cast<std::size_t>(rank.id());
+        // Local evaluated slices, as local evaluation would produce them.
+        std::vector<BigInt> eval_local;
+        for (std::size_t i = 0; i < npts; ++i) {
+            for (std::size_t t : owned_positions(len_over_k, bs, P, j)) {
+                eval_local.push_back(blocks[i][t]);
+            }
+        }
+        auto mine = exchange_forward(rank, g, npts, bs, eval_local, 11);
+
+        // Expected: new layout (bs'=3, m'=3 over my column subgroup) of my
+        // column's block.
+        const std::size_t col = j % npts, row = j / npts;
+        std::vector<BigInt> expect;
+        for (std::size_t t :
+             owned_positions(len_over_k, bs * npts, P / npts, row)) {
+            expect.push_back(blocks[col][t]);
+        }
+        EXPECT_EQ(mine, expect) << "rank " << rank.id();
+
+        // Backward: pretend each column's child result is simply its block
+        // (same length); after the inverse exchange every rank must hold its
+        // old-layout slice of all three "child results".
+        auto back = exchange_backward(rank, g, npts, bs, std::move(mine), 12);
+        EXPECT_EQ(back, eval_local) << "rank " << rank.id();
+    });
+}
+
+TEST(Layout, ExchangeRejectsBadSizes) {
+    Machine machine(3);
+    machine.run([&](Rank& rank) {
+        Group g = Group::strided(0, 3);
+        std::vector<BigInt> bad(4);  // not divisible by npts=3
+        EXPECT_THROW(exchange_forward(rank, g, 3, 1, bad, 13),
+                     std::invalid_argument);
+        std::vector<BigInt> bad2(5);  // not divisible by bs*npts=3
+        EXPECT_THROW(exchange_backward(rank, g, 3, 1, bad2, 14),
+                     std::invalid_argument);
+    });
+}
+
+}  // namespace
+}  // namespace ftmul

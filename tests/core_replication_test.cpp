@@ -1,0 +1,80 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "core/parallel.hpp"
+
+namespace ftmul {
+namespace {
+
+ReplicationConfig make_cfg(int k, int P, int f) {
+    ReplicationConfig cfg;
+    cfg.base.k = k;
+    cfg.base.processors = P;
+    cfg.base.digit_bits = 32;
+    cfg.base.base_len = 4;
+    cfg.faults = f;
+    return cfg;
+}
+
+TEST(Replication, FaultFree) {
+    Rng rng{1};
+    BigInt a = random_bits(rng, 2000), b = random_bits(rng, 1800);
+    auto res = replicated_toom_multiply(a, b, make_cfg(2, 9, 2), {});
+    EXPECT_EQ(res.product, a * b);
+    EXPECT_EQ(res.extra_processors, 18);  // f * P
+}
+
+TEST(Replication, SurvivesFaultsInSomeReplicas) {
+    Rng rng{2};
+    BigInt a = random_bits(rng, 2000), b = random_bits(rng, 1800);
+    FaultPlan plan;
+    plan.add("leaf-mul", 0);    // replica 0
+    plan.add("eval-L0", 12);    // replica 1 (P=9)
+    auto res = replicated_toom_multiply(a, b, make_cfg(2, 9, 2), plan);
+    EXPECT_EQ(res.product, a * b);
+    EXPECT_EQ(res.faults_injected, 2);
+}
+
+TEST(Replication, AllReplicasHitThrows) {
+    Rng rng{3};
+    BigInt a = random_bits(rng, 500), b = random_bits(rng, 500);
+    FaultPlan plan;
+    plan.add("leaf-mul", 0);
+    plan.add("leaf-mul", 9);
+    EXPECT_THROW(replicated_toom_multiply(a, b, make_cfg(2, 9, 1), plan),
+                 std::invalid_argument);
+}
+
+TEST(Replication, AggregateCostScalesWithReplicas) {
+    // Theorem 5.3: every live replica repeats the full work, so the
+    // machine-wide arithmetic scales ~(f+1)x while the critical path stays
+    // flat — the overhead the coded algorithms avoid.
+    Rng rng{4};
+    BigInt a = random_bits(rng, 32 * 9 * 8), b = random_bits(rng, 32 * 9 * 8);
+    ParallelConfig base;
+    base.k = 2;
+    base.processors = 9;
+    base.digit_bits = 32;
+    base.base_len = 4;
+    auto plain = parallel_toom_multiply(a, b, base);
+    auto twof = replicated_toom_multiply(a, b, make_cfg(2, 9, 2), {});
+    EXPECT_EQ(plain.product, twof.product);
+    EXPECT_GT(twof.stats.aggregate.flops, 5 * plain.stats.aggregate.flops / 2);
+    EXPECT_LT(twof.stats.critical.flops, 3 * plain.stats.critical.flops / 2);
+}
+
+TEST(Replication, DoomedReplicaSavesWorkButLosesResult) {
+    Rng rng{5};
+    BigInt a = random_bits(rng, 2000), b = random_bits(rng, 2000);
+    FaultPlan plan;
+    plan.add("eval-L0", 3);
+    auto faulted = replicated_toom_multiply(a, b, make_cfg(2, 9, 1), plan);
+    auto clean = replicated_toom_multiply(a, b, make_cfg(2, 9, 1), {});
+    EXPECT_EQ(faulted.product, clean.product);
+    EXPECT_LT(faulted.stats.aggregate.flops, clean.stats.aggregate.flops);
+}
+
+}  // namespace
+}  // namespace ftmul

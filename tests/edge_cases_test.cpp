@@ -1,0 +1,173 @@
+// Edge cases across module boundaries: non-standard point sets, degenerate
+// groups, extreme digit widths, and self-communication — the corners a
+// downstream user will eventually hit.
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "core/ft_poly.hpp"
+#include "core/parallel.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/machine.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(EdgeCases, CustomPointSetsMultiplyCorrectly) {
+    // Alternative Toom-3 point sets from the literature all work: the
+    // library never hard-codes {0, inf, 1, -1, 2}.
+    const std::vector<std::vector<EvalPoint>> sets = {
+        {{0, 1}, {1, 0}, {1, 1}, {-1, 1}, {3, 1}},
+        {{0, 1}, {1, 1}, {-1, 1}, {2, 1}, {-2, 1}},  // no infinity at all
+        {{0, 1}, {1, 0}, {1, 1}, {2, 1}, {4, 1}},
+        {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {-1, 2}},   // rational points (x:h)
+    };
+    Rng rng{1};
+    const BigInt a = random_bits(rng, 5000);
+    const BigInt b = random_bits(rng, 4500);
+    ToomOptions opts;
+    opts.threshold_bits = 512;
+    for (const auto& pts : sets) {
+        auto plan = ToomPlan::from_points(3, pts);
+        EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b);
+    }
+}
+
+TEST(EdgeCases, HigherKPlansUpToEight) {
+    Rng rng{2};
+    const BigInt a = random_bits(rng, 20000);
+    const BigInt b = random_bits(rng, 19000);
+    ToomOptions opts;
+    opts.threshold_bits = 1024;
+    for (int k = 6; k <= 8; ++k) {
+        EXPECT_EQ(toom_multiply(a, b, ToomPlan::make(k), opts), a * b)
+            << "k=" << k;
+    }
+}
+
+TEST(EdgeCases, ExtremeDigitWidths) {
+    Rng rng{3};
+    const BigInt a = random_bits(rng, 3000);
+    const BigInt b = random_bits(rng, 2600);
+    for (std::size_t db : {std::size_t{8}, std::size_t{16}, std::size_t{128},
+                           std::size_t{512}}) {
+        ParallelConfig cfg;
+        cfg.k = 2;
+        cfg.processors = 9;
+        cfg.digit_bits = db;
+        EXPECT_EQ(parallel_toom_multiply(a, b, cfg).product, a * b)
+            << "digit_bits=" << db;
+    }
+}
+
+TEST(EdgeCases, TinyInputsOnManyProcessors) {
+    // Inputs far smaller than the machine: everything is padding, the
+    // answer must still be exact.
+    ParallelConfig cfg;
+    cfg.k = 2;
+    cfg.processors = 27;
+    EXPECT_EQ(parallel_toom_multiply(BigInt{6}, BigInt{7}, cfg).product,
+              BigInt{42});
+    EXPECT_EQ(parallel_toom_multiply(BigInt{1}, BigInt{1}, cfg).product,
+              BigInt{1});
+    FtPolyConfig ft{cfg, 2};
+    FaultPlan plan;
+    plan.add("mul", 0);
+    EXPECT_EQ(ft_poly_multiply(BigInt{12345}, BigInt{678}, ft, plan).product,
+              BigInt{12345} * BigInt{678});
+}
+
+TEST(EdgeCases, SingleRankCollectives) {
+    Machine m(1);
+    m.run([&](Rank& r) {
+        Group g = Group::strided(0, 1);
+        std::vector<BigInt> v{BigInt{7}};
+        bcast(r, g, 0, v, 1);
+        EXPECT_EQ(v[0], BigInt{7});
+        auto s = reduce_sum(r, g, 0, {BigInt{3}}, 2);
+        EXPECT_EQ(s[0], BigInt{3});
+        auto all = allgather(r, g, {BigInt{9}}, 3);
+        ASSERT_EQ(all.size(), 1u);
+        EXPECT_EQ(all[0][0], BigInt{9});
+        auto a2a = alltoall(r, g, {{BigInt{4}}}, 4);
+        EXPECT_EQ(a2a[0][0], BigInt{4});
+        barrier(r, g, 5);
+    });
+}
+
+TEST(EdgeCases, EmptyVectorsThroughCollectives) {
+    Machine m(4);
+    m.run([&](Rank& r) {
+        Group g = Group::strided(0, 4);
+        auto s = allreduce_sum(r, g, {}, 1);
+        EXPECT_TRUE(s.empty());
+        auto all = allgather(r, g, {}, 2);
+        for (const auto& v : all) EXPECT_TRUE(v.empty());
+    });
+}
+
+TEST(EdgeCases, InterpolationForEveryBaseSubsetOfWidePlan) {
+    // ft_poly relies on any 2k-1 of the 2k-1+f points interpolating; walk
+    // every subset for k=3, f=2 and verify against a known product.
+    auto plan = ToomPlan::make(3, 2);
+    Rng rng{4};
+    std::vector<BigInt> ca(3), cb(3);
+    for (auto& v : ca) v = random_signed_bits(rng, 40);
+    for (auto& v : cb) v = random_signed_bits(rng, 40);
+    // Evaluate the product polynomial at all 7 points.
+    std::vector<BigInt> ea(7), eb(7), prod(7);
+    plan.evaluate_blocks(ca, ea, 1);
+    plan.evaluate_blocks(cb, eb, 1);
+    for (int i = 0; i < 7; ++i) prod[static_cast<std::size_t>(i)] =
+        ea[static_cast<std::size_t>(i)] * eb[static_cast<std::size_t>(i)];
+    // Reference coefficients from the base subset.
+    std::vector<std::size_t> base{0, 1, 2, 3, 4};
+    std::vector<BigInt> base_vals;
+    for (auto i : base) base_vals.push_back(prod[i]);
+    const auto expect = plan.interpolation_for(base).apply(base_vals);
+
+    std::vector<std::size_t> idx(5);
+    for (std::size_t a1 = 0; a1 < 7; ++a1)
+        for (std::size_t b1 = a1 + 1; b1 < 7; ++b1)
+            for (std::size_t c1 = b1 + 1; c1 < 7; ++c1)
+                for (std::size_t d1 = c1 + 1; d1 < 7; ++d1)
+                    for (std::size_t e1 = d1 + 1; e1 < 7; ++e1) {
+                        idx = {a1, b1, c1, d1, e1};
+                        std::vector<BigInt> vals;
+                        for (auto i : idx) vals.push_back(prod[i]);
+                        EXPECT_EQ(plan.interpolation_for(idx).apply(vals),
+                                  expect);
+                    }
+}
+
+TEST(EdgeCases, SequentialOperandMuchSmallerThanThreshold) {
+    // One operand below the threshold while the other is far above.
+    auto plan = ToomPlan::make(4);
+    ToomOptions opts;
+    opts.threshold_bits = 2048;
+    Rng rng{5};
+    BigInt a = random_bits(rng, 100000);
+    BigInt b = BigInt{3};
+    EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b);
+}
+
+TEST(EdgeCases, RepeatedRunsAreDeterministic) {
+    // Same seeds, same machine: counters must be bit-identical (the whole
+    // experimental methodology rests on this).
+    Rng rng{6};
+    BigInt a = random_bits(rng, 4000), b = random_bits(rng, 3800);
+    ParallelConfig cfg;
+    cfg.k = 2;
+    cfg.processors = 9;
+    auto r1 = parallel_toom_multiply(a, b, cfg);
+    auto r2 = parallel_toom_multiply(a, b, cfg);
+    EXPECT_EQ(r1.product, r2.product);
+    EXPECT_EQ(r1.stats.critical.flops, r2.stats.critical.flops);
+    EXPECT_EQ(r1.stats.critical.words, r2.stats.critical.words);
+    EXPECT_EQ(r1.stats.critical.latency, r2.stats.critical.latency);
+    EXPECT_EQ(r1.stats.aggregate.flops, r2.stats.aggregate.flops);
+}
+
+}  // namespace
+}  // namespace ftmul

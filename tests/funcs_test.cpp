@@ -1,0 +1,140 @@
+#include "funcs/elementary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(Isqrt, SmallKnownValues) {
+    EXPECT_EQ(isqrt(BigInt{0}), BigInt{0});
+    EXPECT_EQ(isqrt(BigInt{1}), BigInt{1});
+    EXPECT_EQ(isqrt(BigInt{2}), BigInt{1});
+    EXPECT_EQ(isqrt(BigInt{3}), BigInt{1});
+    EXPECT_EQ(isqrt(BigInt{4}), BigInt{2});
+    EXPECT_EQ(isqrt(BigInt{99}), BigInt{9});
+    EXPECT_EQ(isqrt(BigInt{100}), BigInt{10});
+    EXPECT_THROW(isqrt(BigInt{-1}), std::invalid_argument);
+}
+
+TEST(Isqrt, PerfectSquaresRoundTrip) {
+    Rng rng{1};
+    for (std::size_t bits : {70u, 200u, 1000u, 4000u}) {
+        BigInt s = random_bits(rng, bits);
+        EXPECT_EQ(isqrt(s * s), s) << bits;
+        EXPECT_EQ(isqrt(s * s + BigInt{1}), s) << bits;
+        EXPECT_EQ(isqrt(s * s - BigInt{1}), s - BigInt{1}) << bits;
+    }
+}
+
+class IsqrtSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsqrtSweep, DefiningInequalityHolds) {
+    Rng rng{GetParam()};
+    const std::size_t bits = 1 + rng.next_below(3000);
+    const BigInt a = random_bits(rng, bits);
+    const BigInt s = isqrt(a);
+    EXPECT_LE(s * s, a);
+    EXPECT_GT((s + BigInt{1}) * (s + BigInt{1}), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsqrtSweep, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(GcdBinary, MatchesEuclid) {
+    Rng rng{2};
+    for (int i = 0; i < 40; ++i) {
+        BigInt a = random_signed_bits(rng, 1 + rng.next_below(600));
+        BigInt b = random_signed_bits(rng, 1 + rng.next_below(600));
+        EXPECT_EQ(gcd_binary(a, b), BigInt::gcd(a, b)) << i;
+    }
+    EXPECT_EQ(gcd_binary(BigInt{}, BigInt{}), BigInt{});
+    EXPECT_EQ(gcd_binary(BigInt{}, BigInt{12}), BigInt{12});
+    EXPECT_EQ(gcd_binary(BigInt{1 << 20}, BigInt{1 << 12}), BigInt{1 << 12});
+}
+
+TEST(NewtonDivmod, MatchesKnuthSemantics) {
+    Rng rng{3};
+    for (int i = 0; i < 30; ++i) {
+        BigInt a = random_signed_bits(rng, 200 + rng.next_below(4000));
+        BigInt b = random_signed_bits(rng, 100 + rng.next_below(2000));
+        if (b.is_zero()) continue;
+        BigInt q1, r1, q2, r2;
+        BigInt::divmod(a, b, q1, r1);
+        newton_divmod(a, b, q2, r2);
+        EXPECT_EQ(q2, q1) << i;
+        EXPECT_EQ(r2, r1) << i;
+    }
+}
+
+TEST(NewtonDivmod, EdgeCases) {
+    BigInt q, r;
+    EXPECT_THROW(newton_divmod(BigInt{1}, BigInt{}, q, r), std::domain_error);
+    newton_divmod(BigInt{5}, BigInt{7}, q, r);
+    EXPECT_EQ(q, BigInt{});
+    EXPECT_EQ(r, BigInt{5});
+    // Exact division and near-boundary remainders.
+    Rng rng{4};
+    BigInt b = random_bits(rng, 900);
+    BigInt m = random_bits(rng, 700);
+    newton_divmod(b * m, b, q, r);
+    EXPECT_EQ(q, m);
+    EXPECT_EQ(r, BigInt{});
+    newton_divmod(b * m + b - BigInt{1}, b, q, r);
+    EXPECT_EQ(q, m);
+    EXPECT_EQ(r, b - BigInt{1});
+}
+
+TEST(NewtonDivmod, PowerOfTwoDivisorsAndDividends) {
+    BigInt q, r;
+    const BigInt b = BigInt::power_of_two(1000);
+    newton_divmod(BigInt::power_of_two(5000), b, q, r);
+    EXPECT_EQ(q, BigInt::power_of_two(4000));
+    EXPECT_EQ(r, BigInt{});
+    newton_divmod(BigInt::power_of_two(5000) - BigInt{1}, b, q, r);
+    EXPECT_EQ(q, BigInt::power_of_two(4000) - BigInt{1});
+    EXPECT_EQ(r, b - BigInt{1});
+}
+
+TEST(NewtonDivmod, RidesTheToomKernel) {
+    // Division implemented on fast multiplication — the "elementary
+    // functions" claim of the paper's introduction, end to end.
+    Rng rng{5};
+    const ToomPlan plan = ToomPlan::make(3);
+    ToomOptions opts;
+    opts.threshold_bits = 1024;
+    auto toom = [&](const BigInt& x, const BigInt& y) {
+        return toom_multiply(x, y, plan, opts);
+    };
+    BigInt a = random_bits(rng, 30000);
+    BigInt b = random_bits(rng, 11000);
+    BigInt q, r, qr, rr;
+    newton_divmod(a, b, q, r, toom);
+    BigInt::divmod(a, b, qr, rr);
+    EXPECT_EQ(q, qr);
+    EXPECT_EQ(r, rr);
+}
+
+TEST(Factorial, KnownValues) {
+    EXPECT_EQ(factorial(0), BigInt{1});
+    EXPECT_EQ(factorial(1), BigInt{1});
+    EXPECT_EQ(factorial(5), BigInt{120});
+    EXPECT_EQ(factorial(20), BigInt::from_decimal("2432902008176640000"));
+    EXPECT_EQ(factorial(50),
+              BigInt::from_decimal("3041409320171337804361260816606476884437"
+                                   "7641568960512000000000000"));
+}
+
+TEST(Factorial, ToomKernelAgrees) {
+    const ToomPlan plan = ToomPlan::make(2);
+    ToomOptions opts;
+    opts.threshold_bits = 512;
+    auto toom = [&](const BigInt& x, const BigInt& y) {
+        return toom_multiply(x, y, plan, opts);
+    };
+    EXPECT_EQ(factorial(300, toom), factorial(300));
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,100 @@
+#include "toom/kronecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "core/ft_poly.hpp"
+#include "toom/digits.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(Kronecker, SlotBits) {
+    EXPECT_EQ(kronecker_slot_bits(8, 1), 17u);
+    EXPECT_EQ(kronecker_slot_bits(8, 2), 18u);
+    EXPECT_EQ(kronecker_slot_bits(16, 100), 39u);  // 32 + ceil(log2 100)=7
+}
+
+TEST(Kronecker, PackUnpackRoundTrip) {
+    Rng rng{1};
+    std::vector<BigInt> coeffs(17);
+    for (auto& c : coeffs) {
+        c = BigInt{static_cast<std::int64_t>(rng.next_below(1u << 20))};
+    }
+    const BigInt packed = kronecker_pack(coeffs, 21);
+    EXPECT_EQ(kronecker_unpack(packed, 21, 17), coeffs);
+}
+
+TEST(Kronecker, PackRejectsOutOfRange) {
+    std::vector<BigInt> bad{BigInt{1 << 10}};
+    EXPECT_THROW(kronecker_pack(bad, 10), std::invalid_argument);
+    std::vector<BigInt> neg{BigInt{-1}};
+    EXPECT_THROW(kronecker_pack(neg, 10), std::invalid_argument);
+}
+
+TEST(Kronecker, KnownProduct) {
+    // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2
+    std::vector<BigInt> a{1, 2}, b{3, 4};
+    auto c = kronecker_poly_multiply(a, b, 4);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0], BigInt{3});
+    EXPECT_EQ(c[1], BigInt{10});
+    EXPECT_EQ(c[2], BigInt{8});
+}
+
+class KroneckerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KroneckerSweep, MatchesSchoolbookConvolution) {
+    Rng rng{GetParam()};
+    const std::size_t la = 1 + rng.next_below(300);
+    const std::size_t lb = 1 + rng.next_below(300);
+    const std::size_t coeff_bits = 4 + rng.next_below(28);
+    std::vector<BigInt> a(la), b(lb);
+    for (auto& v : a) v = random_below_2pow(rng, coeff_bits);
+    for (auto& v : b) v = random_below_2pow(rng, coeff_bits);
+    EXPECT_EQ(kronecker_poly_multiply(a, b, coeff_bits),
+              convolve_schoolbook(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KroneckerSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Kronecker, RidesTheToomEngine) {
+    Rng rng{5};
+    std::vector<BigInt> a(256), b(256);
+    for (auto& v : a) v = random_below_2pow(rng, 12);
+    for (auto& v : b) v = random_below_2pow(rng, 12);
+    const ToomPlan plan = ToomPlan::make(3);
+    ToomOptions opts;
+    opts.threshold_bits = 512;
+    auto via_toom = kronecker_poly_multiply(
+        a, b, 12, [&](const BigInt& x, const BigInt& y) {
+            return toom_multiply(x, y, plan, opts);
+        });
+    EXPECT_EQ(via_toom, convolve_schoolbook(a, b));
+}
+
+TEST(Kronecker, RidesTheFaultTolerantParallelEngine) {
+    // The payoff: a polynomial product executed by the FT parallel machine
+    // while a processor column dies.
+    Rng rng{6};
+    std::vector<BigInt> a(128), b(128);
+    for (auto& v : a) v = random_below_2pow(rng, 10);
+    for (auto& v : b) v = random_below_2pow(rng, 10);
+    FtPolyConfig cfg;
+    cfg.base.k = 2;
+    cfg.base.processors = 9;
+    cfg.base.digit_bits = 32;
+    cfg.faults = 1;
+    FaultPlan plan;
+    plan.add("mul", 2);
+    auto via_ft = kronecker_poly_multiply(
+        a, b, 10, [&](const BigInt& x, const BigInt& y) {
+            return ft_poly_multiply(x, y, cfg, plan).product;
+        });
+    EXPECT_EQ(via_ft, convolve_schoolbook(a, b));
+}
+
+}  // namespace
+}  // namespace ftmul

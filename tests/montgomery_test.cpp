@@ -1,0 +1,114 @@
+#include "bigint/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+namespace {
+
+BigInt odd_modulus(Rng& rng, std::size_t bits) {
+    BigInt m = random_bits(rng, bits);
+    if ((m.magnitude()[0] & 1u) == 0) m += BigInt{1};
+    return m;
+}
+
+TEST(Montgomery, RejectsBadModuli) {
+    EXPECT_THROW(MontgomeryContext(BigInt{0}), std::invalid_argument);
+    EXPECT_THROW(MontgomeryContext(BigInt{1}), std::invalid_argument);
+    EXPECT_THROW(MontgomeryContext(BigInt{-7}), std::invalid_argument);
+    EXPECT_THROW(MontgomeryContext(BigInt{100}), std::invalid_argument);
+}
+
+TEST(Montgomery, ToFromMontRoundTrip) {
+    Rng rng{1};
+    MontgomeryContext ctx(odd_modulus(rng, 500));
+    for (int i = 0; i < 10; ++i) {
+        BigInt x = BigInt::mod_floor(random_bits(rng, 480), ctx.modulus());
+        EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+    }
+}
+
+TEST(Montgomery, RedcKnownSmall) {
+    // m = 23 (one limb, R = 2^64): redc(x) = x * R^-1 mod 23.
+    MontgomeryContext ctx(BigInt{23});
+    // redc(R mod 23) should give 1... easier: to_mont(1) = R mod 23.
+    const BigInt r_mod = BigInt::mod_floor(BigInt::power_of_two(64), BigInt{23});
+    EXPECT_EQ(ctx.to_mont(BigInt{1}), r_mod);
+    EXPECT_EQ(ctx.from_mont(r_mod), BigInt{1});
+    EXPECT_EQ(ctx.redc(BigInt{0}), BigInt{0});
+}
+
+class MontgomerySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MontgomerySweep, MulMatchesModularProduct) {
+    Rng rng{GetParam()};
+    const std::size_t bits = 64 + GetParam() * 97;
+    MontgomeryContext ctx(odd_modulus(rng, bits));
+    for (int i = 0; i < 5; ++i) {
+        BigInt x = BigInt::mod_floor(random_bits(rng, bits + 13), ctx.modulus());
+        BigInt y = BigInt::mod_floor(random_bits(rng, bits - 7), ctx.modulus());
+        const BigInt got =
+            ctx.from_mont(ctx.mul(ctx.to_mont(x), ctx.to_mont(y)));
+        EXPECT_EQ(got, BigInt::mod_floor(x * y, ctx.modulus()));
+    }
+}
+
+TEST_P(MontgomerySweep, PowMatchesSquareAndMultiply) {
+    Rng rng{GetParam() * 31 + 7};
+    const std::size_t bits = 64 + GetParam() * 61;
+    MontgomeryContext ctx(odd_modulus(rng, bits));
+    const BigInt base = random_bits(rng, bits);
+    const BigInt exp = random_bits(rng, 48);
+    // Reference: plain square-and-multiply with mod_floor.
+    BigInt ref{1};
+    BigInt b = BigInt::mod_floor(base, ctx.modulus());
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+        ref = BigInt::mod_floor(ref * ref, ctx.modulus());
+        if (detail::get_bit(exp.magnitude(), i)) {
+            ref = BigInt::mod_floor(ref * b, ctx.modulus());
+        }
+    }
+    EXPECT_EQ(ctx.pow(base, exp), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MontgomerySweep,
+                         ::testing::Range<std::size_t>(1, 9));
+
+TEST(Montgomery, FermatLittleTheorem) {
+    // p = 2^61 - 1 is prime: a^(p-1) = 1 (mod p).
+    const BigInt p = BigInt::power_of_two(61) - BigInt{1};
+    MontgomeryContext ctx(p);
+    EXPECT_EQ(ctx.pow(BigInt{31337}, p - BigInt{1}), BigInt{1});
+    EXPECT_EQ(ctx.pow(BigInt{2}, p - BigInt{1}), BigInt{1});
+}
+
+TEST(Montgomery, ToomCookKernelAgrees) {
+    // The paper-adjacent combination (reference [31]): Montgomery reduction
+    // with a Toom-Cook multiplication kernel.
+    Rng rng{9};
+    const BigInt m = odd_modulus(rng, 4096);
+    const ToomPlan plan = ToomPlan::make(3);
+    ToomOptions opts;
+    opts.threshold_bits = 1024;
+    MontgomeryContext toom_ctx(m, [&](const BigInt& x, const BigInt& y) {
+        return toom_multiply(x, y, plan, opts);
+    });
+    MontgomeryContext school_ctx(m);
+    const BigInt base = random_bits(rng, 4000);
+    const BigInt exp = random_bits(rng, 32);
+    EXPECT_EQ(toom_ctx.pow(base, exp), school_ctx.pow(base, exp));
+}
+
+TEST(Montgomery, PowEdgeCases) {
+    MontgomeryContext ctx(BigInt{97});
+    EXPECT_EQ(ctx.pow(BigInt{5}, BigInt{0}), BigInt{1});
+    EXPECT_EQ(ctx.pow(BigInt{5}, BigInt{1}), BigInt{5});
+    EXPECT_EQ(ctx.pow(BigInt{0}, BigInt{5}), BigInt{0});
+    EXPECT_EQ(ctx.pow(BigInt{-3}, BigInt{2}), BigInt{9});
+    EXPECT_THROW(ctx.pow(BigInt{2}, BigInt{-1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftmul

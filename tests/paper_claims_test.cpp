@@ -1,0 +1,196 @@
+// The paper's claims as executable assertions. Each test names the claim
+// (table/theorem) it pins; if an implementation change breaks a shape the
+// reproduction relies on, this suite is what fails.
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "core/checkpoint.hpp"
+#include "core/ft_linear.hpp"
+#include "core/ft_mixed.hpp"
+#include "core/ft_multistep.hpp"
+#include "core/ft_poly.hpp"
+#include "core/parallel.hpp"
+#include "core/replication.hpp"
+
+namespace ftmul {
+namespace {
+
+ParallelConfig base_cfg(int k, int P) {
+    ParallelConfig cfg;
+    cfg.k = k;
+    cfg.processors = P;
+    cfg.digit_bits = 32;
+    cfg.base_len = 4;
+    return cfg;
+}
+
+TEST(PaperClaims, ExtraProcessorFormulas) {
+    // Tables 1-2, "Additional Processors" column.
+    Rng rng{1};
+    const BigInt a = random_bits(rng, 2000), b = random_bits(rng, 1800);
+    for (int k : {2, 3}) {
+        const int npts = 2 * k - 1;
+        const int P = npts * npts;
+        for (int f : {1, 2}) {
+            auto cfg = base_cfg(k, P);
+            EXPECT_EQ(replicated_toom_multiply(a, b, {cfg, f}, {})
+                          .extra_processors,
+                      f * P);  // replication: f * P
+            EXPECT_EQ(ft_linear_multiply(a, b, {cfg, f}, {}).extra_processors,
+                      f * npts);  // linear code: f * (2k-1)
+            EXPECT_EQ(ft_poly_multiply(a, b, {cfg, f}, {}).extra_processors,
+                      f * P / npts);  // polynomial code: f * P/(2k-1)
+            FtMultistepConfig ms;
+            ms.base = cfg;
+            ms.faults = f;
+            ms.fused_steps = 2;  // full fusion at P = (2k-1)^2
+            EXPECT_EQ(ft_multistep_multiply(a, b, ms, {}).extra_processors,
+                      f);  // Section 5.2 remark: down to f
+        }
+    }
+}
+
+TEST(PaperClaims, FtCriticalPathWithinOnePlusLittleO) {
+    // Tables 1-2: F', BW' = (1+o(1)) * F, BW — where the o(1) vanishes in P
+    // (the per-rank input share n/P the encodes move shrinks relative to
+    // the algorithm's n/P^{log_{2k-1}k} bandwidth as P grows). Arithmetic
+    // ratios must sit near 1 outright; the linear code's bandwidth ratio
+    // must *decrease with P*.
+    Rng rng{2};
+    double prev_lin_bw = 1e9;
+    for (int P : {9, 27}) {
+        const auto cfg = base_cfg(2, P);
+        const std::size_t bits = 1u << 16;
+        const BigInt a = random_bits(rng, bits);
+        const BigInt b = random_bits(rng, bits);
+        auto plain = parallel_toom_multiply(a, b, cfg);
+        auto lin = ft_linear_multiply(a, b, {cfg, 1}, {});
+        auto poly = ft_poly_multiply(a, b, {cfg, 1}, {});
+        const double lin_f =
+            static_cast<double>(lin.stats.critical.flops) /
+            static_cast<double>(plain.stats.critical.flops);
+        const double poly_f =
+            static_cast<double>(poly.stats.critical.flops) /
+            static_cast<double>(plain.stats.critical.flops);
+        EXPECT_LT(lin_f, 1.25) << P;
+        EXPECT_LT(poly_f, 1.25) << P;
+        const double poly_bw =
+            static_cast<double>(poly.stats.critical.words) /
+            static_cast<double>(plain.stats.critical.words);
+        EXPECT_LT(poly_bw, 1.3) << P;  // the mult-phase code is cheap outright
+        const double lin_bw =
+            static_cast<double>(lin.stats.critical.words) /
+            static_cast<double>(plain.stats.critical.words);
+        EXPECT_LT(lin_bw, prev_lin_bw) << P;  // o(1) in P
+        prev_lin_bw = lin_bw;
+    }
+}
+
+TEST(PaperClaims, ReplicationBurnsFTimesAggregateWork) {
+    // Theorem 5.3: replication's aggregate arithmetic is (f+1)x.
+    Rng rng{3};
+    const BigInt a = random_bits(rng, 1 << 14), b = random_bits(rng, 1 << 14);
+    const auto cfg = base_cfg(2, 9);
+    auto plain = parallel_toom_multiply(a, b, cfg);
+    for (int f : {1, 2}) {
+        auto repl = replicated_toom_multiply(a, b, {cfg, f}, {});
+        const double ratio =
+            static_cast<double>(repl.stats.aggregate.flops) /
+            static_cast<double>(plain.stats.aggregate.flops);
+        EXPECT_NEAR(ratio, f + 1.0, 0.05) << "f=" << f;
+    }
+}
+
+TEST(PaperClaims, MultPhaseFaultRecomputationGap) {
+    // Section 4's design argument: under linear coding a multiplication-
+    // phase fault costs a recomputation; the polynomial code absorbs it.
+    Rng rng{4};
+    const BigInt a = random_bits(rng, 1 << 14), b = random_bits(rng, 1 << 14);
+    const auto cfg = base_cfg(2, 9);
+
+    FaultPlan lin_fault;
+    lin_fault.add("leaf-mul", 4);
+    auto lin_clean = ft_linear_multiply(a, b, {cfg, 1}, {});
+    auto lin_faulty = ft_linear_multiply(a, b, {cfg, 1}, lin_fault);
+
+    FaultPlan poly_fault;
+    poly_fault.add("mul", 0);
+    auto poly_clean = ft_poly_multiply(a, b, {cfg, 1}, {});
+    auto poly_faulty = ft_poly_multiply(a, b, {cfg, 1}, poly_fault);
+
+    const auto lin_extra =
+        lin_faulty.stats.critical.flops - lin_clean.stats.critical.flops;
+    const auto poly_extra =
+        poly_faulty.stats.critical.flops > poly_clean.stats.critical.flops
+            ? poly_faulty.stats.critical.flops - poly_clean.stats.critical.flops
+            : 0;
+    EXPECT_GT(lin_extra, 5 * (poly_extra + 1000));
+}
+
+TEST(PaperClaims, DfsStepBandwidthGrowthFactor) {
+    // Table 2 / Theorem 5.1: each DFS step multiplies BW by ~(2k-1)/k.
+    Rng rng{5};
+    for (int k : {2, 3}) {
+        const int P = 2 * k - 1;
+        const std::size_t bits = 1u << 15;
+        const BigInt a = random_bits(rng, bits), b = random_bits(rng, bits);
+        auto cfg = base_cfg(k, P);
+        cfg.digit_bits = 64;
+        std::uint64_t prev = 0;
+        for (int dfs = 0; dfs <= 2; ++dfs) {
+            cfg.forced_dfs_steps = dfs;
+            const auto words =
+                parallel_toom_multiply(a, b, cfg).stats.critical.words;
+            if (dfs > 0) {
+                const double growth = static_cast<double>(words) /
+                                      static_cast<double>(prev);
+                const double predicted =
+                    static_cast<double>(2 * k - 1) / static_cast<double>(k);
+                EXPECT_GT(growth, predicted * 0.8) << "k=" << k << " dfs=" << dfs;
+                EXPECT_LT(growth, predicted * 1.6) << "k=" << k << " dfs=" << dfs;
+            }
+            prev = words;
+        }
+    }
+}
+
+TEST(PaperClaims, MultistepProcessorCountHalvesPerFusedStep) {
+    // Figure 3: f * P / (2k-1)^l.
+    Rng rng{6};
+    const BigInt a = random_bits(rng, 3000), b = random_bits(rng, 2800);
+    const auto cfg = base_cfg(2, 27);
+    int expect = 27;
+    for (int l = 1; l <= 3; ++l) {
+        expect /= 3;
+        FtMultistepConfig ms;
+        ms.base = cfg;
+        ms.faults = 1;
+        ms.fused_steps = l;
+        auto res = ft_multistep_multiply(a, b, ms, {});
+        EXPECT_EQ(res.extra_processors, expect) << "l=" << l;
+        EXPECT_EQ(res.product, a * b);
+    }
+}
+
+TEST(PaperClaims, MixedCodeSurvivesEveryPhaseAtUnitCost) {
+    // Theorem 5.2: the combined algorithm tolerates f faults with
+    // (1+o(1)) costs — here with faults actually firing in all three
+    // protected phases.
+    Rng rng{7};
+    const BigInt a = random_bits(rng, 1 << 14), b = random_bits(rng, 1 << 14);
+    const auto cfg = base_cfg(2, 9);
+    auto plain = parallel_toom_multiply(a, b, cfg);
+    FaultPlan plan;
+    plan.add("eval-L0", 0);
+    plan.add("mul", 1);
+    plan.add("interp-L0", 2);
+    auto mixed = ft_mixed_multiply(a, b, {cfg, 1}, plan);
+    EXPECT_EQ(mixed.product, a * b);
+    const double f_ratio = static_cast<double>(mixed.stats.critical.flops) /
+                           static_cast<double>(plain.stats.critical.flops);
+    EXPECT_LT(f_ratio, 1.3);
+}
+
+}  // namespace
+}  // namespace ftmul

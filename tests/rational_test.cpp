@@ -1,0 +1,94 @@
+#include "rational/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bigint/random.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(Rational, NormalizationReducesAndFixesSign) {
+    BigRational r{BigInt{4}, BigInt{6}};
+    EXPECT_EQ(r.num(), BigInt{2});
+    EXPECT_EQ(r.den(), BigInt{3});
+
+    BigRational n{BigInt{1}, BigInt{-2}};
+    EXPECT_EQ(n.num(), BigInt{-1});
+    EXPECT_EQ(n.den(), BigInt{2});
+
+    BigRational z{BigInt{0}, BigInt{-5}};
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ(z.den(), BigInt{1});
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+    EXPECT_THROW(BigRational(BigInt{1}, BigInt{0}), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+    BigRational half{BigInt{1}, BigInt{2}};
+    BigRational third{BigInt{1}, BigInt{3}};
+    EXPECT_EQ(half + third, BigRational(BigInt{5}, BigInt{6}));
+    EXPECT_EQ(half - third, BigRational(BigInt{1}, BigInt{6}));
+    EXPECT_EQ(half * third, BigRational(BigInt{1}, BigInt{6}));
+    EXPECT_EQ(half / third, BigRational(BigInt{3}, BigInt{2}));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+    BigRational half{BigInt{1}, BigInt{2}};
+    EXPECT_THROW(half / BigRational{}, std::domain_error);
+    EXPECT_THROW(BigRational{}.reciprocal(), std::domain_error);
+}
+
+TEST(Rational, IntegerDetection) {
+    EXPECT_TRUE(BigRational{BigInt{7}}.is_integer());
+    EXPECT_TRUE((BigRational(BigInt{4}, BigInt{2})).is_integer());
+    EXPECT_FALSE((BigRational(BigInt{1}, BigInt{2})).is_integer());
+    EXPECT_EQ(BigRational(BigInt{4}, BigInt{2}).as_integer(), BigInt{2});
+    EXPECT_THROW(BigRational(BigInt{1}, BigInt{2}).as_integer(),
+                 std::domain_error);
+}
+
+TEST(Rational, Ordering) {
+    BigRational half{BigInt{1}, BigInt{2}};
+    BigRational third{BigInt{1}, BigInt{3}};
+    EXPECT_LT(third, half);
+    EXPECT_GT(half, third);
+    EXPECT_LT(-half, third);
+}
+
+TEST(Rational, ToString) {
+    EXPECT_EQ(BigRational(BigInt{3}, BigInt{4}).to_string(), "3/4");
+    EXPECT_EQ(BigRational(BigInt{8}, BigInt{4}).to_string(), "2");
+    EXPECT_EQ(BigRational(BigInt{-3}, BigInt{4}).to_string(), "-3/4");
+}
+
+class RationalFieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalFieldAxioms, Hold) {
+    Rng rng{GetParam()};
+    auto rand_rat = [&rng] {
+        BigInt n = random_signed_bits(rng, 1 + rng.next_below(40));
+        BigInt d = random_bits(rng, 1 + rng.next_below(40));
+        return BigRational(n, d);
+    };
+    for (int i = 0; i < 10; ++i) {
+        BigRational a = rand_rat(), b = rand_rat(), c = rand_rat();
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a + (-a), BigRational{});
+        if (!a.is_zero()) {
+            EXPECT_EQ(a * a.reciprocal(), BigRational{1});
+            EXPECT_EQ((b / a) * a, b);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalFieldAxioms,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ftmul

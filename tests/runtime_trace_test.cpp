@@ -1,0 +1,111 @@
+#include "runtime/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "core/parallel.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/machine.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(Tracer, RecordsMessagesAndPhases) {
+    Machine m(2);
+    Tracer& t = m.enable_tracing();
+    m.run([&](Rank& r) {
+        r.phase("hello");
+        if (r.id() == 0) r.send(1, 7, {1, 2, 3});
+        if (r.id() == 1) (void)r.recv(0, 7);
+    });
+    auto msgs = t.messages();
+    ASSERT_EQ(msgs.size(), 1u);
+    EXPECT_EQ(msgs[0].src, 0);
+    EXPECT_EQ(msgs[0].dst, 1);
+    EXPECT_EQ(msgs[0].words, 3u);
+    EXPECT_EQ(msgs[0].phase, "hello");
+    EXPECT_GE(t.phases().size(), 2u);
+}
+
+TEST(Tracer, ClearedBetweenRuns) {
+    Machine m(2);
+    Tracer& t = m.enable_tracing();
+    m.run([&](Rank& r) {
+        if (r.id() == 0) r.send(1, 1, {9});
+        if (r.id() == 1) (void)r.recv(0, 1);
+    });
+    EXPECT_EQ(t.messages().size(), 1u);
+    m.run([&](Rank&) {});
+    EXPECT_EQ(t.messages().size(), 0u);
+}
+
+TEST(Tracer, CommMatrixAndCsv) {
+    Machine m(3);
+    Tracer& t = m.enable_tracing();
+    m.run([&](Rank& r) {
+        r.phase("x");
+        if (r.id() == 0) {
+            r.send(1, 1, std::vector<std::uint64_t>(5, 0));
+            r.send(2, 1, std::vector<std::uint64_t>(7, 0));
+        } else {
+            (void)r.recv(0, 1);
+        }
+    });
+    auto cm = t.comm_matrix(3);
+    EXPECT_EQ(cm[0][1], 5u);
+    EXPECT_EQ(cm[0][2], 7u);
+    EXPECT_EQ(cm[1][0], 0u);
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("0,1,1,5,x"), std::string::npos);
+    const std::string art = t.render_comm_matrix(3);
+    EXPECT_NE(art.find("."), std::string::npos);
+}
+
+TEST(Tracer, ParallelToomCommunicatesOnlyWithinRows) {
+    // The paper's structural claim (Section 3 / Figure 1): "A BFS step
+    // involves communication only within rows of the grid". Level-0 rows of
+    // the 3x3 grid are {0,1,2}, {3,4,5}, {6,7,8}; level-1 rows are the
+    // column subgroups {c, c+3, c+6}.
+    ParallelConfig cfg;
+    cfg.k = 2;
+    cfg.processors = 9;
+    cfg.digit_bits = 32;
+    cfg.trace = true;
+    Rng rng{5};
+    BigInt a = random_bits(rng, 3000), b = random_bits(rng, 3000);
+    auto res = parallel_toom_multiply(a, b, cfg);
+    ASSERT_NE(res.trace, nullptr);
+
+    for (const auto& msg : res.trace->messages()) {
+        const bool level0 = msg.phase.find("L0") != std::string::npos;
+        const bool level1 = msg.phase.find("L1") != std::string::npos;
+        ASSERT_TRUE(level0 || level1) << msg.phase;
+        if (level0) {
+            EXPECT_EQ(msg.src / 3, msg.dst / 3)
+                << msg.src << "->" << msg.dst << " in " << msg.phase;
+        } else {
+            EXPECT_EQ(msg.src % 3, msg.dst % 3)
+                << msg.src << "->" << msg.dst << " in " << msg.phase;
+        }
+    }
+
+    // Every rank walks the same phase skeleton.
+    const std::string seq = res.trace->render_phase_sequences(9);
+    EXPECT_NE(seq.find("eval-L0"), std::string::npos);
+    EXPECT_NE(seq.find("leaf-mul"), std::string::npos);
+}
+
+TEST(Tracer, CollectivesStayInsideTheirGroup) {
+    Machine m(6);
+    Tracer& t = m.enable_tracing();
+    m.run([&](Rank& r) {
+        Group g = r.id() < 3 ? Group::strided(0, 3) : Group::strided(3, 3);
+        (void)allreduce_sum(r, g, {BigInt{1}}, 4);
+    });
+    for (const auto& msg : t.messages()) {
+        EXPECT_EQ(msg.src < 3, msg.dst < 3) << msg.src << "->" << msg.dst;
+    }
+}
+
+}  // namespace
+}  // namespace ftmul

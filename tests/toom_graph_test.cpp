@@ -1,0 +1,97 @@
+#include "toom/toom_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(ToomGraph, SequenceInvertsEvaluationMatrix) {
+    for (int k = 2; k <= 6; ++k) {
+        auto plan = ToomPlan::make(k);
+        auto seq = inversion_sequence_for(plan);
+        std::vector<EvalPoint> base(plan.points().begin(),
+                                    plan.points().begin() + 2 * k - 1);
+        auto e = evaluation_matrix(base, static_cast<std::size_t>(2 * k - 2));
+        EXPECT_TRUE(verify_inversion_sequence(e, seq)) << "k=" << k;
+    }
+}
+
+TEST(ToomGraph, SequenceInterpolatesValues) {
+    for (int k = 2; k <= 5; ++k) {
+        auto plan = ToomPlan::make(k);
+        auto seq = inversion_sequence_for(plan);
+        const std::size_t deg = static_cast<std::size_t>(2 * k - 2);
+        std::vector<BigInt> coeffs(deg + 1);
+        Rng rng{static_cast<std::uint64_t>(k)};
+        for (auto& c : coeffs) c = random_signed_bits(rng, 40);
+        std::vector<EvalPoint> base(plan.points().begin(),
+                                    plan.points().begin() + 2 * k - 1);
+        auto vals = evaluation_matrix(base, deg).apply(coeffs);
+        seq.apply(vals);
+        EXPECT_EQ(vals, coeffs) << "k=" << k;
+    }
+}
+
+TEST(ToomGraph, MatchesDenseInterpolation) {
+    for (int k = 2; k <= 5; ++k) {
+        auto plan = ToomPlan::make(k);
+        auto seq = inversion_sequence_for(plan);
+        const std::size_t deg = static_cast<std::size_t>(2 * k - 2);
+        Rng rng{static_cast<std::uint64_t>(k) * 5 + 1};
+        std::vector<BigInt> coeffs(deg + 1);
+        for (auto& c : coeffs) c = random_signed_bits(rng, 100);
+        std::vector<EvalPoint> base(plan.points().begin(),
+                                    plan.points().begin() + 2 * k - 1);
+        auto vals = evaluation_matrix(base, deg).apply(coeffs);
+        auto dense = plan.interpolation().apply(vals);
+        seq.apply(vals);
+        EXPECT_EQ(vals, dense);
+    }
+}
+
+TEST(ToomGraph, CostIsPositiveAndFinite) {
+    auto seq = inversion_sequence_for(ToomPlan::make(3));
+    EXPECT_GT(seq.total_cost(), 0.0);
+    EXPECT_FALSE(seq.ops.empty());
+}
+
+TEST(ToomGraph, DrivesSequentialMultiplication) {
+    // Paper Remark 4.1: the Toom-Graph interpolation is applicable to the
+    // algorithm; multiplication through the inversion sequence is exact.
+    auto plan = ToomPlan::make(3);
+    auto seq = inversion_sequence_for(plan);
+    ToomOptions opts;
+    opts.threshold_bits = 256;
+    opts.custom_interpolation = [&seq](std::vector<BigInt>& v) { seq.apply(v); };
+    Rng rng{31};
+    for (int i = 0; i < 3; ++i) {
+        BigInt a = random_signed_bits(rng, 5000);
+        BigInt b = random_signed_bits(rng, 4000);
+        EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b);
+    }
+}
+
+TEST(ToomGraph, SingularMatrixRejected) {
+    Matrix<BigInt> m(2, 2);
+    m(0, 0) = 1;
+    m(0, 1) = 2;
+    m(1, 0) = 2;
+    m(1, 1) = 4;
+    EXPECT_THROW(find_inversion_sequence(m), std::runtime_error);
+}
+
+TEST(ToomGraph, RowOpCosts) {
+    EXPECT_EQ((RowOp{RowOp::Kind::Swap, 0, 1, 0}).cost(), 0.0);
+    EXPECT_EQ((RowOp{RowOp::Kind::AddMul, 0, 1, 1}).cost(), 1.0);
+    EXPECT_EQ((RowOp{RowOp::Kind::AddMul, 0, 1, -1}).cost(), 1.0);
+    EXPECT_EQ((RowOp{RowOp::Kind::AddMul, 0, 1, 3}).cost(), 2.0);
+    EXPECT_EQ((RowOp{RowOp::Kind::DivExact, 0, 0, 2}).cost(), 0.5);
+    EXPECT_EQ((RowOp{RowOp::Kind::DivExact, 0, 0, 3}).cost(), 2.0);
+    EXPECT_EQ((RowOp{RowOp::Kind::Scale, 0, 0, -1}).cost(), 0.0);
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,134 @@
+#include "toom/lazy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "toom/digits.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(Digits, SplitRecomposeRoundTrip) {
+    Rng rng{21};
+    for (std::size_t bits : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                             std::size_t{1000}}) {
+        BigInt v = random_bits(rng, bits);
+        auto d = split_digits(v, 32, (bits + 31) / 32);
+        EXPECT_EQ(recompose_digits(d, 32), v) << bits;
+    }
+}
+
+TEST(Digits, RecomposeHandlesWideSignedDigits) {
+    // Digits wider than the base and negative: carries must resolve.
+    std::vector<BigInt> d{BigInt{100}, BigInt{-3}, BigInt{5}};
+    // 100 + (-3)*16 + 5*256 = 100 - 48 + 1280 = 1332
+    EXPECT_EQ(recompose_digits(d, 4), BigInt{1332});
+}
+
+TEST(Digits, ConvolveSchoolbookKnown) {
+    // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2
+    std::vector<BigInt> a{1, 2}, b{3, 4};
+    auto c = convolve_schoolbook(a, b);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0], BigInt{3});
+    EXPECT_EQ(c[1], BigInt{10});
+    EXPECT_EQ(c[2], BigInt{8});
+}
+
+TEST(LazyResultLen, Shapes) {
+    EXPECT_EQ(lazy_result_len(2, 1, 4), 1u);
+    EXPECT_EQ(lazy_result_len(2, 4, 4), 7u);
+    EXPECT_EQ(lazy_result_len(2, 8, 4), 3u * 7u);
+    EXPECT_EQ(lazy_result_len(3, 9, 1), 5u * 5u * 1u);
+    EXPECT_EQ(lazy_result_len(3, 27, 3), 5u * 5u * 5u);
+}
+
+TEST(LazyConvolve, MatchesSchoolbookConvolutionValue) {
+    // The lazy coefficient layout differs from positional, but recomposition
+    // must produce the same integer as positional recomposition of the
+    // schoolbook convolution.
+    auto plan = ToomPlan::make(2);
+    Rng rng{5};
+    const std::size_t len = 8, digit_bits = 16;
+    std::vector<BigInt> a(len), b(len);
+    for (auto& v : a) v = BigInt{static_cast<std::int64_t>(rng.next_below(1u << 16))};
+    for (auto& v : b) v = BigInt{static_cast<std::int64_t>(rng.next_below(1u << 16))};
+
+    auto lazy = lazy_convolve(plan, a, b, 2);
+    auto direct = convolve_schoolbook(a, b);
+    EXPECT_EQ(lazy_recompose(plan, lazy, digit_bits, len, 2),
+              recompose_digits(direct, digit_bits));
+}
+
+TEST(LazyMultiply, MatchesSchoolbookSmall) {
+    auto plan = ToomPlan::make(2);
+    LazyOptions opts;
+    opts.digit_bits = 8;
+    opts.base_len = 1;
+    EXPECT_EQ(toom_multiply_lazy(BigInt{1234567}, BigInt{7654321}, plan, opts),
+              BigInt{1234567} * BigInt{7654321});
+    EXPECT_EQ(toom_multiply_lazy(BigInt{-1234567}, BigInt{7654321}, plan, opts),
+              BigInt{-1234567} * BigInt{7654321});
+    EXPECT_EQ(toom_multiply_lazy(BigInt{}, BigInt{7}, plan, opts), BigInt{});
+}
+
+struct LazyCase {
+    int k;
+    std::size_t bits;
+    std::size_t digit_bits;
+    std::size_t base_len;
+};
+
+class LazySweep : public ::testing::TestWithParam<LazyCase> {};
+
+TEST_P(LazySweep, MatchesSchoolbook) {
+    const auto [k, bits, digit_bits, base_len] = GetParam();
+    auto plan = ToomPlan::make(k);
+    LazyOptions opts;
+    opts.digit_bits = digit_bits;
+    opts.base_len = base_len;
+    Rng rng{static_cast<std::uint64_t>(k) * 99 + bits};
+    for (int i = 0; i < 2; ++i) {
+        BigInt a = random_signed_bits(rng, bits - rng.next_below(bits / 3));
+        BigInt b = random_signed_bits(rng, bits - rng.next_below(bits / 2));
+        EXPECT_EQ(toom_multiply_lazy(a, b, plan, opts), a * b)
+            << "k=" << k << " bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LazySweep,
+    ::testing::Values(LazyCase{2, 1024, 32, 1}, LazyCase{2, 4096, 64, 2},
+                      LazyCase{2, 20000, 256, 4}, LazyCase{3, 2048, 32, 2},
+                      LazyCase{3, 9000, 128, 3}, LazyCase{3, 30000, 512, 3},
+                      LazyCase{4, 8192, 128, 4}, LazyCase{5, 10000, 256, 5}));
+
+TEST(LazyMultiply, DeepRecursionScalarBase) {
+    // base_len=1 recurses to scalars exactly as the paper's Algorithm 2.
+    auto plan = ToomPlan::make(2);
+    LazyOptions opts;
+    opts.digit_bits = 16;
+    opts.base_len = 1;
+    Rng rng{77};
+    BigInt a = random_bits(rng, 16 * 64);  // 64 digits -> l = 6
+    BigInt b = random_bits(rng, 16 * 64);
+    EXPECT_EQ(toom_multiply_lazy(a, b, plan, opts), a * b);
+}
+
+TEST(LazyMultiply, AgreesWithAlgorithm1) {
+    auto plan = ToomPlan::make(3);
+    Rng rng{9};
+    BigInt a = random_bits(rng, 12345);
+    BigInt b = random_bits(rng, 11111);
+    ToomOptions seq_opts;
+    seq_opts.threshold_bits = 512;
+    LazyOptions lazy_opts;
+    lazy_opts.digit_bits = 128;
+    lazy_opts.base_len = 3;
+    EXPECT_EQ(toom_multiply(a, b, plan, seq_opts),
+              toom_multiply_lazy(a, b, plan, lazy_opts));
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,95 @@
+#include "toom/multivariate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+#include "linalg/exact_solve.hpp"
+#include "toom/digits.hpp"
+#include "toom/lazy.hpp"
+#include "toom/plan.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(ProductPoints, OrderAndCount) {
+    std::vector<EvalPoint> s{{0, 1}, {1, 0}, {1, 1}};
+    auto pts = product_points(s, 2);
+    ASSERT_EQ(pts.size(), 9u);
+    // First coordinate most significant.
+    EXPECT_EQ(pts[0], (MultiPoint{{0, 1}, {0, 1}}));
+    EXPECT_EQ(pts[1], (MultiPoint{{0, 1}, {1, 0}}));
+    EXPECT_EQ(pts[3], (MultiPoint{{1, 0}, {0, 1}}));
+    EXPECT_EQ(pts[8], (MultiPoint{{1, 1}, {1, 1}}));
+}
+
+TEST(MultivariateEval, MatrixMatchesDirectEvaluation) {
+    // Bivariate p(x, y) = 1 + 2y + 3x + 4xy over Poly_{2,2} at finite points.
+    MultiPoint p{{3, 1}, {5, 1}};  // x=3, y=5
+    auto m = multivariate_eval_matrix(std::vector<MultiPoint>{p}, 2, 2);
+    ASSERT_EQ(m.cols(), 4u);
+    std::vector<BigInt> coeffs{1, 2, 3, 4};  // index = e_x*2 + e_y
+    auto vals = m.apply(coeffs);
+    // 1 + 2*5 + 3*3 + 4*15 = 80
+    EXPECT_EQ(vals[0], BigInt{80});
+}
+
+TEST(MultivariateEval, ProductSetInvertibleForPoly2k1) {
+    // Claim 2.2 + Claim 2.1: S^l evaluation of Poly_{2k-1, l} is injective
+    // when S is a valid 1-D point set.
+    for (int k : {2, 3}) {
+        const std::size_t m = static_cast<std::size_t>(2 * k - 1);
+        auto s = standard_points(m);
+        for (std::size_t l : {std::size_t{1}, std::size_t{2}}) {
+            auto pts = product_points(s, l);
+            auto e = multivariate_eval_matrix(pts, m, l);
+            EXPECT_EQ(e.rows(), e.cols());
+            EXPECT_TRUE(is_invertible(e)) << "k=" << k << " l=" << l;
+        }
+    }
+}
+
+TEST(MultivariateEval, EvaluateDigitsMatchesMatrixRow) {
+    Rng rng{17};
+    const std::size_t k = 2, l = 3, n = 8;  // k^l digits
+    std::vector<BigInt> digits(n);
+    for (auto& d : digits) d = random_signed_bits(rng, 20);
+    MultiPoint p{{2, 1}, {-1, 1}, {1, 0}};
+    auto m = multivariate_eval_matrix(std::vector<MultiPoint>{p}, k, l);
+    auto direct = evaluate_digits_at(digits, p, k);
+    auto via_matrix = m.apply(digits);
+    EXPECT_EQ(direct, via_matrix[0]);
+}
+
+TEST(MultivariateEval, ConsistentWithLazySplit) {
+    // The multivariate view (Claim 2.1): evaluating the k^l digit vector at
+    // the all-(B) point reproduces the integer itself.
+    Rng rng{23};
+    const std::size_t digit_bits = 8;
+    BigInt v = random_bits(rng, digit_bits * 8);  // 2^3 digits, k=2
+    auto digits = split_digits(v, digit_bits, 8);
+    // y_t = B^(2^(l-1-t)): y_2 = B, y_1 = B^2, y_0 = B^4.
+    const std::int64_t b = 1 << digit_bits;
+    MultiPoint p{{b * b * b * b, 1}, {b * b, 1}, {b, 1}};
+    EXPECT_EQ(evaluate_digits_at(digits, p, 2), v);
+}
+
+TEST(MultivariateEval, LazyLayoutMatchesMultivariateProduct) {
+    // lazy_convolve's coefficient layout is exactly the Poly_{2k-1,l}
+    // monomial order: verify via evaluation at a random multipoint.
+    auto plan = ToomPlan::make(2);
+    Rng rng{29};
+    const std::size_t l = 2, n = 4;
+    std::vector<BigInt> a(n), b(n);
+    for (auto& v : a) v = random_signed_bits(rng, 16);
+    for (auto& v : b) v = random_signed_bits(rng, 16);
+    auto c = lazy_convolve(plan, a, b, 1);
+    ASSERT_EQ(c.size(), 9u);  // (2k-1)^l
+
+    MultiPoint p{{4, 1}, {7, 1}};
+    auto me = multivariate_eval_matrix(std::vector<MultiPoint>{p}, 3, l);
+    auto c_at_p = me.apply(c)[0];
+    EXPECT_EQ(c_at_p, evaluate_digits_at(a, p, 2) * evaluate_digits_at(b, p, 2));
+}
+
+}  // namespace
+}  // namespace ftmul

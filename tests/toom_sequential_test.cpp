@@ -1,0 +1,106 @@
+#include "toom/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+
+namespace ftmul {
+namespace {
+
+TEST(ToomSequential, SmallKnownProducts) {
+    auto plan = ToomPlan::make(2);
+    ToomOptions opts;
+    opts.threshold_bits = 1;  // force at least one Toom level even for tiny inputs
+    EXPECT_EQ(toom_multiply(BigInt{6}, BigInt{7}, plan, opts), BigInt{42});
+    EXPECT_EQ(toom_multiply(BigInt{-6}, BigInt{7}, plan, opts), BigInt{-42});
+    EXPECT_EQ(toom_multiply(BigInt{6}, BigInt{-7}, plan, opts), BigInt{-42});
+    EXPECT_EQ(toom_multiply(BigInt{-6}, BigInt{-7}, plan, opts), BigInt{42});
+    EXPECT_EQ(toom_multiply(BigInt{}, BigInt{7}, plan, opts), BigInt{});
+}
+
+TEST(ToomSequential, PowerOfTwoProducts) {
+    auto plan = ToomPlan::make(3);
+    ToomOptions opts;
+    opts.threshold_bits = 64;
+    BigInt a = BigInt::power_of_two(1000);
+    BigInt b = BigInt::power_of_two(999);
+    EXPECT_EQ(toom_multiply(a, b, plan, opts), BigInt::power_of_two(1999));
+}
+
+TEST(ToomSequential, UnbalancedOperands) {
+    auto plan = ToomPlan::make(3);
+    ToomOptions opts;
+    opts.threshold_bits = 64;
+    Rng rng{42};
+    BigInt a = random_bits(rng, 5000);
+    BigInt b = random_bits(rng, 300);
+    EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b);
+    EXPECT_EQ(toom_multiply(b, a, plan, opts), a * b);
+}
+
+TEST(ToomSequential, SquareNumbers) {
+    auto plan = ToomPlan::make(4);
+    ToomOptions opts;
+    opts.threshold_bits = 128;
+    Rng rng{7};
+    BigInt a = random_bits(rng, 4096);
+    EXPECT_EQ(toom_multiply(a, a, plan, opts), a * a);
+}
+
+struct SeqCase {
+    int k;
+    std::size_t bits;
+};
+
+class ToomSequentialSweep : public ::testing::TestWithParam<SeqCase> {};
+
+TEST_P(ToomSequentialSweep, MatchesSchoolbook) {
+    const auto [k, bits] = GetParam();
+    auto plan = ToomPlan::make(k);
+    ToomOptions opts;
+    opts.threshold_bits = 256;
+    Rng rng{static_cast<std::uint64_t>(k) * 1000 + bits};
+    for (int i = 0; i < 3; ++i) {
+        BigInt a = random_signed_bits(rng, bits + rng.next_below(17));
+        BigInt b = random_signed_bits(rng, bits / 2 + rng.next_below(64) + 1);
+        EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b)
+            << "k=" << k << " bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSize, ToomSequentialSweep,
+    ::testing::Values(SeqCase{2, 512}, SeqCase{2, 2000}, SeqCase{2, 8192},
+                      SeqCase{3, 512}, SeqCase{3, 3000}, SeqCase{3, 10000},
+                      SeqCase{4, 1024}, SeqCase{4, 9000}, SeqCase{5, 5000},
+                      SeqCase{6, 7000}, SeqCase{7, 11000}, SeqCase{8, 8000}));
+
+TEST(ToomSequential, RedundantPointsDoNotChangeResult) {
+    // A plan with redundancy evaluates extra points but must multiply
+    // identically through the base interpolation.
+    Rng rng{3};
+    BigInt a = random_bits(rng, 3000);
+    BigInt b = random_bits(rng, 3000);
+    ToomOptions opts;
+    opts.threshold_bits = 256;
+    EXPECT_EQ(toom_multiply(a, b, ToomPlan::make(3, 0), opts),
+              toom_multiply(a, b, ToomPlan::make(3, 3), opts));
+}
+
+TEST(ToomSequential, CustomInterpolationHook) {
+    // A custom interpolation equal to the plan's operator gives the same
+    // product (plumbing check for the Toom-Graph path).
+    auto plan = ToomPlan::make(3);
+    ToomOptions opts;
+    opts.threshold_bits = 256;
+    opts.custom_interpolation = [&plan](std::vector<BigInt>& v) {
+        v = plan.interpolation().apply(v);
+    };
+    Rng rng{8};
+    BigInt a = random_bits(rng, 4000);
+    BigInt b = random_bits(rng, 4000);
+    EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b);
+}
+
+}  // namespace
+}  // namespace ftmul
