@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_toomgraph.dir/bench_ablation_toomgraph.cpp.o"
+  "CMakeFiles/bench_ablation_toomgraph.dir/bench_ablation_toomgraph.cpp.o.d"
+  "bench_ablation_toomgraph"
+  "bench_ablation_toomgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_toomgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

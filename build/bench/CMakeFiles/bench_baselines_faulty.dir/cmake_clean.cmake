@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_faulty.dir/bench_baselines_faulty.cpp.o"
+  "CMakeFiles/bench_baselines_faulty.dir/bench_baselines_faulty.cpp.o.d"
+  "bench_baselines_faulty"
+  "bench_baselines_faulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_faulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elementary.dir/bench_elementary.cpp.o"
+  "CMakeFiles/bench_elementary.dir/bench_elementary.cpp.o.d"
+  "bench_elementary"
+  "bench_elementary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elementary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_linear_coding.dir/bench_fig1_linear_coding.cpp.o"
+  "CMakeFiles/bench_fig1_linear_coding.dir/bench_fig1_linear_coding.cpp.o.d"
+  "bench_fig1_linear_coding"
+  "bench_fig1_linear_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_linear_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

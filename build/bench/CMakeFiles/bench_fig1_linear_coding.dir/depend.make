@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_linear_coding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_polynomial_coding.dir/bench_fig2_polynomial_coding.cpp.o"
+  "CMakeFiles/bench_fig2_polynomial_coding.dir/bench_fig2_polynomial_coding.cpp.o.d"
+  "bench_fig2_polynomial_coding"
+  "bench_fig2_polynomial_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_polynomial_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

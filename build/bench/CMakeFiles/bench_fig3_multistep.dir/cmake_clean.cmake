@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_multistep.dir/bench_fig3_multistep.cpp.o"
+  "CMakeFiles/bench_fig3_multistep.dir/bench_fig3_multistep.cpp.o.d"
+  "bench_fig3_multistep"
+  "bench_fig3_multistep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modeled_time.dir/bench_modeled_time.cpp.o"
+  "CMakeFiles/bench_modeled_time.dir/bench_modeled_time.cpp.o.d"
+  "bench_modeled_time"
+  "bench_modeled_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modeled_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_ratio.dir/bench_overhead_ratio.cpp.o"
+  "CMakeFiles/bench_overhead_ratio.dir/bench_overhead_ratio.cpp.o.d"
+  "bench_overhead_ratio"
+  "bench_overhead_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

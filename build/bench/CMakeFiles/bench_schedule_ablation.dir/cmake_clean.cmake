@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedule_ablation.dir/bench_schedule_ablation.cpp.o"
+  "CMakeFiles/bench_schedule_ablation.dir/bench_schedule_ablation.cpp.o.d"
+  "bench_schedule_ablation"
+  "bench_schedule_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sequential_crossover.dir/bench_sequential_crossover.cpp.o"
+  "CMakeFiles/bench_sequential_crossover.dir/bench_sequential_crossover.cpp.o.d"
+  "bench_sequential_crossover"
+  "bench_sequential_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sequential_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

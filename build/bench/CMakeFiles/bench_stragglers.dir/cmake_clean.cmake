@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stragglers.dir/bench_stragglers.cpp.o"
+  "CMakeFiles/bench_stragglers.dir/bench_stragglers.cpp.o.d"
+  "bench_stragglers"
+  "bench_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

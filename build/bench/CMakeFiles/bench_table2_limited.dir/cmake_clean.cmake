@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_limited.dir/bench_table2_limited.cpp.o"
+  "CMakeFiles/bench_table2_limited.dir/bench_table2_limited.cpp.o.d"
+  "bench_table2_limited"
+  "bench_table2_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_structure.dir/comm_structure.cpp.o"
+  "CMakeFiles/comm_structure.dir/comm_structure.cpp.o.d"
+  "comm_structure"
+  "comm_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_faulty_run.dir/ft_faulty_run.cpp.o"
+  "CMakeFiles/ft_faulty_run.dir/ft_faulty_run.cpp.o.d"
+  "ft_faulty_run"
+  "ft_faulty_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_faulty_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

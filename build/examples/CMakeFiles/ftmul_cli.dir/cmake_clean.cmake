@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_cli.dir/ftmul_cli.cpp.o"
+  "CMakeFiles/ftmul_cli.dir/ftmul_cli.cpp.o.d"
+  "ftmul_cli"
+  "ftmul_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modexp_crypto.dir/modexp_crypto.cpp.o"
+  "CMakeFiles/modexp_crypto.dir/modexp_crypto.cpp.o.d"
+  "modexp_crypto"
+  "modexp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modexp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

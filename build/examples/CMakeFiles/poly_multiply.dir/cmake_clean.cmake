@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_multiply.dir/poly_multiply.cpp.o"
+  "CMakeFiles/poly_multiply.dir/poly_multiply.cpp.o.d"
+  "poly_multiply"
+  "poly_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

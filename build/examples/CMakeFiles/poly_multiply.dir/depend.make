@@ -1,0 +1,2 @@
+# Empty dependencies file for poly_multiply.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/ftmul_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/ftmul_bigint.dir/io.cpp.o"
+  "CMakeFiles/ftmul_bigint.dir/io.cpp.o.d"
+  "CMakeFiles/ftmul_bigint.dir/limb_ops.cpp.o"
+  "CMakeFiles/ftmul_bigint.dir/limb_ops.cpp.o.d"
+  "CMakeFiles/ftmul_bigint.dir/montgomery.cpp.o"
+  "CMakeFiles/ftmul_bigint.dir/montgomery.cpp.o.d"
+  "CMakeFiles/ftmul_bigint.dir/random.cpp.o"
+  "CMakeFiles/ftmul_bigint.dir/random.cpp.o.d"
+  "CMakeFiles/ftmul_bigint.dir/serialize.cpp.o"
+  "CMakeFiles/ftmul_bigint.dir/serialize.cpp.o.d"
+  "libftmul_bigint.a"
+  "libftmul_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/erasure.cpp" "src/coding/CMakeFiles/ftmul_coding.dir/erasure.cpp.o" "gcc" "src/coding/CMakeFiles/ftmul_coding.dir/erasure.cpp.o.d"
+  "/root/repo/src/coding/redundant_points.cpp" "src/coding/CMakeFiles/ftmul_coding.dir/redundant_points.cpp.o" "gcc" "src/coding/CMakeFiles/ftmul_coding.dir/redundant_points.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ftmul_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/toom/CMakeFiles/ftmul_toom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rational/CMakeFiles/ftmul_rational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ftmul_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_coding.dir/erasure.cpp.o"
+  "CMakeFiles/ftmul_coding.dir/erasure.cpp.o.d"
+  "CMakeFiles/ftmul_coding.dir/redundant_points.cpp.o"
+  "CMakeFiles/ftmul_coding.dir/redundant_points.cpp.o.d"
+  "libftmul_coding.a"
+  "libftmul_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/ftmul_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ftmul_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/ft_linear.cpp" "src/core/CMakeFiles/ftmul_core.dir/ft_linear.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/ft_linear.cpp.o.d"
+  "/root/repo/src/core/ft_mixed.cpp" "src/core/CMakeFiles/ftmul_core.dir/ft_mixed.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/ft_mixed.cpp.o.d"
+  "/root/repo/src/core/ft_multistep.cpp" "src/core/CMakeFiles/ftmul_core.dir/ft_multistep.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/ft_multistep.cpp.o.d"
+  "/root/repo/src/core/ft_poly.cpp" "src/core/CMakeFiles/ftmul_core.dir/ft_poly.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/ft_poly.cpp.o.d"
+  "/root/repo/src/core/ft_soft.cpp" "src/core/CMakeFiles/ftmul_core.dir/ft_soft.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/ft_soft.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/ftmul_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/core/CMakeFiles/ftmul_core.dir/parallel.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/ftmul_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/ftmul_core.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toom/CMakeFiles/ftmul_toom.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ftmul_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ftmul_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ftmul_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rational/CMakeFiles/ftmul_rational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ftmul_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/ftmul_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/config.cpp.o"
+  "CMakeFiles/ftmul_core.dir/config.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/ft_linear.cpp.o"
+  "CMakeFiles/ftmul_core.dir/ft_linear.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/ft_mixed.cpp.o"
+  "CMakeFiles/ftmul_core.dir/ft_mixed.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/ft_multistep.cpp.o"
+  "CMakeFiles/ftmul_core.dir/ft_multistep.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/ft_poly.cpp.o"
+  "CMakeFiles/ftmul_core.dir/ft_poly.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/ft_soft.cpp.o"
+  "CMakeFiles/ftmul_core.dir/ft_soft.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/layout.cpp.o"
+  "CMakeFiles/ftmul_core.dir/layout.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/parallel.cpp.o"
+  "CMakeFiles/ftmul_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/ftmul_core.dir/replication.cpp.o"
+  "CMakeFiles/ftmul_core.dir/replication.cpp.o.d"
+  "libftmul_core.a"
+  "libftmul_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

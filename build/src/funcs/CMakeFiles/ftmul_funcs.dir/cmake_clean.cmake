@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_funcs.dir/elementary.cpp.o"
+  "CMakeFiles/ftmul_funcs.dir/elementary.cpp.o.d"
+  "libftmul_funcs.a"
+  "libftmul_funcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

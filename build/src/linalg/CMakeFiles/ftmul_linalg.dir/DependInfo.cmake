@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/exact_solve.cpp" "src/linalg/CMakeFiles/ftmul_linalg.dir/exact_solve.cpp.o" "gcc" "src/linalg/CMakeFiles/ftmul_linalg.dir/exact_solve.cpp.o.d"
+  "/root/repo/src/linalg/vandermonde.cpp" "src/linalg/CMakeFiles/ftmul_linalg.dir/vandermonde.cpp.o" "gcc" "src/linalg/CMakeFiles/ftmul_linalg.dir/vandermonde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rational/CMakeFiles/ftmul_rational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ftmul_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_linalg.dir/exact_solve.cpp.o"
+  "CMakeFiles/ftmul_linalg.dir/exact_solve.cpp.o.d"
+  "CMakeFiles/ftmul_linalg.dir/vandermonde.cpp.o"
+  "CMakeFiles/ftmul_linalg.dir/vandermonde.cpp.o.d"
+  "libftmul_linalg.a"
+  "libftmul_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_rational.dir/rational.cpp.o"
+  "CMakeFiles/ftmul_rational.dir/rational.cpp.o.d"
+  "libftmul_rational.a"
+  "libftmul_rational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_rational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/collectives.cpp" "src/runtime/CMakeFiles/ftmul_runtime.dir/collectives.cpp.o" "gcc" "src/runtime/CMakeFiles/ftmul_runtime.dir/collectives.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/runtime/CMakeFiles/ftmul_runtime.dir/machine.cpp.o" "gcc" "src/runtime/CMakeFiles/ftmul_runtime.dir/machine.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/ftmul_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/ftmul_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/ftmul_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

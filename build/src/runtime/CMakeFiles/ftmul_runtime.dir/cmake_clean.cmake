@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_runtime.dir/collectives.cpp.o"
+  "CMakeFiles/ftmul_runtime.dir/collectives.cpp.o.d"
+  "CMakeFiles/ftmul_runtime.dir/machine.cpp.o"
+  "CMakeFiles/ftmul_runtime.dir/machine.cpp.o.d"
+  "CMakeFiles/ftmul_runtime.dir/trace.cpp.o"
+  "CMakeFiles/ftmul_runtime.dir/trace.cpp.o.d"
+  "libftmul_runtime.a"
+  "libftmul_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toom/digits.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/digits.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/digits.cpp.o.d"
+  "/root/repo/src/toom/hybrid.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/hybrid.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/hybrid.cpp.o.d"
+  "/root/repo/src/toom/interp.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/interp.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/interp.cpp.o.d"
+  "/root/repo/src/toom/kronecker.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/kronecker.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/kronecker.cpp.o.d"
+  "/root/repo/src/toom/lazy.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/lazy.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/lazy.cpp.o.d"
+  "/root/repo/src/toom/multivariate.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/multivariate.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/multivariate.cpp.o.d"
+  "/root/repo/src/toom/plan.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/plan.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/plan.cpp.o.d"
+  "/root/repo/src/toom/points.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/points.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/points.cpp.o.d"
+  "/root/repo/src/toom/sequential.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/sequential.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/sequential.cpp.o.d"
+  "/root/repo/src/toom/squaring.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/squaring.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/squaring.cpp.o.d"
+  "/root/repo/src/toom/toom_graph.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/toom_graph.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/toom_graph.cpp.o.d"
+  "/root/repo/src/toom/unbalanced.cpp" "src/toom/CMakeFiles/ftmul_toom.dir/unbalanced.cpp.o" "gcc" "src/toom/CMakeFiles/ftmul_toom.dir/unbalanced.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ftmul_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rational/CMakeFiles/ftmul_rational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/ftmul_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

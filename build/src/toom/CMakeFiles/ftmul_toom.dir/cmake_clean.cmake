@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmul_toom.dir/digits.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/digits.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/hybrid.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/hybrid.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/interp.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/interp.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/kronecker.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/kronecker.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/lazy.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/lazy.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/multivariate.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/multivariate.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/plan.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/plan.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/points.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/points.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/sequential.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/sequential.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/squaring.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/squaring.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/toom_graph.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/toom_graph.cpp.o.d"
+  "CMakeFiles/ftmul_toom.dir/unbalanced.cpp.o"
+  "CMakeFiles/ftmul_toom.dir/unbalanced.cpp.o.d"
+  "libftmul_toom.a"
+  "libftmul_toom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmul_toom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

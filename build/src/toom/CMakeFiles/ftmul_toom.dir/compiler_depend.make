@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ftmul_toom.
+# This may be replaced when dependencies are built.

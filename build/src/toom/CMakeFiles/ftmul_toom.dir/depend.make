@@ -1,0 +1,2 @@
+# Empty dependencies file for ftmul_toom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint_io.dir/bigint_io_test.cpp.o"
+  "CMakeFiles/test_bigint_io.dir/bigint_io_test.cpp.o.d"
+  "test_bigint_io"
+  "test_bigint_io.pdb"
+  "test_bigint_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding_erasure.dir/coding_erasure_test.cpp.o"
+  "CMakeFiles/test_coding_erasure.dir/coding_erasure_test.cpp.o.d"
+  "test_coding_erasure"
+  "test_coding_erasure.pdb"
+  "test_coding_erasure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

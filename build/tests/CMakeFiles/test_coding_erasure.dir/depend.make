@@ -1,0 +1,2 @@
+# Empty dependencies file for test_coding_erasure.
+# This may be replaced when dependencies are built.

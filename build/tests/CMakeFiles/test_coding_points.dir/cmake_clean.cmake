@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding_points.dir/coding_points_test.cpp.o"
+  "CMakeFiles/test_coding_points.dir/coding_points_test.cpp.o.d"
+  "test_coding_points"
+  "test_coding_points.pdb"
+  "test_coding_points[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_checkpoint.dir/core_checkpoint_test.cpp.o"
+  "CMakeFiles/test_core_checkpoint.dir/core_checkpoint_test.cpp.o.d"
+  "test_core_checkpoint"
+  "test_core_checkpoint.pdb"
+  "test_core_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ft_linear.dir/core_ft_linear_test.cpp.o"
+  "CMakeFiles/test_core_ft_linear.dir/core_ft_linear_test.cpp.o.d"
+  "test_core_ft_linear"
+  "test_core_ft_linear.pdb"
+  "test_core_ft_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ft_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ft_mixed.dir/core_ft_mixed_test.cpp.o"
+  "CMakeFiles/test_core_ft_mixed.dir/core_ft_mixed_test.cpp.o.d"
+  "test_core_ft_mixed"
+  "test_core_ft_mixed.pdb"
+  "test_core_ft_mixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ft_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ft_multistep.dir/core_ft_multistep_test.cpp.o"
+  "CMakeFiles/test_core_ft_multistep.dir/core_ft_multistep_test.cpp.o.d"
+  "test_core_ft_multistep"
+  "test_core_ft_multistep.pdb"
+  "test_core_ft_multistep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ft_multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ft_poly.dir/core_ft_poly_test.cpp.o"
+  "CMakeFiles/test_core_ft_poly.dir/core_ft_poly_test.cpp.o.d"
+  "test_core_ft_poly"
+  "test_core_ft_poly.pdb"
+  "test_core_ft_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ft_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

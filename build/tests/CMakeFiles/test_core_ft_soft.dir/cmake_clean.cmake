@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ft_soft.dir/core_ft_soft_test.cpp.o"
+  "CMakeFiles/test_core_ft_soft.dir/core_ft_soft_test.cpp.o.d"
+  "test_core_ft_soft"
+  "test_core_ft_soft.pdb"
+  "test_core_ft_soft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ft_soft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_layout.dir/core_layout_test.cpp.o"
+  "CMakeFiles/test_core_layout.dir/core_layout_test.cpp.o.d"
+  "test_core_layout"
+  "test_core_layout.pdb"
+  "test_core_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

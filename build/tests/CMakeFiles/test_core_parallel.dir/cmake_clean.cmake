@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_parallel.dir/core_parallel_test.cpp.o"
+  "CMakeFiles/test_core_parallel.dir/core_parallel_test.cpp.o.d"
+  "test_core_parallel"
+  "test_core_parallel.pdb"
+  "test_core_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_replication.dir/core_replication_test.cpp.o"
+  "CMakeFiles/test_core_replication.dir/core_replication_test.cpp.o.d"
+  "test_core_replication"
+  "test_core_replication.pdb"
+  "test_core_replication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funcs.dir/funcs_test.cpp.o"
+  "CMakeFiles/test_funcs.dir/funcs_test.cpp.o.d"
+  "test_funcs"
+  "test_funcs.pdb"
+  "test_funcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_differential.dir/fuzz_differential_test.cpp.o"
+  "CMakeFiles/test_fuzz_differential.dir/fuzz_differential_test.cpp.o.d"
+  "test_fuzz_differential"
+  "test_fuzz_differential.pdb"
+  "test_fuzz_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kronecker.dir/kronecker_test.cpp.o"
+  "CMakeFiles/test_kronecker.dir/kronecker_test.cpp.o.d"
+  "test_kronecker"
+  "test_kronecker.pdb"
+  "test_kronecker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kronecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rational_test.cpp" "tests/CMakeFiles/test_rational.dir/rational_test.cpp.o" "gcc" "tests/CMakeFiles/test_rational.dir/rational_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/ftmul_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/rational/CMakeFiles/ftmul_rational.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ftmul_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/toom/CMakeFiles/ftmul_toom.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ftmul_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ftmul_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftmul_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/ftmul_funcs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_trace.dir/runtime_trace_test.cpp.o"
+  "CMakeFiles/test_runtime_trace.dir/runtime_trace_test.cpp.o.d"
+  "test_runtime_trace"
+  "test_runtime_trace.pdb"
+  "test_runtime_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

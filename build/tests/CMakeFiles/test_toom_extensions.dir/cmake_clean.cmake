@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toom_extensions.dir/toom_extensions_test.cpp.o"
+  "CMakeFiles/test_toom_extensions.dir/toom_extensions_test.cpp.o.d"
+  "test_toom_extensions"
+  "test_toom_extensions.pdb"
+  "test_toom_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toom_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

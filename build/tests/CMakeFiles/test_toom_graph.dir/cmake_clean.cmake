@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toom_graph.dir/toom_graph_test.cpp.o"
+  "CMakeFiles/test_toom_graph.dir/toom_graph_test.cpp.o.d"
+  "test_toom_graph"
+  "test_toom_graph.pdb"
+  "test_toom_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toom_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toom_lazy.dir/toom_lazy_test.cpp.o"
+  "CMakeFiles/test_toom_lazy.dir/toom_lazy_test.cpp.o.d"
+  "test_toom_lazy"
+  "test_toom_lazy.pdb"
+  "test_toom_lazy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toom_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_toom_lazy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toom_multivariate.dir/toom_multivariate_test.cpp.o"
+  "CMakeFiles/test_toom_multivariate.dir/toom_multivariate_test.cpp.o.d"
+  "test_toom_multivariate"
+  "test_toom_multivariate.pdb"
+  "test_toom_multivariate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toom_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

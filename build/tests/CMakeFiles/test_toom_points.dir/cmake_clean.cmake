@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toom_points.dir/toom_points_test.cpp.o"
+  "CMakeFiles/test_toom_points.dir/toom_points_test.cpp.o.d"
+  "test_toom_points"
+  "test_toom_points.pdb"
+  "test_toom_points[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toom_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

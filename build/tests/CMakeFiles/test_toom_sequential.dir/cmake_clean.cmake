@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toom_sequential.dir/toom_sequential_test.cpp.o"
+  "CMakeFiles/test_toom_sequential.dir/toom_sequential_test.cpp.o.d"
+  "test_toom_sequential"
+  "test_toom_sequential.pdb"
+  "test_toom_sequential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toom_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
