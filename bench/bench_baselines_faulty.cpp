@@ -18,7 +18,7 @@
 namespace ftmul {
 namespace {
 
-void hard_faults(int k, int P, std::size_t bits) {
+void hard_faults(bench::JsonReport& report, int k, int P, std::size_t bits) {
     Rng rng{static_cast<std::uint64_t>(P)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
@@ -90,6 +90,7 @@ void hard_faults(int k, int P, std::size_t bits) {
                   "Surviving hard faults: k=%d P=%d n=%zu bits", k, P, bits);
     bench::print_header(title);
     bench::print_rows(rows, 0);
+    report.add_table(title, rows, 0);
     bench::print_aggregate_overheads(rows, 0);
 }
 
@@ -137,8 +138,10 @@ void soft_faults(int k, int P, std::size_t bits) {
 int main() {
     std::printf("Baselines under live faults — every strategy surviving the "
                 "same adversity, with its true price.\n");
-    ftmul::hard_faults(2, 9, 1 << 15);
-    ftmul::hard_faults(3, 25, 1 << 16);
+    ftmul::bench::JsonReport report("baselines_faulty");
+    ftmul::hard_faults(report, 2, 9, 1 << 15);
+    ftmul::hard_faults(report, 3, 25, 1 << 16);
     ftmul::soft_faults(2, 9, 1 << 15);
+    report.write();
     return 0;
 }

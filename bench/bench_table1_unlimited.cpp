@@ -22,7 +22,8 @@
 namespace ftmul {
 namespace {
 
-void run_config(int k, int P, int f, std::size_t bits) {
+void run_config(bench::JsonReport& report, int k, int P, int f,
+                std::size_t bits) {
     Rng rng{static_cast<std::uint64_t>(k * 1000 + P * 10 + f)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits - bits / 5);
@@ -90,6 +91,7 @@ void run_config(int k, int P, int f, std::size_t bits) {
                   P, f, bits);
     bench::print_header(title);
     bench::print_rows(rows, 0);
+    report.add_table(title, rows, 0);
     std::printf("paper: FT rows ~ (1+o(1))x base; extra procs: repl f*P=%d, "
                 "linear f*(2k-1)=%d, poly f*P/(2k-1)=%d, multi-step f=%d\n",
                 f * P, f * (2 * k - 1), f * P / (2 * k - 1), f);
@@ -103,10 +105,12 @@ int main() {
     std::printf("Reproduction of Table 1 — costs measured on the simulated "
                 "P-processor machine (words/messages/limb-ops counted along "
                 "the critical path).\n");
-    ftmul::run_config(2, 9, 1, 1 << 16);
-    ftmul::run_config(2, 9, 2, 1 << 16);
-    ftmul::run_config(2, 27, 1, 1 << 17);
-    ftmul::run_config(3, 25, 1, 1 << 17);
-    ftmul::run_config(3, 25, 2, 1 << 17);
+    ftmul::bench::JsonReport report("table1_unlimited");
+    ftmul::run_config(report, 2, 9, 1, 1 << 16);
+    ftmul::run_config(report, 2, 9, 2, 1 << 16);
+    ftmul::run_config(report, 2, 27, 1, 1 << 17);
+    ftmul::run_config(report, 3, 25, 1, 1 << 17);
+    ftmul::run_config(report, 3, 25, 2, 1 << 17);
+    report.write();
     return 0;
 }

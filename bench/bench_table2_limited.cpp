@@ -16,7 +16,8 @@
 namespace ftmul {
 namespace {
 
-void run_config(int k, int P, int f, std::size_t bits, int dfs) {
+void run_config(bench::JsonReport& report, int k, int P, int f,
+                std::size_t bits, int dfs) {
     Rng rng{static_cast<std::uint64_t>(k * 999 + P + dfs)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits - 7);
@@ -54,6 +55,7 @@ void run_config(int k, int P, int f, std::size_t bits, int dfs) {
                   k, P, f, bits, dfs);
     bench::print_header(title);
     bench::print_rows(rows, 0);
+    report.add_table(title, rows, 0);
 }
 
 void memory_sweep(int k, int P, std::size_t bits) {
@@ -95,11 +97,13 @@ void memory_sweep(int k, int P, std::size_t bits) {
 int main() {
     std::printf("Reproduction of Table 2 — limited-memory costs on the "
                 "simulated machine.\n");
-    ftmul::run_config(2, 9, 1, 1 << 16, 0);
-    ftmul::run_config(2, 9, 1, 1 << 16, 1);
-    ftmul::run_config(2, 9, 1, 1 << 16, 2);
-    ftmul::run_config(3, 5, 1, 1 << 15, 1);
+    ftmul::bench::JsonReport report("table2_limited");
+    ftmul::run_config(report, 2, 9, 1, 1 << 16, 0);
+    ftmul::run_config(report, 2, 9, 1, 1 << 16, 1);
+    ftmul::run_config(report, 2, 9, 1, 1 << 16, 2);
+    ftmul::run_config(report, 3, 5, 1, 1 << 15, 1);
     ftmul::memory_sweep(2, 9, 1 << 16);
     ftmul::memory_sweep(3, 5, 1 << 15);
+    report.write();
     return 0;
 }

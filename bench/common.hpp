@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/costs.hpp"
+#include "runtime/json.hpp"
+#include "runtime/report.hpp"
 
 namespace ftmul::bench {
 
@@ -50,6 +54,68 @@ inline void print_rows(const std::vector<Row>& rows, std::size_t baseline) {
             r.ok ? "yes" : "NO");
     }
 }
+
+/// Machine-readable twin of the printed tables: accumulates every table a
+/// bench binary emits and writes them as one schema-versioned
+/// BENCH_<name>.json (into $FTMUL_BENCH_DIR when set, else the cwd), so the
+/// reproduced numbers can be diffed across runs without scraping stdout.
+class JsonReport {
+ public:
+    explicit JsonReport(std::string bench_name)
+        : name_(std::move(bench_name)) {}
+
+    void add_table(const std::string& title, const std::vector<Row>& rows,
+                   std::size_t baseline) {
+        Json t = Json::object();
+        t.set("title", title);
+        t.set("baseline", static_cast<std::uint64_t>(baseline));
+        Json jrows = Json::array();
+        for (const Row& r : rows) {
+            Json row = Json::object();
+            row.set("name", r.name);
+            row.set("critical", counters_json(r.crit));
+            row.set("aggregate", counters_json(r.agg));
+            row.set("peak_memory_words", r.peak_mem);
+            row.set("processors", r.processors);
+            row.set("extra_processors", r.extra_processors);
+            row.set("tolerance", r.tolerance);
+            row.set("ok", r.ok);
+            jrows.push_back(std::move(row));
+        }
+        t.set("rows", std::move(jrows));
+        tables_.push_back(std::move(t));
+    }
+
+    Json to_json() const {
+        Json root = Json::object();
+        root.set("schema", kBenchRowsSchema);
+        root.set("version", kBenchRowsVersion);
+        root.set("bench", name_);
+        root.set("tables", tables_);
+        return root;
+    }
+
+    std::string path() const {
+        std::string dir;
+        if (const char* d = std::getenv("FTMUL_BENCH_DIR")) {
+            dir = std::string(d) + "/";
+        }
+        return dir + "BENCH_" + name_ + ".json";
+    }
+
+    /// Write the report; prints where it went (or a warning) on stderr.
+    bool write() const {
+        const std::string p = path();
+        const bool ok = write_text_file(p, to_json().dump(2) + "\n");
+        std::fprintf(stderr, ok ? "wrote %s\n" : "cannot write %s\n",
+                     p.c_str());
+        return ok;
+    }
+
+ private:
+    std::string name_;
+    Json tables_ = Json::array();
+};
 
 inline void print_aggregate_overheads(const std::vector<Row>& rows,
                                       std::size_t baseline) {

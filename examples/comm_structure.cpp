@@ -28,14 +28,14 @@ int main(int argc, char** argv) {
                 bits, res.product == a * b ? "verified" : "WRONG");
 
     std::printf("words sent, all phases (digit = log10 of words; '.' = none):\n%s\n",
-                res.trace->render_comm_matrix(9).c_str());
+                res.trace->render_comm_matrix().c_str());
     std::printf("BFS step 0 only — communication stays within grid *rows* "
                 "{0,1,2}, {3,4,5}, {6,7,8}:\n%s\n",
-                res.trace->render_comm_matrix(9, "xfwd-L0").c_str());
+                res.trace->render_comm_matrix("xfwd-L0").c_str());
     std::printf("BFS step 1 only — rows of the repositioned grid are the "
                 "column subgroups {c, c+3, c+6}:\n%s\n",
-                res.trace->render_comm_matrix(9, "xfwd-L1").c_str());
+                res.trace->render_comm_matrix("xfwd-L1").c_str());
     std::printf("phase walk of each processor:\n%s",
-                res.trace->render_phase_sequences(9).c_str());
+                res.trace->render_phase_sequences().c_str());
     return 0;
 }

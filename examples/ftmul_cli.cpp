@@ -13,6 +13,10 @@
 //     --kill PHASE:RANK inject a hard fault (repeatable; FT engines only)
 //     --hex             operands and output in hexadecimal
 //     --stats           print machine-model cost counters
+//     --report json     print the JSON run report instead of the product
+//                       (machine engines only; see docs/OBSERVABILITY.md)
+//     --report-out FILE write the JSON run report to FILE
+//     --trace-out FILE  write a Chrome Trace Event file (chrome://tracing)
 //
 // Example: ftmul_cli --engine ft-poly --kill mul:0 --stats 123456789 987654321
 
@@ -26,6 +30,7 @@
 #include "core/ft_poly.hpp"
 #include "core/parallel.hpp"
 #include "funcs/elementary.hpp"
+#include "runtime/report.hpp"
 #include "toom/lazy.hpp"
 #include "toom/sequential.hpp"
 #include "toom/unbalanced.hpp"
@@ -42,6 +47,9 @@ struct Options {
     int faults = 1;
     bool hex = false;
     bool stats = false;
+    std::string report;      // "json" = print run report on stdout
+    std::string report_out;  // write run report to this file
+    std::string trace_out;   // write Chrome trace to this file
     FaultPlan plan;
     std::vector<std::string> operands;
 };
@@ -50,7 +58,8 @@ struct Options {
     std::fprintf(stderr,
                  "usage: ftmul_cli [--engine seq|lazy|unbalanced|parallel|"
                  "ft-linear|ft-poly|ft-mixed] [--k K] [--procs P] "
-                 "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] A B\n");
+                 "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] "
+                 "[--report json] [--report-out FILE] [--trace-out FILE] A B\n");
     std::exit(2);
 }
 
@@ -82,6 +91,13 @@ Options parse(int argc, char** argv) {
             o.hex = true;
         } else if (arg == "--stats") {
             o.stats = true;
+        } else if (arg == "--report") {
+            o.report = next();
+            if (o.report != "json") usage();
+        } else if (arg == "--report-out") {
+            o.report_out = next();
+        } else if (arg == "--trace-out") {
+            o.trace_out = next();
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {
@@ -118,7 +134,17 @@ int main(int argc, char** argv) {
     const BigInt a = read(o.operands[0]);
     const BigInt b = o.operands.size() > 1 ? read(o.operands[1]) : BigInt{};
 
+    // The observability exports only make sense for the machine engines.
+    const bool wants_obs =
+        !o.report.empty() || !o.report_out.empty() || !o.trace_out.empty();
+
     if (o.op != "mul") {
+        if (wants_obs) {
+            std::fprintf(stderr,
+                         "ftmul_cli: --report/--trace-out need --op mul with a "
+                         "machine engine\n");
+            return 2;
+        }
         const ToomPlan plan = ToomPlan::make(o.k ? o.k : 3);
         auto toom = [&](const BigInt& x, const BigInt& y) {
             return toom_multiply(x, y, plan);
@@ -144,38 +170,103 @@ int main(int argc, char** argv) {
     }
 
     BigInt product;
+    RunStats stats;
+    std::shared_ptr<EventLog> events;
+    ReportMeta meta;
     if (o.engine == "seq") {
+        if (wants_obs) {
+            std::fprintf(stderr,
+                         "ftmul_cli: --report/--trace-out need a machine "
+                         "engine (parallel/ft-*)\n");
+            return 2;
+        }
         product = toom_multiply(a, b, ToomPlan::make(o.k ? o.k : 3));
     } else if (o.engine == "lazy") {
+        if (wants_obs) {
+            std::fprintf(stderr,
+                         "ftmul_cli: --report/--trace-out need a machine "
+                         "engine (parallel/ft-*)\n");
+            return 2;
+        }
         product = toom_multiply_lazy(a, b, ToomPlan::make(o.k ? o.k : 3));
     } else if (o.engine == "unbalanced") {
+        if (wants_obs) {
+            std::fprintf(stderr,
+                         "ftmul_cli: --report/--trace-out need a machine "
+                         "engine (parallel/ft-*)\n");
+            return 2;
+        }
         product = toom_multiply_unbalanced(a, b, UnbalancedPlan::make(3, 2));
     } else {
         ParallelConfig base;
         base.k = o.k ? o.k : 2;
         base.processors = o.procs;
+        base.events = wants_obs;
+        meta.algorithm = o.engine;
+        meta.processors = o.procs;
+        meta.bits_a = a.bit_length();
+        meta.bits_b = b.bit_length();
         if (o.engine == "parallel") {
             auto r = parallel_toom_multiply(a, b, base);
             product = r.product;
-            if (o.stats) print_stats(r.stats);
+            stats = r.stats;
+            events = r.events;
         } else if (o.engine == "ft-linear") {
             auto r = ft_linear_multiply(a, b, {base, o.faults}, o.plan);
             product = r.product;
-            if (o.stats) print_stats(r.stats);
+            stats = r.stats;
+            events = r.events;
+            meta.extra_processors = r.extra_processors;
+            meta.tolerance = o.faults;
         } else if (o.engine == "ft-poly") {
             auto r = ft_poly_multiply(a, b, {base, o.faults}, o.plan);
             product = r.product;
-            if (o.stats) print_stats(r.stats);
+            stats = r.stats;
+            events = r.events;
+            meta.extra_processors = r.extra_processors;
+            meta.tolerance = o.faults;
         } else if (o.engine == "ft-mixed") {
             auto r = ft_mixed_multiply(a, b, {base, o.faults}, o.plan);
             product = r.product;
-            if (o.stats) print_stats(r.stats);
+            stats = r.stats;
+            events = r.events;
+            meta.extra_processors = r.extra_processors;
+            meta.tolerance = o.faults;
         } else {
             usage();
         }
+        if (o.stats) print_stats(stats);
+        if (wants_obs) {
+            meta.product_hex = product.to_hex();
+            const std::string report = run_report_json(
+                stats, meta, &o.plan, events.get());
+            if (o.report == "json") std::fputs(report.c_str(), stdout);
+            if (!o.report_out.empty() &&
+                !write_text_file(o.report_out, report)) {
+                std::fprintf(stderr, "ftmul_cli: cannot write %s\n",
+                             o.report_out.c_str());
+                return 1;
+            }
+            if (!o.trace_out.empty()) {
+                if (events == nullptr) {
+                    std::fprintf(stderr,
+                                 "ftmul_cli: no event log for trace\n");
+                    return 1;
+                }
+                if (!write_text_file(o.trace_out,
+                                     chrome_trace_json(*events))) {
+                    std::fprintf(stderr, "ftmul_cli: cannot write %s\n",
+                                 o.trace_out.c_str());
+                    return 1;
+                }
+            }
+        }
     }
 
-    std::printf("%s\n",
-                o.hex ? product.to_hex().c_str() : product.to_decimal().c_str());
+    // --report=json replaces the product on stdout with the report.
+    if (o.report != "json") {
+        std::printf("%s\n", o.hex ? product.to_hex().c_str()
+                                  : product.to_decimal().c_str());
+    }
     return 0;
 }

@@ -95,6 +95,7 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
 
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(P, plan);
+    if (cfg.base.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
     const auto unpts = static_cast<std::size_t>(npts);
     const std::size_t N = shape.total_digits;
@@ -126,11 +127,13 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
                 std::binary_search(dead.begin(), dead.end(), ward);
             if (!i_fail && !ward_died) return;
             rank.phase(std::string("restore-") + phase);
+            rank.begin_recovery(dead);
             if (ward_died) rank.send_bigints(ward, tag, ward_copy);
             if (i_fail) {
                 state.clear();  // data lost
                 state = rank.recv_bigints(buddy, tag);
             }
+            rank.end_recovery();
             rank.phase(std::string(phase) + "+post-restore");
         };
 
@@ -230,6 +233,7 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(me)] = std::move(child);
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);
     BigInt prod = recompose_digits(full, shape.digit_bits);

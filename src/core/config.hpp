@@ -42,6 +42,12 @@ struct ParallelConfig {
     /// exposed through ParallelRunResult::trace.
     bool trace = false;
 
+    /// Record the typed event log of the run (phase enter/exit, messages,
+    /// faults, recoveries, memory peaks; see runtime/events.hpp); exposed
+    /// through ParallelRunResult::events / FtRunResult::events and consumed
+    /// by the JSON run report and the Chrome-trace export.
+    bool events = false;
+
     /// Explicit BFS/DFS schedule, e.g. "BDDB": 'D' = communication-free DFS
     /// step, 'B' = row-exchange BFS step. Empty = the optimal order (all
     /// DFS first, then all BFS — Ballard et al., cited in Section 3). Must

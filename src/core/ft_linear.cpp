@@ -264,6 +264,7 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
 
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(world, plan);
+    if (cfg.base.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
 
     const std::size_t N = shape.total_digits;
@@ -312,11 +313,13 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
                 return false;  // spare code rows sit this recovery out
             }
             rank.phase("recover-" + bd.phase);
+            rank.begin_recovery(*dead);
             if (i_fail) state.clear();
             auto rebuilt = recover_column(rank, P, npts, f, members, col,
                                           *dead, is_code ? code : state,
                                           bd.tag + 2 * f + 2);
             if (i_fail) state = std::move(rebuilt);
+            rank.end_recovery();
             // Resume in a distinct bucket so recovery costs stay visible.
             rank.phase(bd.phase + "+post-recovery");
             return i_fail;
@@ -428,6 +431,7 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(rank.id())] = std::move(child);
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);
     BigInt prod = recompose_digits(full, shape.digit_bits);

@@ -115,6 +115,7 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
 
     const ToomPlan tplan = ToomPlan::make(k, static_cast<std::size_t>(f));
     Machine machine(world, plan);
+    if (cfg.base.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(data_world));
 
     const std::size_t N = shape.total_digits;
@@ -266,8 +267,10 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
                 (rank.id() - data_world) / wide <
                     static_cast<int>(it->second.at(col).size())) {
                 rank.phase("recover-eval-L0");
+                rank.begin_recovery(it->second.at(col));
                 (void)recover_column(rank, col, it->second.at(col), none, code,
                                      500);
+                rank.end_recovery();
             }
             if (col_doomed) return;  // column halts at the mult phase
             rank.phase("encode-children");
@@ -277,8 +280,10 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
                 (rank.id() - data_world) / wide <
                     static_cast<int>(it->second.at(col).size())) {
                 rank.phase("recover-interp-L0");
+                rank.begin_recovery(it->second.at(col));
                 (void)recover_column(rank, col, it->second.at(col), none, code,
                                      580);
+                rank.end_recovery();
             }
             return;
         }
@@ -301,10 +306,12 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
         if (auto it = linear_faults.find(kEvalPhase);
             it != linear_faults.end() && it->second.count(col)) {
             rank.phase("recover-eval-L0");
+            rank.begin_recovery(it->second.at(col));
             if (fail_eval) state.clear();
             auto rebuilt = recover_column(rank, col, it->second.at(col), state,
                                           {}, 500);
             if (fail_eval) state = std::move(rebuilt);
+            rank.end_recovery();
             rank.phase("eval-L0+post-recovery");
         }
         if (fail_eval) {
@@ -398,17 +405,19 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
         if (auto it = linear_faults.find(kInterpPhase);
             it != linear_faults.end() && it->second.count(col)) {
             rank.phase("recover-interp-L0");
+            rank.begin_recovery(it->second.at(col));
             auto& own = role_children[static_cast<std::size_t>(col)];
             if (fail_interp) own.clear();
             auto rebuilt =
                 recover_column(rank, col, it->second.at(col), own, {}, 580);
             if (fail_interp) own = std::move(rebuilt);
+            rank.end_recovery();
             rank.phase("interp-L0+post-recovery");
         }
 
         // On-the-fly interpolation from the surviving points.
         const InterpOperator op = tplan.interpolation_for(used_cols);
-        for (std::size_t role : roles) {
+        auto interp_role = [&](std::size_t role) {
             std::vector<BigInt> coeffs(unpts * rc);
             op.apply_blocks(role_children[role], coeffs, rc);
             std::vector<BigInt> out(2 * N /
@@ -419,9 +428,23 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
                 }
             }
             slices[row * uwide + role] = std::move(out);
+        };
+        interp_role(static_cast<std::size_t>(col));
+        if (roles.size() > 1) {
+            // Substituting for the doomed columns' shares is recovery work.
+            std::vector<int> dead;
+            for (std::size_t i = 1; i < roles.size(); ++i) {
+                dead.push_back(static_cast<int>(row * uwide + roles[i]));
+            }
+            rank.begin_recovery(dead);
+            for (std::size_t i = 1; i < roles.size(); ++i) {
+                interp_role(roles[i]);
+            }
+            rank.end_recovery();
         }
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);
     BigInt prod = recompose_digits(full, shape.digit_bits);

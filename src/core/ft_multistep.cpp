@@ -125,6 +125,7 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
 
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(world, plan);
+    if (cfg.base.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(world));
 
     const std::size_t N = shape.total_digits;
@@ -207,7 +208,7 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
             InterpOperator::from_rational(inverse(eval_out.cast<BigRational>()));
 
         const auto uwide_data = static_cast<std::size_t>(wide_data);
-        for (std::size_t role : roles) {
+        auto interp_role = [&](std::size_t role) {
             std::vector<BigInt> children;
             children.reserve(uwide_data * rc);
             for (std::size_t src : used_cols) {
@@ -248,9 +249,23 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
                 }
             }
             slices[row * uwide + role] = std::move(out);
+        };
+        interp_role(col);
+        if (roles.size() > 1) {
+            // Substituting for the doomed columns' shares is recovery work.
+            std::vector<int> dead;
+            for (std::size_t i = 1; i < roles.size(); ++i) {
+                dead.push_back(static_cast<int>(row * uwide + roles[i]));
+            }
+            rank.begin_recovery(dead);
+            for (std::size_t i = 1; i < roles.size(); ++i) {
+                interp_role(roles[i]);
+            }
+            rank.end_recovery();
         }
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);
     BigInt prod = recompose_digits(full, shape.digit_bits);

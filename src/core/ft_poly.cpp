@@ -88,6 +88,7 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
     const ToomPlan tplan =
         ToomPlan::make(k, static_cast<std::size_t>(f));
     Machine machine(world, plan);
+    if (cfg.base.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(world));
 
     const std::size_t N = shape.total_digits;
@@ -172,7 +173,7 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
         rank.phase("interp-L0");
         // On-the-fly interpolation from the surviving points (Section 4.2).
         const InterpOperator op = tplan.interpolation_for(used_cols);
-        for (std::size_t role : roles) {
+        auto interp_role = [&](std::size_t role) {
             std::vector<BigInt> children;
             children.reserve(unpts * rc);
             for (std::size_t src : used_cols) {
@@ -206,9 +207,25 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
                 }
             }
             slices[row * uwide + role] = std::move(out);
+        };
+        interp_role(col);
+        if (roles.size() > 1) {
+            // Substituting for dead row peers is recovery work: attribute
+            // its exact cost to this rank with the ranks it rebuilds.
+            std::vector<int> dead;
+            for (std::size_t i = 1; i < roles.size(); ++i) {
+                dead.push_back(
+                    static_cast<int>(row * uwide + roles[i]));
+            }
+            rank.begin_recovery(dead);
+            for (std::size_t i = 1; i < roles.size(); ++i) {
+                interp_role(roles[i]);
+            }
+            rank.end_recovery();
         }
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);
     BigInt prod = recompose_digits(full, shape.digit_bits);

@@ -23,6 +23,10 @@ struct FtRunResult {
     RunStats stats;
     int extra_processors = 0;   ///< code processors beyond P
     int faults_injected = 0;
+
+    /// Typed event log of the run, when ParallelConfig::events was set;
+    /// carries per-rank fault and recovery-cost attribution.
+    std::shared_ptr<EventLog> events;
 };
 
 /// Fault-tolerant parallel Toom-Cook with polynomial coding: the redundant

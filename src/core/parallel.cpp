@@ -239,6 +239,7 @@ ParallelRunResult parallel_toom_multiply(const BigInt& a, const BigInt& b,
     const ToomPlan plan = ToomPlan::make(cfg.k);
     Machine machine(shape.processors);
     if (cfg.trace) machine.enable_tracing();
+    if (cfg.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(
         static_cast<std::size_t>(shape.processors));
 
@@ -264,8 +265,10 @@ ParallelRunResult parallel_toom_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(rank.id())] = std::move(out);
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
     if (cfg.trace && machine.tracer() != nullptr) {
         auto t = std::make_shared<Tracer>();
+        t->bind_world(shape.processors);
         for (const auto& m : machine.tracer()->messages()) {
             t->record_send(m.src, m.dst, m.tag, m.words, m.phase);
         }

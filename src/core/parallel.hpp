@@ -23,6 +23,9 @@ struct ParallelRunResult {
 
     /// Message/phase trace of the run, when ParallelConfig::trace was set.
     std::shared_ptr<Tracer> trace;
+
+    /// Typed event log of the run, when ParallelConfig::events was set.
+    std::shared_ptr<EventLog> events;
 };
 
 /// Parallel Toom-Cook-k (paper Section 3): BFS-DFS traversal of the

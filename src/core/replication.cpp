@@ -49,7 +49,14 @@ FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
 
     const ToomPlan tplan = ToomPlan::make(cfg.base.k);
     Machine machine(world, plan);
+    if (cfg.base.events) machine.enable_event_log();
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
+
+    std::set<int> scheduled;
+    for (const auto& [phase, rank] : plan.all()) {
+        (void)phase;
+        scheduled.insert(rank);
+    }
 
     machine.run([&](Rank& rank) {
         const int replica = rank.id() / P;
@@ -59,6 +66,7 @@ FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
         // scheduled fault kills the copy — which only *understates* the
         // replication overhead the coded algorithms are compared against.
         if (doomed.count(replica)) {
+            if (scheduled.count(rank.id())) rank.note_fault();
             rank.phase("halted");
             return;
         }
@@ -75,6 +83,7 @@ FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
         }
     });
     result.stats = machine.stats();
+    result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);
     BigInt prod = recompose_digits(full, shape.digit_bits);

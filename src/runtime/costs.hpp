@@ -42,8 +42,14 @@ struct CostModel {
 
 /// Costs aggregated over a completed run.
 struct RunStats {
+    /// Number of ranks the run executed on.
+    int world = 0;
+
     /// Per-phase maxima across ranks (bulk-synchronous critical path).
     std::map<std::string, CostCounters> per_phase;
+
+    /// Per-phase sums across ranks (machine-wide work/traffic per phase).
+    std::map<std::string, CostCounters> per_phase_agg;
 
     /// Sum of the per-phase maxima: the paper's F / BW / L along the
     /// critical path.

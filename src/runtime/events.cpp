@@ -1,0 +1,46 @@
+#include "runtime/events.hpp"
+
+#include <algorithm>
+
+namespace ftmul {
+
+const char* to_string(EventKind kind) {
+    switch (kind) {
+        case EventKind::PhaseBegin: return "phase-begin";
+        case EventKind::PhaseEnd: return "phase-end";
+        case EventKind::MessageSend: return "send";
+        case EventKind::MessageRecv: return "recv";
+        case EventKind::Fault: return "fault";
+        case EventKind::RecoveryBegin: return "recovery-begin";
+        case EventKind::RecoveryEnd: return "recovery-end";
+        case EventKind::Memory: return "memory";
+    }
+    return "unknown";
+}
+
+std::vector<Event> EventLog::for_rank(int rank) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Event> out;
+    for (const Event& e : events_) {
+        if (e.rank == rank) out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<Event> EventLog::of_kind(EventKind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Event> out;
+    for (const Event& e : events_) {
+        if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+}
+
+int EventLog::world() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int top = -1;
+    for (const Event& e : events_) top = std::max(top, e.rank);
+    return top + 1;
+}
+
+}  // namespace ftmul

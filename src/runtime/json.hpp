@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftmul {
+
+/// Minimal JSON document model: enough to write the run report / trace
+/// exports and to parse them back in tests and tooling. Objects preserve
+/// insertion order so exports are deterministic and diffable across runs.
+/// No external dependency by design (the container bakes in no JSON lib).
+class Json {
+public:
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    using Member = std::pair<std::string, Json>;
+    using Object = std::vector<Member>;
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(long v) : type_(Type::Int), int_(v) {}
+    Json(long long v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long long v) : type_(Type::Uint), uint_(v) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(const char* s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+    static Json array() {
+        Json j;
+        j.type_ = Type::Array;
+        return j;
+    }
+    static Json object() {
+        Json j;
+        j.type_ = Type::Object;
+        return j;
+    }
+
+    Type type() const noexcept { return type_; }
+    bool is_null() const noexcept { return type_ == Type::Null; }
+    bool is_array() const noexcept { return type_ == Type::Array; }
+    bool is_object() const noexcept { return type_ == Type::Object; }
+    bool is_number() const noexcept {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool is_string() const noexcept { return type_ == Type::String; }
+
+    /// Array append (container must be an array).
+    void push_back(Json v) {
+        expect(Type::Array);
+        array_.push_back(std::move(v));
+    }
+
+    /// Object append-or-overwrite (container must be an object).
+    void set(std::string key, Json v) {
+        expect(Type::Object);
+        for (auto& [k, old] : object_) {
+            if (k == key) {
+                old = std::move(v);
+                return;
+            }
+        }
+        object_.emplace_back(std::move(key), std::move(v));
+    }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Json* find(const std::string& key) const {
+        if (type_ != Type::Object) return nullptr;
+        for (const auto& [k, v] : object_) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+
+    /// Object member access that throws on absence (handy in tests).
+    const Json& at(const std::string& key) const {
+        const Json* p = find(key);
+        if (!p) throw std::out_of_range("Json: no member \"" + key + "\"");
+        return *p;
+    }
+
+    const Json& at(std::size_t i) const {
+        expect(Type::Array);
+        return array_.at(i);
+    }
+
+    std::size_t size() const noexcept {
+        if (type_ == Type::Array) return array_.size();
+        if (type_ == Type::Object) return object_.size();
+        return 0;
+    }
+
+    const Array& items() const {
+        expect(Type::Array);
+        return array_;
+    }
+    const Object& members() const {
+        expect(Type::Object);
+        return object_;
+    }
+
+    bool as_bool() const {
+        expect(Type::Bool);
+        return bool_;
+    }
+    std::int64_t as_int() const;
+    std::uint64_t as_uint() const;
+    double as_double() const;
+    const std::string& as_string() const {
+        expect(Type::String);
+        return string_;
+    }
+
+    /// Serialize. indent = 0 gives a compact single line; indent > 0
+    /// pretty-prints with that many spaces per level.
+    std::string dump(int indent = 0) const;
+
+    /// Strict parser (UTF-8 passthrough, no comments, no trailing commas).
+    /// Throws std::runtime_error with position info on malformed input.
+    static Json parse(const std::string& text);
+
+    /// Escape a string per JSON rules, including the surrounding quotes.
+    static std::string quote(const std::string& s);
+
+private:
+    void expect(Type t) const {
+        if (type_ != t) throw std::logic_error("Json: wrong type access");
+    }
+    void write(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+}  // namespace ftmul

@@ -20,8 +20,21 @@ void Rank::flush_flops() {
     OpsCounter::reset();
 }
 
+void Rank::emit(Event e) {
+    e.rank = id_;
+    machine_.events_->record(std::move(e));
+}
+
 void Rank::close_phase() {
     flush_flops();
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::PhaseEnd;
+        e.phase = current_phase_;
+        e.counters = current_;
+        emit(std::move(e));
+    }
+    lifetime_ += current_;
     ledger_.emplace_back(current_phase_, current_);
     current_ = CostCounters{};
 }
@@ -32,7 +45,64 @@ bool Rank::phase(std::string_view name) {
     if (machine_.tracer_) {
         machine_.tracer_->record_phase(id_, current_phase_, ledger_.size());
     }
-    return fails_at(name);
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::PhaseBegin;
+        e.phase = current_phase_;
+        emit(std::move(e));
+    }
+    const bool dies = fails_at(name);
+    if (dies && machine_.events_) {
+        Event e;
+        e.kind = EventKind::Fault;
+        e.phase = current_phase_;
+        emit(std::move(e));
+    }
+    return dies;
+}
+
+void Rank::note_fault() {
+    if (!machine_.events_) return;
+    Event e;
+    e.kind = EventKind::Fault;
+    e.phase = current_phase_;
+    emit(std::move(e));
+}
+
+void Rank::begin_recovery(std::span<const int> dead_ranks) {
+    if (!machine_.events_ || in_recovery_) return;
+    in_recovery_ = true;
+    recovery_dead_.assign(dead_ranks.begin(), dead_ranks.end());
+    flush_flops();
+    recovery_base_ = lifetime_;
+    recovery_base_ += current_;
+    Event e;
+    e.kind = EventKind::RecoveryBegin;
+    e.phase = current_phase_;
+    e.ranks = recovery_dead_;
+    emit(std::move(e));
+}
+
+void Rank::end_recovery() {
+    if (!machine_.events_ || !in_recovery_) return;
+    in_recovery_ = false;
+    flush_flops();
+    CostCounters total = lifetime_;
+    total += current_;
+    // The recovery's cost on this rank: everything since begin_recovery().
+    CostCounters delta;
+    delta.flops = total.flops - recovery_base_.flops;
+    delta.words = total.words - recovery_base_.words;
+    delta.msgs = total.msgs - recovery_base_.msgs;
+    delta.latency = total.latency - recovery_base_.latency;
+    Event e;
+    e.kind = EventKind::RecoveryEnd;
+    e.phase = current_phase_;
+    e.counters = delta;
+    e.words = delta.words;
+    e.ranks = std::move(recovery_dead_);
+    recovery_dead_.clear();
+    emit(std::move(e));
 }
 
 bool Rank::fails_at(std::string_view name) const {
@@ -50,14 +120,33 @@ void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
         machine_.tracer_->record_send(id_, dst, tag, payload.size(),
                                       current_phase_);
     }
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::MessageSend;
+        e.phase = current_phase_;
+        e.peer = dst;
+        e.tag = tag;
+        e.words = payload.size();
+        emit(std::move(e));
+    }
     machine_.mailboxes_[static_cast<std::size_t>(dst)]->push(id_, tag,
                                                              std::move(payload));
 }
 
 std::vector<std::uint64_t> Rank::recv(int src, int tag) {
     assert(src >= 0 && src < size_);
-    return machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
+    auto payload = machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
         src, tag, machine_.timeout_);
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::MessageRecv;
+        e.phase = current_phase_;
+        e.peer = src;
+        e.tag = tag;
+        e.words = payload.size();
+        emit(std::move(e));
+    }
+    return payload;
 }
 
 void Rank::send_bigints(int dst, int tag, std::span<const BigInt> values) {
@@ -69,7 +158,15 @@ std::vector<BigInt> Rank::recv_bigints(int src, int tag) {
 }
 
 void Rank::note_memory(std::uint64_t words) {
-    if (words > peak_memory_) peak_memory_ = words;
+    if (words <= peak_memory_) return;
+    peak_memory_ = words;
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::Memory;
+        e.phase = current_phase_;
+        e.words = words;
+        emit(std::move(e));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -91,12 +188,20 @@ Machine::~Machine() = default;
 
 Tracer& Machine::enable_tracing() {
     if (!tracer_) tracer_ = std::make_unique<Tracer>();
+    tracer_->bind_world(size_);
     return *tracer_;
+}
+
+EventLog& Machine::enable_event_log() {
+    if (!events_) events_ = std::make_shared<EventLog>();
+    return *events_;
 }
 
 void Machine::run(const std::function<void(Rank&)>& body) {
     stats_ = RunStats{};
+    stats_.world = size_;
     if (tracer_) tracer_->clear();
+    if (events_) events_->clear();
     // Fresh mailboxes per run so stale messages never leak across runs.
     for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
 
@@ -112,6 +217,12 @@ void Machine::run(const std::function<void(Rank&)>& body) {
         threads.emplace_back([&, r] {
             OpsCounter::reset();
             Rank rank(*this, r, size_);
+            if (events_) {
+                Event e;
+                e.kind = EventKind::PhaseBegin;
+                e.phase = rank.current_phase_;
+                rank.emit(std::move(e));
+            }
             try {
                 body(rank);
             } catch (const RunAborted&) {
@@ -142,6 +253,7 @@ void Machine::run(const std::function<void(Rank&)>& body) {
         }
         for (const auto& [name, c] : mine) {
             stats_.per_phase[name].max_with(c);
+            stats_.per_phase_agg[name] += c;
         }
         if (peaks[static_cast<std::size_t>(r)] > stats_.peak_memory_words) {
             stats_.peak_memory_words = peaks[static_cast<std::size_t>(r)];

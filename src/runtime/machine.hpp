@@ -10,6 +10,7 @@
 
 #include "bigint/bigint.hpp"
 #include "runtime/costs.hpp"
+#include "runtime/events.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/trace.hpp"
@@ -52,6 +53,19 @@ public:
     /// Record a local working-set high-water mark, in words.
     void note_memory(std::uint64_t words);
 
+    /// Record a Fault event at the current phase without switching phases.
+    /// phase() already emits one automatically when the plan kills this rank;
+    /// this entry point is for algorithms that halt a rank without reaching
+    /// its scheduled phase (e.g. replication dooms the whole replica).
+    void note_fault();
+
+    /// Bracket a recovery protocol for event accounting: RecoveryBegin is
+    /// emitted now, RecoveryEnd on end_recovery() with the F/BW/L this rank
+    /// spent in between (across any phase switches the recovery spans) and
+    /// the dead ranks being rebuilt. No-ops when the event log is off.
+    void begin_recovery(std::span<const int> dead_ranks);
+    void end_recovery();
+
     /// Charge extra critical-path message rounds (used by tree collectives,
     /// which are log-depth even though each rank sends O(1) messages).
     void add_latency(std::uint64_t rounds) { current_.latency += rounds; }
@@ -65,14 +79,19 @@ private:
 
     void flush_flops();
     void close_phase();
+    void emit(Event e);
 
     Machine& machine_;
     int id_;
     int size_;
     std::string current_phase_ = "startup";
     CostCounters current_{};
+    CostCounters lifetime_{};  ///< closed-phase total, for recovery deltas
     std::vector<std::pair<std::string, CostCounters>> ledger_;
     std::uint64_t peak_memory_ = 0;
+    bool in_recovery_ = false;
+    CostCounters recovery_base_{};
+    std::vector<int> recovery_dead_;
 };
 
 /// A simulated P-processor distributed-memory machine: each rank runs the
@@ -107,6 +126,12 @@ public:
     Tracer& enable_tracing();
     Tracer* tracer() noexcept { return tracer_.get(); }
 
+    /// Turn on the structured event log for subsequent runs (see
+    /// runtime/events.hpp); cleared and re-armed at each run start. The log
+    /// is shared so results can outlive the machine.
+    EventLog& enable_event_log();
+    std::shared_ptr<EventLog> event_log() const noexcept { return events_; }
+
 private:
     friend class Rank;
 
@@ -116,6 +141,7 @@ private:
     RunStats stats_;
     std::chrono::milliseconds timeout_{60000};
     std::unique_ptr<Tracer> tracer_;
+    std::shared_ptr<EventLog> events_;
 };
 
 }  // namespace ftmul

@@ -1,0 +1,343 @@
+#include "runtime/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace ftmul {
+
+Json counters_json(const CostCounters& c) {
+    Json j = Json::object();
+    j.set("flops", c.flops);
+    j.set("words", c.words);
+    j.set("msgs", c.msgs);
+    j.set("latency", c.latency);
+    return j;
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+// ---------------------------------------------------------------------------
+
+Json build_run_report(const RunStats& stats, const ReportMeta& meta,
+                      const FaultPlan* plan, const EventLog* events,
+                      const CostModel& model) {
+    Json root = Json::object();
+    root.set("schema", kRunReportSchema);
+    root.set("version", kRunReportVersion);
+    if (!meta.algorithm.empty()) root.set("algorithm", meta.algorithm);
+    root.set("operation", meta.operation);
+
+    Json machine = Json::object();
+    machine.set("world", stats.world);
+    machine.set("processors", meta.processors);
+    machine.set("extra_processors", meta.extra_processors);
+    machine.set("tolerance", meta.tolerance);
+    root.set("machine", std::move(machine));
+
+    if (meta.bits_a || meta.bits_b) {
+        Json input = Json::object();
+        input.set("bits_a", static_cast<std::uint64_t>(meta.bits_a));
+        input.set("bits_b", static_cast<std::uint64_t>(meta.bits_b));
+        root.set("input", std::move(input));
+    }
+    if (!meta.product_hex.empty()) root.set("product_hex", meta.product_hex);
+    if (meta.verified.has_value()) root.set("verified", *meta.verified);
+
+    // The paper's headline quantities: critical-path F/BW/L, machine-wide
+    // totals, peak memory and the modeled time C = aL + bBW + cF.
+    root.set("critical", counters_json(stats.critical));
+    root.set("aggregate", counters_json(stats.aggregate));
+    root.set("peak_memory_words", stats.peak_memory_words);
+    {
+        Json mt = Json::object();
+        mt.set("alpha", model.alpha);
+        mt.set("beta", model.beta);
+        mt.set("gamma", model.gamma);
+        mt.set("seconds", stats.modeled_time(model));
+        root.set("modeled_time", std::move(mt));
+    }
+
+    // Per-phase table (map order = deterministic phase-name order).
+    Json phases = Json::array();
+    for (const auto& [name, crit] : stats.per_phase) {
+        Json p = Json::object();
+        p.set("name", name);
+        p.set("critical", counters_json(crit));
+        auto it = stats.per_phase_agg.find(name);
+        if (it != stats.per_phase_agg.end()) {
+            p.set("aggregate", counters_json(it->second));
+        }
+        phases.push_back(std::move(p));
+    }
+    root.set("phases", std::move(phases));
+
+    // Faults: prefer the event log (faults that actually fired, with their
+    // wall-clock position); fall back to the schedule.
+    Json faults = Json::array();
+    if (events != nullptr) {
+        for (const Event& e : events->of_kind(EventKind::Fault)) {
+            Json f = Json::object();
+            f.set("phase", e.phase);
+            f.set("rank", e.rank);
+            f.set("ts_us", e.ts_us);
+            faults.push_back(std::move(f));
+        }
+    } else if (plan != nullptr) {
+        for (const auto& [phase, rank] : plan->all()) {
+            Json f = Json::object();
+            f.set("phase", phase);
+            f.set("rank", rank);
+            faults.push_back(std::move(f));
+        }
+    }
+    root.set("faults", std::move(faults));
+
+    // Recoveries: with events, one entry per recovery protocol run with the
+    // recovering rank, the rebuilt ranks, and the exact F/BW/L it cost;
+    // otherwise the "recover-*" phase buckets (machine-wide).
+    Json recoveries = Json::array();
+    CostCounters recovery_total{};
+    if (events != nullptr) {
+        for (const Event& e : events->of_kind(EventKind::RecoveryEnd)) {
+            Json r = Json::object();
+            r.set("phase", e.phase);
+            r.set("by", e.rank);
+            Json dead = Json::array();
+            for (int d : e.ranks) dead.push_back(d);
+            r.set("ranks", std::move(dead));
+            r.set("cost", counters_json(e.counters));
+            recoveries.push_back(std::move(r));
+            recovery_total += e.counters;
+        }
+    } else {
+        for (const auto& [name, agg] : stats.per_phase_agg) {
+            if (name.rfind("recover-", 0) != 0) continue;
+            Json r = Json::object();
+            r.set("phase", name);
+            r.set("cost", counters_json(agg));
+            recoveries.push_back(std::move(r));
+            recovery_total += agg;
+        }
+    }
+    root.set("recoveries", std::move(recoveries));
+    root.set("recovery_total", counters_json(recovery_total));
+
+    if (events != nullptr) {
+        Json ev = Json::object();
+        ev.set("count", static_cast<std::uint64_t>(events->size()));
+        root.set("events", std::move(ev));
+    }
+    return root;
+}
+
+std::string run_report_json(const RunStats& stats, const ReportMeta& meta,
+                            const FaultPlan* plan, const EventLog* events,
+                            const CostModel& model) {
+    return build_run_report(stats, meta, plan, events, model).dump(2) + "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json trace_event(const char* ph, int tid, std::uint64_t ts_us,
+                 std::string name) {
+    Json e = Json::object();
+    e.set("name", std::move(name));
+    e.set("ph", ph);
+    e.set("pid", 0);
+    e.set("tid", tid);
+    e.set("ts", ts_us);
+    return e;
+}
+
+}  // namespace
+
+Json build_chrome_trace(const EventLog& events) {
+    const std::vector<Event> log = events.events();
+    const int world = events.world();
+
+    Json out = Json::array();
+
+    // Track metadata: one named thread per rank under a single process.
+    {
+        Json proc = Json::object();
+        proc.set("name", "process_name");
+        proc.set("ph", "M");
+        proc.set("pid", 0);
+        proc.set("tid", 0);
+        Json args = Json::object();
+        args.set("name", "ftmul simulated machine");
+        proc.set("args", std::move(args));
+        out.push_back(std::move(proc));
+    }
+    for (int r = 0; r < world; ++r) {
+        Json th = Json::object();
+        th.set("name", "thread_name");
+        th.set("ph", "M");
+        th.set("pid", 0);
+        th.set("tid", r);
+        Json args = Json::object();
+        args.set("name", "rank " + std::to_string(r));
+        th.set("args", std::move(args));
+        out.push_back(std::move(th));
+        Json sort = Json::object();
+        sort.set("name", "thread_sort_index");
+        sort.set("ph", "M");
+        sort.set("pid", 0);
+        sort.set("tid", r);
+        Json sargs = Json::object();
+        sargs.set("sort_index", r);
+        sort.set("args", std::move(sargs));
+        out.push_back(std::move(sort));
+    }
+
+    // Pair begins with ends per rank (each rank's events are in program
+    // order within the global admission order, so a simple stack works).
+    struct Open {
+        std::string phase;
+        std::uint64_t ts;
+    };
+    std::vector<std::vector<Open>> phase_stack(
+        static_cast<std::size_t>(std::max(world, 1)));
+    std::vector<std::vector<Open>> recovery_stack(phase_stack.size());
+
+    // FIFO send/recv matching per (src, dst, tag) for flow arrows.
+    std::map<std::tuple<int, int, int>, std::vector<std::uint64_t>> in_flight;
+    std::uint64_t flow_id = 0;
+
+    for (const Event& e : log) {
+        if (e.rank < 0 || e.rank >= world) continue;
+        const auto r = static_cast<std::size_t>(e.rank);
+        switch (e.kind) {
+            case EventKind::PhaseBegin:
+                phase_stack[r].push_back({e.phase, e.ts_us});
+                break;
+            case EventKind::PhaseEnd: {
+                std::uint64_t begin = 0;
+                if (!phase_stack[r].empty()) {
+                    begin = phase_stack[r].back().ts;
+                    phase_stack[r].pop_back();
+                }
+                Json x = trace_event("X", e.rank, begin, e.phase);
+                x.set("dur", e.ts_us - begin);
+                x.set("cat", "phase");
+                Json args = Json::object();
+                args.set("flops", e.counters.flops);
+                args.set("words", e.counters.words);
+                args.set("msgs", e.counters.msgs);
+                args.set("latency", e.counters.latency);
+                x.set("args", std::move(args));
+                out.push_back(std::move(x));
+                break;
+            }
+            case EventKind::MessageSend: {
+                const auto key = std::make_tuple(e.rank, e.peer, e.tag);
+                const std::uint64_t id = flow_id++;
+                in_flight[key].push_back(id);
+                Json s = trace_event("s", e.rank, e.ts_us,
+                                     "msg tag=" + std::to_string(e.tag));
+                s.set("cat", "comm");
+                s.set("id", id);
+                Json args = Json::object();
+                args.set("words", e.words);
+                args.set("to", e.peer);
+                s.set("args", std::move(args));
+                out.push_back(std::move(s));
+                break;
+            }
+            case EventKind::MessageRecv: {
+                const auto key = std::make_tuple(e.peer, e.rank, e.tag);
+                auto it = in_flight.find(key);
+                if (it == in_flight.end() || it->second.empty()) break;
+                const std::uint64_t id = it->second.front();
+                it->second.erase(it->second.begin());
+                Json f = trace_event("f", e.rank, e.ts_us,
+                                     "msg tag=" + std::to_string(e.tag));
+                f.set("cat", "comm");
+                f.set("id", id);
+                f.set("bp", "e");
+                Json args = Json::object();
+                args.set("words", e.words);
+                args.set("from", e.peer);
+                f.set("args", std::move(args));
+                out.push_back(std::move(f));
+                break;
+            }
+            case EventKind::Fault: {
+                Json i = trace_event("i", e.rank, e.ts_us,
+                                     "fault @ " + e.phase);
+                i.set("cat", "fault");
+                i.set("s", "t");  // thread-scoped instant
+                out.push_back(std::move(i));
+                break;
+            }
+            case EventKind::RecoveryBegin:
+                recovery_stack[r].push_back({e.phase, e.ts_us});
+                break;
+            case EventKind::RecoveryEnd: {
+                std::uint64_t begin = e.ts_us;
+                if (!recovery_stack[r].empty()) {
+                    begin = recovery_stack[r].back().ts;
+                    recovery_stack[r].pop_back();
+                }
+                std::string dead;
+                for (int d : e.ranks) {
+                    if (!dead.empty()) dead += ',';
+                    dead += std::to_string(d);
+                }
+                Json x = trace_event("X", e.rank, begin,
+                                     "recover ranks [" + dead + "]");
+                x.set("dur", e.ts_us - begin);
+                x.set("cat", "recovery");
+                Json args = Json::object();
+                args.set("flops", e.counters.flops);
+                args.set("words", e.counters.words);
+                args.set("msgs", e.counters.msgs);
+                args.set("latency", e.counters.latency);
+                x.set("args", std::move(args));
+                out.push_back(std::move(x));
+                break;
+            }
+            case EventKind::Memory: {
+                Json c = trace_event("C", e.rank, e.ts_us,
+                                     "memory rank " + std::to_string(e.rank));
+                c.set("cat", "memory");
+                Json args = Json::object();
+                args.set("words", e.words);
+                c.set("args", std::move(args));
+                out.push_back(std::move(c));
+                break;
+            }
+        }
+    }
+
+    Json root = Json::object();
+    root.set("traceEvents", std::move(out));
+    root.set("displayTimeUnit", "ms");
+    Json other = Json::object();
+    other.set("schema", kChromeTraceSchema);
+    other.set("version", kChromeTraceVersion);
+    other.set("world", world);
+    root.set("otherData", std::move(other));
+    return root;
+}
+
+std::string chrome_trace_json(const EventLog& events) {
+    return build_chrome_trace(events).dump() + "\n";
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    const int rc = std::fclose(f);
+    return n == text.size() && rc == 0;
+}
+
+}  // namespace ftmul

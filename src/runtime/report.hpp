@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runtime/costs.hpp"
+#include "runtime/events.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/json.hpp"
+
+namespace ftmul {
+
+/// Schema identifiers stamped into every export so downstream tooling (and
+/// the perf-trajectory diffs across PRs) can validate what it is reading.
+inline constexpr const char* kRunReportSchema = "ftmul.run_report";
+inline constexpr int kRunReportVersion = 1;
+inline constexpr const char* kChromeTraceSchema = "ftmul.chrome_trace";
+inline constexpr int kChromeTraceVersion = 1;
+inline constexpr const char* kBenchRowsSchema = "ftmul.bench_rows";
+inline constexpr int kBenchRowsVersion = 1;
+
+/// Context a RunStats cannot know about itself: which algorithm ran, the
+/// machine geometry, the inputs, and whether the product was verified.
+struct ReportMeta {
+    std::string algorithm;        ///< e.g. "ft-linear", "parallel"
+    std::string operation = "mul";
+    int processors = 0;           ///< standard (data) processors P
+    int extra_processors = 0;     ///< code processors beyond P
+    int tolerance = 0;            ///< configured fault tolerance f
+    std::size_t bits_a = 0;       ///< operand bit lengths (0 = unknown)
+    std::size_t bits_b = 0;
+    std::string product_hex;      ///< product, when the caller wants it in
+    std::optional<bool> verified; ///< product checked against an oracle?
+};
+
+/// F/BW/L/msgs as a JSON object — the unit every export shares.
+Json counters_json(const CostCounters& c);
+
+/// Render a completed run as the schema-versioned JSON run report: the
+/// per-phase F/BW/L table (critical path and machine-wide), totals, modeled
+/// time, peak memory, the injected faults and what each recovery cost.
+/// `plan` and `events` are optional enrichments: with an event log the
+/// faults/recoveries carry per-rank attribution; with only a plan the
+/// faults come from the schedule and recovery costs fall back to the
+/// "recover-*" phase buckets.
+Json build_run_report(const RunStats& stats, const ReportMeta& meta = {},
+                      const FaultPlan* plan = nullptr,
+                      const EventLog* events = nullptr,
+                      const CostModel& model = {});
+
+std::string run_report_json(const RunStats& stats, const ReportMeta& meta = {},
+                            const FaultPlan* plan = nullptr,
+                            const EventLog* events = nullptr,
+                            const CostModel& model = {});
+
+/// Render an event log in Chrome Trace Event Format (load the file at
+/// chrome://tracing or https://ui.perfetto.dev): one track per rank, phases
+/// as duration slices, recoveries as nested slices, messages as flow
+/// arrows, faults as instants and memory high-water marks as counters.
+Json build_chrome_trace(const EventLog& events);
+
+std::string chrome_trace_json(const EventLog& events);
+
+/// Write a string to a file; returns false (and leaves no file guarantee)
+/// on I/O failure. Shared by the CLI/bench export paths.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace ftmul

@@ -6,7 +6,43 @@
 
 namespace ftmul {
 
+int Tracer::effective_world() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (world_ > 0) return world_;
+    int top = -1;
+    for (const Message& m : messages_) top = std::max({top, m.src, m.dst});
+    for (const PhaseSwitch& p : phases_) top = std::max(top, p.rank);
+    return top + 1;
+}
+
 std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix(
+    const std::string& phase_prefix) const {
+    return comm_matrix_impl(effective_world(), phase_prefix);
+}
+
+std::string Tracer::render_comm_matrix(const std::string& phase_prefix) const {
+    return render_comm_matrix_impl(effective_world(), phase_prefix);
+}
+
+std::string Tracer::render_phase_sequences() const {
+    return render_phase_sequences_impl(effective_world());
+}
+
+std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix(
+    int world, const std::string& phase_prefix) const {
+    return comm_matrix_impl(world, phase_prefix);
+}
+
+std::string Tracer::render_comm_matrix(int world,
+                                       const std::string& phase_prefix) const {
+    return render_comm_matrix_impl(world, phase_prefix);
+}
+
+std::string Tracer::render_phase_sequences(int world) const {
+    return render_phase_sequences_impl(world);
+}
+
+std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix_impl(
     int world, const std::string& phase_prefix) const {
     std::vector<std::vector<std::uint64_t>> m(
         static_cast<std::size_t>(world),
@@ -26,9 +62,9 @@ std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix(
     return m;
 }
 
-std::string Tracer::render_comm_matrix(int world,
-                                       const std::string& phase_prefix) const {
-    const auto m = comm_matrix(world, phase_prefix);
+std::string Tracer::render_comm_matrix_impl(
+    int world, const std::string& phase_prefix) const {
+    const auto m = comm_matrix_impl(world, phase_prefix);
     std::string out;
     out += "      ";
     for (int j = 0; j < world; ++j) {
@@ -58,7 +94,7 @@ std::string Tracer::render_comm_matrix(int world,
     return out;
 }
 
-std::string Tracer::render_phase_sequences(int world) const {
+std::string Tracer::render_phase_sequences_impl(int world) const {
     std::vector<std::vector<std::pair<std::uint64_t, std::string>>> per_rank(
         static_cast<std::size_t>(world));
     {

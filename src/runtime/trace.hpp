@@ -53,24 +53,55 @@ public:
         return phases_;
     }
 
+    /// Attach the machine's world size so the matrix/rendering queries need
+    /// no redundant parameter. Machine::enable_tracing() calls this; only
+    /// hand-assembled tracers need it explicitly.
+    void bind_world(int world) {
+        std::lock_guard<std::mutex> lock(mu_);
+        world_ = world;
+    }
+
     /// world x world matrix of words sent from row index (src) to column
-    /// index (dst), optionally restricted to one phase prefix.
+    /// index (dst), optionally restricted to one phase prefix. The world
+    /// size is the one bound by the Machine (or inferred from the recorded
+    /// ranks when the tracer was never bound).
     std::vector<std::vector<std::uint64_t>> comm_matrix(
-        int world, const std::string& phase_prefix = "") const;
+        const std::string& phase_prefix = "") const;
 
     /// ASCII heat rendering of comm_matrix ('.' none, digits = log scale).
-    std::string render_comm_matrix(int world,
-                                   const std::string& phase_prefix = "") const;
+    std::string render_comm_matrix(const std::string& phase_prefix = "") const;
 
     /// One line per rank: the sequence of phases it passed through
     /// (consecutive repeats collapsed).
+    std::string render_phase_sequences() const;
+
+    /// Deprecated: the world parameter duplicates what the Machine already
+    /// bound at enable_tracing(); use the parameterless overloads.
+    [[deprecated("use the overload without world; the Machine binds it")]]
+    std::vector<std::vector<std::uint64_t>> comm_matrix(
+        int world, const std::string& phase_prefix = "") const;
+
+    [[deprecated("use the overload without world; the Machine binds it")]]
+    std::string render_comm_matrix(int world,
+                                   const std::string& phase_prefix = "") const;
+
+    [[deprecated("use the overload without world; the Machine binds it")]]
     std::string render_phase_sequences(int world) const;
 
     /// CSV export of all messages: src,dst,tag,words,phase.
     std::string to_csv() const;
 
 private:
+    int effective_world() const;  // bound world, or inferred from the data
+
+    std::vector<std::vector<std::uint64_t>> comm_matrix_impl(
+        int world, const std::string& phase_prefix) const;
+    std::string render_comm_matrix_impl(int world,
+                                        const std::string& phase_prefix) const;
+    std::string render_phase_sequences_impl(int world) const;
+
     mutable std::mutex mu_;
+    int world_ = 0;
     std::vector<Message> messages_;
     std::vector<PhaseSwitch> phases_;
 };

@@ -220,5 +220,49 @@ TEST(FtLinear, MultFaultRecomputationCostsMoreThanEvalFault) {
     EXPECT_GT(mul_extra, eval_extra);
 }
 
+TEST(FtLinear, EventLogAttributesFaultAndRecovery) {
+    Rng rng{8};
+    BigInt a = random_bits(rng, 3000), b = random_bits(rng, 3000);
+    auto cfg = make_cfg(2, 9, 1);
+    cfg.base.events = true;
+    FaultPlan plan;
+    plan.add("eval-L0", 4);
+    auto res = ft_linear_multiply(a, b, cfg, plan);
+    EXPECT_EQ(res.product, a * b);
+    ASSERT_NE(res.events, nullptr);
+
+    // The scheduled fault fired on rank 4 at the eval-L0 boundary.
+    const auto faults = res.events->of_kind(EventKind::Fault);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].rank, 4);
+    EXPECT_EQ(faults[0].phase, "eval-L0");
+
+    // Every recovery end names the dead rank and carries a real cost; the
+    // column mates of rank 4 (and its code processor) all participate, and
+    // between them the Vandermonde decode moves words.
+    const auto recs = res.events->of_kind(EventKind::RecoveryEnd);
+    ASSERT_GT(recs.size(), 0u);
+    std::uint64_t words = 0;
+    bool dead_rank_recovered = false;
+    for (const Event& e : recs) {
+        ASSERT_EQ(e.ranks.size(), 1u);
+        EXPECT_EQ(e.ranks[0], 4);
+        EXPECT_EQ(e.phase, "recover-eval-L0");
+        words += e.counters.words;
+        dead_rank_recovered |= e.rank == 4;
+    }
+    EXPECT_GT(words, 0u);
+    EXPECT_TRUE(dead_rank_recovered);
+    EXPECT_EQ(res.events->of_kind(EventKind::RecoveryBegin).size(),
+              recs.size());
+}
+
+TEST(FtLinear, NoEventLogUnlessRequested) {
+    Rng rng{9};
+    BigInt a = random_bits(rng, 1000), b = random_bits(rng, 1000);
+    auto res = ft_linear_multiply(a, b, make_cfg(2, 9, 1), {});
+    EXPECT_EQ(res.events, nullptr);
+}
+
 }  // namespace
 }  // namespace ftmul

@@ -155,5 +155,38 @@ TEST(FtPoly, OverheadIsModestVersusParallel) {
     EXPECT_LT(ft.stats.critical.flops, plain.stats.critical.flops * 9 / 5);
 }
 
+TEST(FtPoly, EventLogAttributesColumnKillAndSubstitution) {
+    Rng rng{9};
+    BigInt a = random_bits(rng, 3000), b = random_bits(rng, 3000);
+    auto cfg = make_cfg(2, 9, 1);
+    cfg.base.events = true;
+    FaultPlan plan;
+    plan.add("mul", 1);  // kills column 1 of the 3x4 wide grid
+    auto res = ft_poly_multiply(a, b, cfg, plan);
+    EXPECT_EQ(res.product, a * b);
+    ASSERT_NE(res.events, nullptr);
+
+    const auto faults = res.events->of_kind(EventKind::Fault);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].rank, 1);
+    EXPECT_EQ(faults[0].phase, "mul");
+
+    // One substitute per grid row interpolates the dead column's roles;
+    // each recovery names the dead row peer it replaces and burns flops on
+    // the substituted interpolation.
+    const auto recs = res.events->of_kind(EventKind::RecoveryEnd);
+    const int height = 9 / 3;  // P / (2k-1) rows
+    ASSERT_EQ(recs.size(), static_cast<std::size_t>(height));
+    std::uint64_t flops = 0;
+    for (const Event& e : recs) {
+        ASSERT_EQ(e.ranks.size(), 1u);
+        // The dead rank sits in column 1 of this substitute's row.
+        EXPECT_EQ(e.ranks[0] % 4, 1);
+        EXPECT_NE(e.rank, e.ranks[0]);  // someone else did the work
+        flops += e.counters.flops;
+    }
+    EXPECT_GT(flops, 0u);
+}
+
 }  // namespace
 }  // namespace ftmul

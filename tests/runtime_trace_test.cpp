@@ -51,13 +51,16 @@ TEST(Tracer, CommMatrixAndCsv) {
             (void)r.recv(0, 1);
         }
     });
-    auto cm = t.comm_matrix(3);
+    // The Machine bound its world size when tracing was enabled, so the
+    // world parameter is no longer needed.
+    auto cm = t.comm_matrix();
+    ASSERT_EQ(cm.size(), 3u);
     EXPECT_EQ(cm[0][1], 5u);
     EXPECT_EQ(cm[0][2], 7u);
     EXPECT_EQ(cm[1][0], 0u);
     const std::string csv = t.to_csv();
     EXPECT_NE(csv.find("0,1,1,5,x"), std::string::npos);
-    const std::string art = t.render_comm_matrix(3);
+    const std::string art = t.render_comm_matrix();
     EXPECT_NE(art.find("."), std::string::npos);
 }
 
@@ -90,7 +93,7 @@ TEST(Tracer, ParallelToomCommunicatesOnlyWithinRows) {
     }
 
     // Every rank walks the same phase skeleton.
-    const std::string seq = res.trace->render_phase_sequences(9);
+    const std::string seq = res.trace->render_phase_sequences();
     EXPECT_NE(seq.find("eval-L0"), std::string::npos);
     EXPECT_NE(seq.find("leaf-mul"), std::string::npos);
 }
