@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.hpp"
+
 #include "bigint/ops_counter.hpp"
 #include "bigint/random.hpp"
 #include "toom/lazy.hpp"
@@ -53,4 +55,6 @@ BENCHMARK(BM_Algorithm2_Lazy)->RangeMultiplier(4)->Range(1 << 12, 1 << 19);
 }  // namespace
 }  // namespace ftmul
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return ftmul::bench::run_gbench_to_json(argc, argv, "ablation_lazy");
+}

@@ -5,6 +5,10 @@
 // extra critical-path arithmetic against the fault-free FT run.
 
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 
 #include "bigint/random.hpp"
 #include "core/ft_linear.hpp"
@@ -13,7 +17,8 @@
 namespace ftmul {
 namespace {
 
-void run(int k, int P, std::size_t bits) {
+void run(bench::JsonReport& report, int k, int P,
+         std::size_t bits) {
     Rng rng{static_cast<std::uint64_t>(P)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
@@ -65,6 +70,26 @@ void run(int k, int P, std::size_t bits) {
                     ? static_cast<double>(lin_extra) /
                           static_cast<double>(poly_extra)
                     : static_cast<double>(lin_extra));
+
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Recovery ablation: k=%d P=%d n=%zu bits", k, P, bits);
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("linear, clean", lin_clean.stats, P,
+                                    lin_clean.extra_processors, 1,
+                                    lin_clean.product == expect));
+    rows.push_back(bench::stats_row("linear, mult-phase fault",
+                                    lin_faulty.stats, P,
+                                    lin_faulty.extra_processors, 1,
+                                    lin_faulty.product == expect));
+    rows.push_back(bench::stats_row("poly, clean", poly_clean.stats, P,
+                                    poly_clean.extra_processors, 1,
+                                    poly_clean.product == expect));
+    rows.push_back(bench::stats_row("poly, mult-phase fault",
+                                    poly_faulty.stats, P,
+                                    poly_faulty.extra_processors, 1,
+                                    poly_faulty.product == expect));
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -74,8 +99,10 @@ int main() {
     std::printf("Ablation: recovery cost of a multiplication-phase fault — "
                 "linear code (Birnbaum-style recomputation) vs the paper's "
                 "polynomial code.\n\n");
-    ftmul::run(2, 9, 1 << 15);
-    ftmul::run(2, 27, 1 << 16);
-    ftmul::run(3, 25, 1 << 16);
+    ftmul::bench::JsonReport report("ablation_recovery");
+    ftmul::run(report, 2, 9, 1 << 15);
+    ftmul::run(report, 2, 27, 1 << 16);
+    ftmul::run(report, 3, 25, 1 << 16);
+    report.write();
     return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.hpp"
+
 #include <cstdio>
 
 #include "bigint/ops_counter.hpp"
@@ -104,4 +106,6 @@ BENCHMARK(BM_MultiplyToomGraph<4>);
 }  // namespace
 }  // namespace ftmul
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return ftmul::bench::run_gbench_to_json(argc, argv, "ablation_toomgraph");
+}

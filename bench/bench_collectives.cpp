@@ -3,6 +3,10 @@
 // BW = t*W and L = O(log P + t) along the critical path.
 
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 
 #include "bigint/bigint.hpp"
 #include "runtime/collectives.hpp"
@@ -11,7 +15,8 @@
 namespace ftmul {
 namespace {
 
-void t_reduce(int P, int t, std::size_t W) {
+void t_reduce(std::vector<bench::Row>& rows, int P, int t,
+              std::size_t W) {
     Machine m(P);
     m.run([&](Rank& r) {
         r.phase("t-reduce");
@@ -29,9 +34,14 @@ void t_reduce(int P, int t, std::size_t W) {
                 static_cast<unsigned long long>(c.latency),
                 static_cast<std::size_t>(t) * W,
                 2.0 * static_cast<double>(t) * static_cast<double>(W));
+    rows.push_back(bench::stats_row("t-reduce/P=" + std::to_string(P) +
+                                        ",t=" + std::to_string(t) +
+                                        ",W=" + std::to_string(W),
+                                    m.stats(), P, 0, 0, true));
 }
 
-void t_broadcast(int P, int t, std::size_t W) {
+void t_broadcast(std::vector<bench::Row>& rows, int P, int t,
+                 std::size_t W) {
     Machine m(P);
     m.run([&](Rank& r) {
         r.phase("t-bcast");
@@ -46,6 +56,10 @@ void t_broadcast(int P, int t, std::size_t W) {
                 static_cast<unsigned long long>(c.flops),
                 static_cast<unsigned long long>(c.words),
                 static_cast<unsigned long long>(c.latency));
+    rows.push_back(bench::stats_row("t-bcast/P=" + std::to_string(P) +
+                                        ",t=" + std::to_string(t) +
+                                        ",W=" + std::to_string(W),
+                                    m.stats(), P, 0, 0, true));
 }
 
 }  // namespace
@@ -55,24 +69,31 @@ int main() {
     std::printf("Lemma 2.5 (t-reduce): critical-path costs; expected "
                 "F ~ t*W words-worth of adds, BW ~ O(t*W) words, "
                 "L ~ O(log P + t).\n");
+    std::vector<ftmul::bench::Row> reduce_rows;
+    std::vector<ftmul::bench::Row> bcast_rows;
     std::printf("%4s %4s %6s | %10s %10s %8s | %10s %12s\n", "P", "t", "W",
                 "F", "BW", "L", "t*W", "~words(t*W*wire)");
-    ftmul::t_reduce(4, 1, 64);
-    ftmul::t_reduce(8, 1, 64);
-    ftmul::t_reduce(16, 1, 64);
-    ftmul::t_reduce(32, 1, 64);
-    ftmul::t_reduce(8, 2, 64);
-    ftmul::t_reduce(8, 4, 64);
-    ftmul::t_reduce(8, 8, 64);
-    ftmul::t_reduce(8, 4, 256);
+    ftmul::t_reduce(reduce_rows, 4, 1, 64);
+    ftmul::t_reduce(reduce_rows, 8, 1, 64);
+    ftmul::t_reduce(reduce_rows, 16, 1, 64);
+    ftmul::t_reduce(reduce_rows, 32, 1, 64);
+    ftmul::t_reduce(reduce_rows, 8, 2, 64);
+    ftmul::t_reduce(reduce_rows, 8, 4, 64);
+    ftmul::t_reduce(reduce_rows, 8, 8, 64);
+    ftmul::t_reduce(reduce_rows, 8, 4, 256);
 
     std::printf("\nCorollary 2.6 (t-broadcast): expected F = 0, BW ~ O(t*W), "
                 "L ~ O(log P).\n");
     std::printf("%4s %4s %6s | %10s %10s %8s\n", "P", "t", "W", "F", "BW", "L");
-    ftmul::t_broadcast(4, 1, 64);
-    ftmul::t_broadcast(16, 1, 64);
-    ftmul::t_broadcast(32, 1, 64);
-    ftmul::t_broadcast(8, 4, 64);
-    ftmul::t_broadcast(8, 8, 64);
+    ftmul::t_broadcast(bcast_rows, 4, 1, 64);
+    ftmul::t_broadcast(bcast_rows, 16, 1, 64);
+    ftmul::t_broadcast(bcast_rows, 32, 1, 64);
+    ftmul::t_broadcast(bcast_rows, 8, 4, 64);
+    ftmul::t_broadcast(bcast_rows, 8, 8, 64);
+    ftmul::bench::JsonReport report("collectives");
+    report.add_table("Lemma 2.5: t simultaneous reduces", reduce_rows, 0);
+    report.add_table("Corollary 2.6: t simultaneous broadcasts", bcast_rows,
+                     0);
+    report.write();
     return 0;
 }

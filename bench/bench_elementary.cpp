@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.hpp"
+
 #include "bigint/random.hpp"
 #include "funcs/elementary.hpp"
 #include "toom/sequential.hpp"
@@ -76,4 +78,6 @@ BENCHMARK(BM_FactorialToom)->Arg(2000)->Arg(20000);
 }  // namespace
 }  // namespace ftmul
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return ftmul::bench::run_gbench_to_json(argc, argv, "elementary");
+}

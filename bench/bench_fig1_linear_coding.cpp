@@ -7,6 +7,8 @@
 // interpolation phases, and (c) that total overhead stays near (1+o(1)).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "bigint/random.hpp"
@@ -46,7 +48,8 @@ std::uint64_t phase_words(const RunStats& s, const std::string& name) {
     return it == s.per_phase.end() ? 0 : it->second.words;
 }
 
-void run_experiment(int k, int P, int f, std::size_t bits) {
+void run_experiment(bench::JsonReport& report, int k, int P, int f,
+                    std::size_t bits) {
     draw_grid(k, P, f);
 
     Rng rng{static_cast<std::uint64_t>(k + P + f)};
@@ -107,9 +110,23 @@ void run_experiment(int k, int P, int f, std::size_t bits) {
                 static_cast<double>(faulty.stats.critical.words) /
                     static_cast<double>(plain.stats.critical.words),
                 clean.extra_processors);
+
+    char title[96];
+    std::snprintf(title, sizeof title, "Figure 1: k=%d P=%d f=%d n=%zu bits",
+                  k, P, f, bits);
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("plain parallel", plain.stats, P, 0, 0,
+                              plain.product == expect));
+    rows.push_back(bench::stats_row("FT-linear clean", clean.stats, P,
+                              clean.extra_processors, f,
+                              clean.product == expect));
+    rows.push_back(bench::stats_row("FT-linear faulty", faulty.stats, P,
+                              faulty.extra_processors, f,
+                              faulty.product == expect));
+    report.add_table(title, rows, 0);
 }
 
-void o1_in_p_sweep(int k, std::size_t bits) {
+void o1_in_p_sweep(bench::JsonReport& report, int k, std::size_t bits) {
     // The (1+o(1)) of Tables 1-2 vanishes in P: the encodes move the n/P
     // input share while the algorithm moves n/P^{log_{2k-1}k} words, so the
     // relative encode cost falls like P^{log_{2k-1}k - 1}.
@@ -120,6 +137,7 @@ void o1_in_p_sweep(int k, std::size_t bits) {
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
     std::printf("%6s %14s %14s %10s\n", "P", "plain BW", "FT-lin BW", "ratio");
+    std::vector<bench::Row> rows;
     const int npts = 2 * k - 1;
     for (int P = npts; P <= npts * npts * (k == 2 ? npts : 1); P *= npts) {
         ParallelConfig base;
@@ -135,8 +153,17 @@ void o1_in_p_sweep(int k, std::size_t bits) {
                     static_cast<unsigned long long>(lin.stats.critical.words),
                     static_cast<double>(lin.stats.critical.words) /
                         static_cast<double>(plain.stats.critical.words));
+        rows.push_back(bench::stats_row("plain/P=" + std::to_string(P), plain.stats,
+                                  P, 0, 0, true));
+        rows.push_back(bench::stats_row("FT-linear/P=" + std::to_string(P),
+                                  lin.stats, P, lin.extra_processors, 1,
+                                  true));
     }
     std::printf("paper: the ratio approaches 1 as P grows.\n");
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Figure 1: o(1)-in-P BW trend (k=%d, n=%zu bits)", k, bits);
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -145,10 +172,12 @@ void o1_in_p_sweep(int k, std::size_t bits) {
 int main() {
     std::printf("Reproduction of Figure 1 — fault-tolerant Toom-Cook with "
                 "linear (Vandermonde) coding across grid columns.\n");
-    ftmul::run_experiment(2, 9, 1, 1 << 15);
-    ftmul::run_experiment(2, 9, 2, 1 << 15);
-    ftmul::run_experiment(3, 25, 1, 1 << 16);
-    ftmul::o1_in_p_sweep(2, 1 << 16);
-    ftmul::o1_in_p_sweep(3, 1 << 16);
+    ftmul::bench::JsonReport report("fig1_linear_coding");
+    ftmul::run_experiment(report, 2, 9, 1, 1 << 15);
+    ftmul::run_experiment(report, 2, 9, 2, 1 << 15);
+    ftmul::run_experiment(report, 3, 25, 1, 1 << 16);
+    ftmul::o1_in_p_sweep(report, 2, 1 << 16);
+    ftmul::o1_in_p_sweep(report, 3, 1 << 16);
+    report.write();
     return 0;
 }

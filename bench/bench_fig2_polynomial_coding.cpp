@@ -4,6 +4,8 @@
 // recomputation: interpolation simply switches to any 2k-1 surviving points.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "bigint/random.hpp"
@@ -40,7 +42,8 @@ void draw_grid(int k, int P, int f) {
     }
 }
 
-void run_experiment(int k, int P, int f, std::size_t bits) {
+void run_experiment(bench::JsonReport& report, int k, int P, int f,
+                    std::size_t bits) {
     draw_grid(k, P, f);
     Rng rng{static_cast<std::uint64_t>(3 * k + P + f)};
     const BigInt a = random_bits(rng, bits);
@@ -85,9 +88,24 @@ void run_experiment(int k, int P, int f, std::size_t bits) {
             static_cast<double>(plain.stats.critical.words));
     std::printf("extra processors: %d (= f * P/(2k-1) = %d)\n\n",
                 clean.extra_processors, f * P / (2 * k - 1));
+
+    char title[96];
+    std::snprintf(title, sizeof title, "Figure 2: k=%d P=%d f=%d n=%zu bits",
+                  k, P, f, bits);
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("plain parallel", plain.stats, P, 0, 0,
+                                    plain.product == expect));
+    rows.push_back(bench::stats_row("FT-poly clean", clean.stats, P,
+                                    clean.extra_processors, f,
+                                    clean.product == expect));
+    rows.push_back(bench::stats_row("FT-poly f column faults", faulty.stats, P,
+                                    faulty.extra_processors, f,
+                                    faulty.product == expect));
+    report.add_table(title, rows, 0);
 }
 
-void overhead_vs_f(int k, int P, std::size_t bits) {
+void overhead_vs_f(bench::JsonReport& report, int k, int P,
+                   std::size_t bits) {
     std::printf("--- overhead vs f (k=%d, P=%d, n=%zu) ---\n", k, P, bits);
     Rng rng{77};
     const BigInt a = random_bits(rng, bits);
@@ -100,6 +118,9 @@ void overhead_vs_f(int k, int P, std::size_t bits) {
     auto plain = parallel_toom_multiply(a, b, base);
     std::printf("%3s %14s %10s %8s %8s\n", "f", "F(crit)", "BW(crit)",
                 "F/plain", "+procs");
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("plain parallel", plain.stats, P, 0, 0,
+                                    true));
     for (int f = 0; f <= 3; ++f) {
         FtPolyConfig cfg{base, f};
         auto res = ft_poly_multiply(a, b, cfg, {});
@@ -109,9 +130,17 @@ void overhead_vs_f(int k, int P, std::size_t bits) {
                     static_cast<double>(res.stats.critical.flops) /
                         static_cast<double>(plain.stats.critical.flops),
                     res.extra_processors);
+        rows.push_back(bench::stats_row("FT-poly/f=" + std::to_string(f),
+                                        res.stats, P, res.extra_processors, f,
+                                        true));
     }
     std::printf("paper: first-step cost scales by (2k-1+f)/(2k-1); "
                 "asymptotically (1+o(1))\n");
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Figure 2: overhead vs f (k=%d, P=%d, n=%zu bits)", k, P,
+                  bits);
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -120,9 +149,11 @@ void overhead_vs_f(int k, int P, std::size_t bits) {
 int main() {
     std::printf("Reproduction of Figure 2 — fault-tolerant Toom-Cook with "
                 "polynomial coding (redundant evaluation points).\n");
-    ftmul::run_experiment(2, 9, 1, 1 << 15);
-    ftmul::run_experiment(2, 9, 2, 1 << 15);
-    ftmul::run_experiment(3, 25, 1, 1 << 16);
-    ftmul::overhead_vs_f(2, 9, 1 << 15);
+    ftmul::bench::JsonReport report("fig2_polynomial_coding");
+    ftmul::run_experiment(report, 2, 9, 1, 1 << 15);
+    ftmul::run_experiment(report, 2, 9, 2, 1 << 15);
+    ftmul::run_experiment(report, 3, 25, 1, 1 << 16);
+    ftmul::overhead_vs_f(report, 2, 9, 1 << 15);
+    report.write();
     return 0;
 }

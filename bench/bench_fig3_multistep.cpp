@@ -5,6 +5,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "bigint/random.hpp"
@@ -15,7 +17,8 @@
 namespace ftmul {
 namespace {
 
-void sweep_l(int k, int P, int f, std::size_t bits) {
+void sweep_l(bench::JsonReport& report, int k, int P, int f,
+             std::size_t bits) {
     Rng rng{static_cast<std::uint64_t>(k + P)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits - 9);
@@ -36,6 +39,9 @@ void sweep_l(int k, int P, int f, std::size_t bits) {
                 k, P, f, bits);
     std::printf("%3s %8s %10s %14s %12s %8s %6s\n", "l", "+procs",
                 "predicted", "F(crit)", "BW(crit)", "F/plain", "ok");
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("plain parallel", plain.stats, P, 0, 0,
+                                    plain.product == expect));
     for (int l = 1; l <= bfs; ++l) {
         FtMultistepConfig cfg;
         cfg.base = base;
@@ -53,7 +59,14 @@ void sweep_l(int k, int P, int f, std::size_t bits) {
                     static_cast<double>(res.stats.critical.flops) /
                         static_cast<double>(plain.stats.critical.flops),
                     res.product == expect ? "yes" : "NO");
+        rows.push_back(bench::stats_row("FT-multistep/l=" + std::to_string(l),
+                                        res.stats, P, res.extra_processors, f,
+                                        res.product == expect));
     }
+    char title[96];
+    std::snprintf(title, sizeof title, "Figure 3: k=%d P=%d f=%d n=%zu bits",
+                  k, P, f, bits);
+    report.add_table(title, rows, 0);
 }
 
 void point_search_cost(int k, int l, int f) {
@@ -77,7 +90,8 @@ void point_search_cost(int k, int l, int f) {
     std::printf("\n");
 }
 
-void optimized_vs_random(int k, int P, int f, std::size_t bits) {
+void optimized_vs_random(bench::JsonReport& report, int k, int P, int f,
+                         std::size_t bits) {
     // Paper Section 7 future work: "Optimizing the choice of redundant
     // evaluation points may lead to speedup in practice".
     Rng rng{8};
@@ -109,6 +123,18 @@ void optimized_vs_random(int k, int P, int f, std::size_t bits) {
                 opt.product == a * b ? "yes" : "NO",
                 100.0 * (1.0 - static_cast<double>(opt.stats.critical.flops) /
                                    static_cast<double>(rnd.stats.critical.flops)));
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Figure 3: point-choice ablation (k=%d P=%d f=%d l=2)", k, P,
+                  f);
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("random points", rnd.stats, P,
+                                    rnd.extra_processors, f,
+                                    rnd.product == a * b));
+    rows.push_back(bench::stats_row("smallest-first points", opt.stats, P,
+                                    opt.extra_processors, f,
+                                    opt.product == a * b));
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -117,15 +143,17 @@ void optimized_vs_random(int k, int P, int f, std::size_t bits) {
 int main() {
     std::printf("Reproduction of Figure 3 — multi-step traversal with "
                 "redundant multipoints in (2k-1, l)-general position.\n");
-    ftmul::sweep_l(2, 9, 1, 1 << 15);
-    ftmul::sweep_l(2, 27, 1, 1 << 16);
-    ftmul::sweep_l(2, 27, 2, 1 << 16);
+    ftmul::bench::JsonReport report("fig3_multistep");
+    ftmul::sweep_l(report, 2, 9, 1, 1 << 15);
+    ftmul::sweep_l(report, 2, 27, 1, 1 << 16);
+    ftmul::sweep_l(report, 2, 27, 2, 1 << 16);
 
     std::printf("\n--- Section 6.2 heuristic: redundant-point search ---\n");
     ftmul::point_search_cost(2, 1, 3);
     ftmul::point_search_cost(2, 2, 2);
     ftmul::point_search_cost(3, 1, 2);
 
-    ftmul::optimized_vs_random(2, 9, 2, 1 << 15);
+    ftmul::optimized_vs_random(report, 2, 9, 2, 1 << 15);
+    report.write();
     return 0;
 }

@@ -4,6 +4,10 @@
 // overhead stays negligible across all of them.
 
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 
 #include "bigint/random.hpp"
 #include "core/ft_mixed.hpp"
@@ -27,7 +31,8 @@ const Profile kProfiles[] = {
     {"wide-area grid       (a=1ms b=10ns) ", {1e-3, 1e-8, 1e-9}},
 };
 
-void run(int k, int P, std::size_t bits) {
+void run(bench::JsonReport& report, int k, int P,
+         std::size_t bits) {
     Rng rng{static_cast<std::uint64_t>(P)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
@@ -95,6 +100,14 @@ void run(int k, int P, std::size_t bits) {
                     100 * tw / tot, 100 * tf / tot, "");
     }
     std::printf("\n");
+
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Modeled time inputs: k=%d P=%d n=%zu bits", k, P, bits);
+    std::vector<bench::Row> rows;
+    for (const auto& e : entries)
+        rows.push_back(bench::stats_row(e.name, e.stats, P, 0, 0, e.ok));
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -103,11 +116,13 @@ void run(int k, int P, std::size_t bits) {
 int main() {
     std::printf("Run-time model C = alpha*L + beta*BW + gamma*F evaluated on "
                 "measured critical-path counters.\n");
-    ftmul::run(2, 9, 1 << 16);
-    ftmul::run(2, 27, 1 << 17);
-    ftmul::run(3, 25, 1 << 17);
+    ftmul::bench::JsonReport report("modeled_time");
+    ftmul::run(report, 2, 9, 1 << 16);
+    ftmul::run(report, 2, 27, 1 << 17);
+    ftmul::run(report, 3, 25, 1 << 17);
     std::printf("\npaper: fault tolerance should cost (1+o(1)) of the plain "
                 "time under every profile; replication matches time but "
                 "wastes f*P processors.\n");
+    report.write();
     return 0;
 }

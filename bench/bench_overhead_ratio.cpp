@@ -10,6 +10,10 @@
 // and P for fully-fused multi-step runs.
 
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 
 #include "bigint/random.hpp"
 #include "core/ft_linear.hpp"
@@ -25,10 +29,12 @@ double ovh(std::uint64_t x, std::uint64_t b0) {
     return x > b0 ? static_cast<double>(x - b0) : 0.0;
 }
 
-void run(int k, int P, int f, std::size_t bits) {
+void run(bench::JsonReport& report, int k, int P, int f,
+         std::size_t bits) {
     Rng rng{static_cast<std::uint64_t>(P + f)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
+    const BigInt expect = a * b;
 
     ParallelConfig base;
     base.k = k;
@@ -63,6 +69,26 @@ void run(int k, int P, int f, std::size_t bits) {
                 poly_f > 0 ? repl_f / poly_f : 0.0,
                 ms_f > 0 ? repl_f / ms_f : 0.0,
                 static_cast<double>(P) / (2 * k - 1), P);
+
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Overhead ratio: k=%d P=%d f=%d n=%zu bits", k, P, f, bits);
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("plain parallel", plain.stats, P, 0, 0,
+                                    plain.product == expect));
+    rows.push_back(bench::stats_row("replication", repl.stats, P,
+                                    repl.extra_processors, f,
+                                    repl.product == expect));
+    rows.push_back(bench::stats_row("FT linear", lin.stats, P,
+                                    lin.extra_processors, f,
+                                    lin.product == expect));
+    rows.push_back(bench::stats_row("FT poly", poly.stats, P,
+                                    poly.extra_processors, f,
+                                    poly.product == expect));
+    rows.push_back(bench::stats_row("FT multistep (full fusion)", ms.stats,
+                                    P, ms.extra_processors, f,
+                                    ms.product == expect));
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -74,13 +100,15 @@ int main() {
     std::printf("%3s %3s %3s | %10s %9s %9s %9s %9s | %7s %7s %7s | %8s %8s\n",
                 "k", "P", "f", "base F", "repl dF", "lin dF", "poly dF",
                 "mstep dF", "r/lin", "r/poly", "r/ms", "P/(2k-1)", "P");
-    ftmul::run(2, 3, 1, 1 << 16);
-    ftmul::run(2, 9, 1, 1 << 17);
-    ftmul::run(2, 9, 2, 1 << 17);
-    ftmul::run(2, 27, 1, 1 << 18);
-    ftmul::run(3, 5, 1, 1 << 16);
-    ftmul::run(3, 25, 1, 1 << 18);
+    ftmul::bench::JsonReport report("overhead_ratio");
+    ftmul::run(report, 2, 3, 1, 1 << 16);
+    ftmul::run(report, 2, 9, 1, 1 << 17);
+    ftmul::run(report, 2, 9, 2, 1 << 17);
+    ftmul::run(report, 2, 27, 1, 1 << 18);
+    ftmul::run(report, 3, 5, 1, 1 << 16);
+    ftmul::run(report, 3, 25, 1, 1 << 18);
     std::printf("paper: repl/linear overhead ratio ~ Theta(P/(2k-1)); "
                 "repl/multi-step(full fusion) ~ Theta(P).\n");
+    report.write();
     return 0;
 }

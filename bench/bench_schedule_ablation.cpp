@@ -5,6 +5,10 @@
 // but peaks the working set at the top of the tree.
 
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 
 #include "bigint/random.hpp"
 #include "core/parallel.hpp"
@@ -12,8 +16,8 @@
 namespace ftmul {
 namespace {
 
-void run(int k, int P, std::size_t bits, const char* const* orders,
-         int norders) {
+void run(bench::JsonReport& report, int k, int P, std::size_t bits,
+         const char* const* orders, int norders) {
     Rng rng{17};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
@@ -22,6 +26,7 @@ void run(int k, int P, std::size_t bits, const char* const* orders,
     std::printf("\nk=%d P=%d n=%zu bits\n", k, P, bits);
     std::printf("%-10s %14s %12s %10s %12s %6s\n", "schedule", "F(crit)",
                 "BW(crit)", "L(crit)", "peak_mem", "ok");
+    std::vector<bench::Row> rows;
     for (int i = 0; i < norders; ++i) {
         ParallelConfig cfg;
         cfg.k = k;
@@ -36,7 +41,13 @@ void run(int k, int P, std::size_t bits, const char* const* orders,
                     static_cast<unsigned long long>(res.stats.critical.latency),
                     static_cast<unsigned long long>(res.stats.peak_memory_words),
                     res.product == expect ? "yes" : "NO");
+        rows.push_back(bench::stats_row(orders[i], res.stats, P, 0, 0,
+                                        res.product == expect));
     }
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Schedule ablation: k=%d P=%d n=%zu bits", k, P, bits);
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -45,15 +56,17 @@ void run(int k, int P, std::size_t bits, const char* const* orders,
 int main() {
     std::printf("BFS/DFS schedule ablation: same step multiset, different "
                 "order.\n");
+    ftmul::bench::JsonReport report("schedule_ablation");
     const char* two_dfs[] = {"DDBB", "DBDB", "DBBD", "BDDB", "BDBD", "BBDD"};
-    ftmul::run(2, 9, 1 << 16, two_dfs, 6);
+    ftmul::run(report, 2, 9, 1 << 16, two_dfs, 6);
     const char* one_dfs[] = {"DBB", "BDB", "BBD"};
-    ftmul::run(2, 9, 1 << 15, one_dfs, 3);
+    ftmul::run(report, 2, 9, 1 << 15, one_dfs, 3);
     const char* k3[] = {"DB", "BD"};
-    ftmul::run(3, 5, 1 << 14, k3, 2);
+    ftmul::run(report, 3, 5, 1 << 14, k3, 2);
     std::printf("\npaper context: Lemma 3.1 prescribes DFS-first because it "
                 "is the only order that meets the memory bound; the bandwidth "
                 "column shows the price (Table 2's (n/M)^{log_k(2k-1)} "
                 "factor).\n");
+    report.write();
     return 0;
 }

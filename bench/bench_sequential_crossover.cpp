@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.hpp"
+
 #include "bigint/random.hpp"
 #include "toom/lazy.hpp"
 #include "toom/sequential.hpp"
@@ -78,4 +80,6 @@ BENCHMARK(BM_HybridThreshold)->RangeMultiplier(4)->Range(256, 1 << 16);
 }  // namespace
 }  // namespace ftmul
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return ftmul::bench::run_gbench_to_json(argc, argv, "sequential_crossover");
+}

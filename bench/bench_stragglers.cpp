@@ -6,6 +6,10 @@
 // mitigation.
 
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 
 #include "bigint/random.hpp"
 #include "core/ft_poly.hpp"
@@ -14,7 +18,8 @@
 namespace ftmul {
 namespace {
 
-void run(int k, int P, std::size_t bits, std::uint64_t delay_rounds) {
+void run(bench::JsonReport& report, int k, int P, std::size_t bits,
+         std::uint64_t delay_rounds) {
     Rng rng{static_cast<std::uint64_t>(P)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits);
@@ -60,6 +65,21 @@ void run(int k, int P, std::size_t bits, std::uint64_t delay_rounds) {
                 static_cast<unsigned long long>(coded.stats.critical.latency),
                 coded.stats.modeled_time(model) * 1e3,
                 coded.product == expect ? "ok" : "WRONG");
+
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Stragglers: k=%d P=%d n=%zu bits, rank 0 delayed %llu", k,
+                  P, bits, static_cast<unsigned long long>(delay_rounds));
+    std::vector<bench::Row> rows;
+    rows.push_back(bench::stats_row("plain, no straggler", clean.stats, P, 0,
+                                    0, clean.product == expect));
+    rows.push_back(bench::stats_row("plain, straggler on path",
+                                    straggled.stats, P, 0, 0,
+                                    straggled.product == expect));
+    rows.push_back(bench::stats_row("FT poly, column discarded", coded.stats,
+                                    P, coded.extra_processors, 1,
+                                    coded.product == expect));
+    report.add_table(title, rows, 0);
 }
 
 }  // namespace
@@ -68,12 +88,14 @@ void run(int k, int P, std::size_t bits, std::uint64_t delay_rounds) {
 int main() {
     std::printf("Straggler mitigation via the polynomial code (delay "
                 "faults, paper Section 1).\n\n");
-    ftmul::run(2, 9, 1 << 15, 1000);
-    ftmul::run(2, 9, 1 << 15, 100000);
-    ftmul::run(2, 27, 1 << 16, 10000);
+    ftmul::bench::JsonReport report("stragglers");
+    ftmul::run(report, 2, 9, 1 << 15, 1000);
+    ftmul::run(report, 2, 9, 1 << 15, 100000);
+    ftmul::run(report, 2, 27, 1 << 16, 10000);
     std::printf("paper context: redundancy designed for hard faults also "
                 "removes stragglers from the critical path — the coded-"
                 "computation effect of the works the paper cites "
                 "(Lee et al., Yu et al.).\n");
+    report.write();
     return 0;
 }

@@ -7,7 +7,9 @@
 // F, BW and L; replication needs f*P extra processors vs f*(2k-1) (or f with
 // multi-step traversal) for the coded algorithm.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench/common.hpp"
 #include "bigint/random.hpp"
@@ -22,8 +24,26 @@
 namespace ftmul {
 namespace {
 
+/// Re-runs an engine a few times and returns the best wall-clock per run,
+/// or 0 when disabled (the default): unmeasured rows keep the JSON report
+/// byte-stable across machines.
+template <typename F>
+double wall_of(F&& f, bool enabled) {
+    if (!enabled) return 0.0;
+    using Clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int i = 0; i < 3; ++i) {
+        const auto t0 = Clock::now();
+        f();
+        const auto t1 = Clock::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    return best;
+}
+
 void run_config(bench::JsonReport& report, int k, int P, int f,
-                std::size_t bits) {
+                std::size_t bits, bool wallclock) {
     Rng rng{static_cast<std::uint64_t>(k * 1000 + P * 10 + f)};
     const BigInt a = random_bits(rng, bits);
     const BigInt b = random_bits(rng, bits - bits / 5);
@@ -40,37 +60,49 @@ void run_config(bench::JsonReport& report, int k, int P, int f,
     auto plain = parallel_toom_multiply(a, b, base);
     rows.push_back({"Parallel Toom-Cook", plain.stats.critical,
                     plain.stats.aggregate, plain.stats.peak_memory_words, P, 0,
-                    0, plain.product == expect});
+                    0, plain.product == expect,
+                    wall_of([&] { parallel_toom_multiply(a, b, base); },
+                            wallclock)});
 
     ReplicationConfig rc{base, f};
     auto repl = replicated_toom_multiply(a, b, rc, {});
     rows.push_back({"Toom-Cook with Replication", repl.stats.critical,
                     repl.stats.aggregate, repl.stats.peak_memory_words, P,
-                    repl.extra_processors, f, repl.product == expect});
+                    repl.extra_processors, f, repl.product == expect,
+                    wall_of([&] { replicated_toom_multiply(a, b, rc, {}); },
+                            wallclock)});
 
     CheckpointConfig ck{base};
     auto ckpt = checkpoint_toom_multiply(a, b, ck, {});
     rows.push_back({"Toom-Cook with Checkpointing", ckpt.stats.critical,
                     ckpt.stats.aggregate, ckpt.stats.peak_memory_words, P, 0,
-                    1, ckpt.product == expect});
+                    1, ckpt.product == expect,
+                    wall_of([&] { checkpoint_toom_multiply(a, b, ck, {}); },
+                            wallclock)});
 
     FtLinearConfig lc{base, f};
     auto lin = ft_linear_multiply(a, b, lc, {});
     rows.push_back({"FT Toom-Cook (linear code)", lin.stats.critical,
                     lin.stats.aggregate, lin.stats.peak_memory_words, P,
-                    lin.extra_processors, f, lin.product == expect});
+                    lin.extra_processors, f, lin.product == expect,
+                    wall_of([&] { ft_linear_multiply(a, b, lc, {}); },
+                            wallclock)});
 
     FtPolyConfig pc{base, f};
     auto poly = ft_poly_multiply(a, b, pc, {});
     rows.push_back({"FT Toom-Cook (polynomial code)", poly.stats.critical,
                     poly.stats.aggregate, poly.stats.peak_memory_words, P,
-                    poly.extra_processors, f, poly.product == expect});
+                    poly.extra_processors, f, poly.product == expect,
+                    wall_of([&] { ft_poly_multiply(a, b, pc, {}); },
+                            wallclock)});
 
     FtMixedConfig mxc{base, f};
     auto mixed = ft_mixed_multiply(a, b, mxc, {});
     rows.push_back({"FT Toom-Cook (mixed code) [paper]", mixed.stats.critical,
                     mixed.stats.aggregate, mixed.stats.peak_memory_words, P,
-                    mixed.extra_processors, f, mixed.product == expect});
+                    mixed.extra_processors, f, mixed.product == expect,
+                    wall_of([&] { ft_mixed_multiply(a, b, mxc, {}); },
+                            wallclock)});
 
     // Full fusion: l = log_{2k-1} P, extra processors drop to f (Section 5.2
     // unlimited-memory remark).
@@ -83,7 +115,9 @@ void run_config(bench::JsonReport& report, int k, int P, int f,
     auto ms = ft_multistep_multiply(a, b, mc, {});
     rows.push_back({"FT Toom-Cook (multi-step, l=max)", ms.stats.critical,
                     ms.stats.aggregate, ms.stats.peak_memory_words, P,
-                    ms.extra_processors, f, ms.product == expect});
+                    ms.extra_processors, f, ms.product == expect,
+                    wall_of([&] { ft_multistep_multiply(a, b, mc, {}); },
+                            wallclock)});
 
     char title[160];
     std::snprintf(title, sizeof title,
@@ -101,16 +135,23 @@ void run_config(bench::JsonReport& report, int k, int P, int f,
 }  // namespace
 }  // namespace ftmul
 
-int main() {
+int main(int argc, char** argv) {
+    // --wallclock: also measure each engine's wall-clock per run (best of 3)
+    // and emit it as wall_ns in the JSON rows. Off by default so the report
+    // stays a pure cost-model artifact, byte-stable across machines.
+    bool wallclock = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--wallclock") == 0) wallclock = true;
+    }
     std::printf("Reproduction of Table 1 — costs measured on the simulated "
                 "P-processor machine (words/messages/limb-ops counted along "
                 "the critical path).\n");
     ftmul::bench::JsonReport report("table1_unlimited");
-    ftmul::run_config(report, 2, 9, 1, 1 << 16);
-    ftmul::run_config(report, 2, 9, 2, 1 << 16);
-    ftmul::run_config(report, 2, 27, 1, 1 << 17);
-    ftmul::run_config(report, 3, 25, 1, 1 << 17);
-    ftmul::run_config(report, 3, 25, 2, 1 << 17);
+    ftmul::run_config(report, 2, 9, 1, 1 << 16, wallclock);
+    ftmul::run_config(report, 2, 9, 2, 1 << 16, wallclock);
+    ftmul::run_config(report, 2, 27, 1, 1 << 17, wallclock);
+    ftmul::run_config(report, 3, 25, 1, 1 << 17, wallclock);
+    ftmul::run_config(report, 3, 25, 2, 1 << 17, wallclock);
     report.write();
     return 0;
 }

@@ -24,7 +24,24 @@ struct Row {
     int extra_processors = 0;
     int tolerance = 0;
     bool ok = true;  // product verified against the oracle
+    double wall_ns = 0.0;  // measured wall-clock per op; 0 = not measured
 };
+
+/// Row built from a Machine run's stats — the shape every engine bench
+/// shares when feeding the JSON report.
+inline Row stats_row(std::string name, const RunStats& s, int processors,
+                     int extra, int tolerance, bool ok) {
+    Row r;
+    r.name = std::move(name);
+    r.crit = s.critical;
+    r.agg = s.aggregate;
+    r.peak_mem = s.peak_memory_words;
+    r.processors = processors;
+    r.extra_processors = extra;
+    r.tolerance = tolerance;
+    r.ok = ok;
+    return r;
+}
 
 inline void print_header(const std::string& title) {
     std::printf("\n=== %s ===\n", title.c_str());
@@ -80,6 +97,9 @@ class JsonReport {
             row.set("extra_processors", r.extra_processors);
             row.set("tolerance", r.tolerance);
             row.set("ok", r.ok);
+            // Only measured rows carry wall-clock, so reports from pure
+            // cost-model runs stay byte-stable across machines.
+            if (r.wall_ns != 0.0) row.set("wall_ns", r.wall_ns);
             jrows.push_back(std::move(row));
         }
         t.set("rows", std::move(jrows));

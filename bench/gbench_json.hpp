@@ -1,0 +1,60 @@
+#pragma once
+
+// Bridge from google-benchmark to the repo's BENCH_<name>.json reports: a
+// display reporter that prints the usual console table while capturing each
+// per-iteration run as a bench::Row (wall_ns from the adjusted real time,
+// F from the "limb_ops" user counter when the benchmark records one), and a
+// drop-in replacement for BENCHMARK_MAIN() that writes the captured rows
+// through bench::JsonReport on exit.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace ftmul::bench {
+
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            Row r;
+            r.name = run.benchmark_name();
+            // GetAdjustedRealTime() is per-iteration time in run.time_unit;
+            // rescale to nanoseconds so every report speaks one unit.
+            r.wall_ns = run.GetAdjustedRealTime() * 1e9 /
+                        benchmark::GetTimeUnitMultiplier(run.time_unit);
+            const auto it = run.counters.find("limb_ops");
+            if (it != run.counters.end()) {
+                r.crit.flops = static_cast<std::uint64_t>(it->second.value);
+                r.agg.flops = r.crit.flops;
+            }
+            rows.push_back(std::move(r));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Row> rows;
+};
+
+/// BENCHMARK_MAIN() twin: runs the registered benchmarks and also writes
+/// BENCH_<name>.json next to the console output.
+inline int run_gbench_to_json(int argc, char** argv,
+                              const std::string& name) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    JsonCapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    JsonReport report(name);
+    report.add_table("google-benchmark runs", reporter.rows, 0);
+    report.write();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace ftmul::bench

@@ -1,9 +1,11 @@
 #include "bigint/bigint.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "bigint/limb_arena.hpp"
 #include "bigint/ops_counter.hpp"
 
 namespace ftmul {
@@ -87,6 +89,67 @@ BigInt operator+(const BigInt& a, const BigInt& b) {
 
 BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
 
+BigInt& BigInt::add_signed(const BigInt& o, int os) {
+    if (os == 0) return *this;
+    if (sign_ == 0) {
+        mag_ = o.mag_;
+        sign_ = os;
+        return *this;
+    }
+    if (sign_ == os) {
+        detail::add_into(mag_, o.mag_);
+        return *this;
+    }
+    const int c = detail::cmp(mag_, o.mag_);
+    if (c == 0) {
+        sign_ = 0;
+        mag_.clear();
+        return *this;
+    }
+    if (c > 0) {
+        detail::sub_into(mag_, o.mag_);
+        return *this;
+    }
+    detail::rsub_into(mag_, o.mag_.data(), o.mag_.size());
+    sign_ = os;
+    return *this;
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) { return add_signed(o, o.sign_); }
+
+BigInt& BigInt::operator-=(const BigInt& o) { return add_signed(o, -o.sign_); }
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+    if (sign_ == 0) return *this;
+    if (o.sign_ == 0) {
+        sign_ = 0;
+        mag_.clear();
+        return *this;
+    }
+    detail::ArenaScope scope;
+    const std::size_t pn = mag_.size() + o.mag_.size();
+    std::uint64_t* p = scope.alloc(pn);
+    detail::mul_to(p, mag_.data(), mag_.size(), o.mag_.data(), o.mag_.size());
+    std::size_t n = pn;
+    while (n > 0 && p[n - 1] == 0) --n;
+    mag_.assign(p, p + n);
+    sign_ *= o.sign_;
+    return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t b) {
+    if (sign_ != 0) detail::shl_into(mag_, b);
+    return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t b) {
+    if (sign_ != 0) {
+        detail::shr_into(mag_, b);
+        if (mag_.empty()) sign_ = 0;
+    }
+    return *this;
+}
+
 BigInt operator*(const BigInt& a, const BigInt& b) {
     if (a.sign_ == 0 || b.sign_ == 0) return BigInt{};
     return BigInt::from_parts(a.sign_ * b.sign_, detail::mul(a.mag_, b.mag_));
@@ -141,6 +204,19 @@ BigInt BigInt::divexact(const BigInt& d) const {
     return q;
 }
 
+BigInt& BigInt::divexact_inplace(const BigInt& d) {
+    if (d.sign_ == 0) throw std::domain_error("BigInt division by zero");
+    if (sign_ == 0) return *this;
+    if (d.mag_.size() == 1) {
+        const std::uint64_t rem = detail::divmod_small(mag_, d.mag_[0]);
+        assert(rem == 0 && "divexact: division was not exact");
+        (void)rem;
+        sign_ *= d.sign_;
+        return *this;
+    }
+    return *this = divexact(d);
+}
+
 BigInt BigInt::gcd(BigInt a, BigInt b) {
     a = a.abs();
     b = b.abs();
@@ -164,16 +240,35 @@ BigInt BigInt::pow(std::uint64_t e) const {
 }
 
 BigInt BigInt::extract_bits(std::size_t lo, std::size_t len) const {
-    assert(!is_negative());
     if (len == 0 || sign_ == 0) return {};
-    detail::Limbs shifted = detail::shr(mag_, lo);
+    const std::size_t limb_shift = lo / 64;
+    if (limb_shift >= mag_.size()) return {};
+    // Copy only the limbs of the window instead of shifting the whole tail
+    // down (the old `shr(mag_, lo)` touched O(bit_length - lo) limbs per
+    // digit, making digit splitting quadratic). The charge stays what the
+    // full-tail shift cost: the normalized size of mag_ >> lo.
+    const std::size_t bl = detail::bit_length(mag_);
+    const std::size_t shr_size = bl > lo ? (bl - lo + 63) / 64 : 0;
+    OpsCounter::add(shr_size);
+    if (lo >= bl) return {};
     const std::size_t keep_limbs = (len + 63) / 64;
-    if (shifted.size() > keep_limbs) shifted.resize(keep_limbs);
-    const unsigned top_bits = static_cast<unsigned>(len % 64);
-    if (top_bits != 0 && shifted.size() == keep_limbs) {
-        shifted.back() &= (~std::uint64_t{0}) >> (64 - top_bits);
+    const std::size_t out_n = std::min(keep_limbs, shr_size);
+    detail::Limbs out(out_n);
+    const unsigned s = static_cast<unsigned>(lo % 64);
+    if (s == 0) {
+        for (std::size_t i = 0; i < out_n; ++i) out[i] = mag_[limb_shift + i];
+    } else {
+        for (std::size_t i = 0; i < out_n; ++i) {
+            const std::uint64_t hi =
+                (limb_shift + i + 1 < mag_.size()) ? mag_[limb_shift + i + 1] : 0;
+            out[i] = (mag_[limb_shift + i] >> s) | (hi << (64 - s));
+        }
     }
-    return from_parts(1, std::move(shifted));
+    const unsigned top_bits = static_cast<unsigned>(len % 64);
+    if (top_bits != 0 && out_n == keep_limbs) {
+        out.back() &= (~std::uint64_t{0}) >> (64 - top_bits);
+    }
+    return from_parts(1, std::move(out));
 }
 
 void add_scaled(BigInt& acc, const BigInt& x, std::int64_t c) {
@@ -199,7 +294,40 @@ void add_scaled(BigInt& acc, const BigInt& x, std::int64_t c) {
         detail::addmul_small(acc.mag_, x.mag_, mag);
         return;
     }
-    acc += x * BigInt{c};
+    add_mul(acc, x, BigInt{c});
+}
+
+void add_mul(BigInt& acc, const BigInt& x, const BigInt& y) {
+    if (x.sign_ == 0 || y.sign_ == 0) return;
+    detail::ArenaScope scope;
+    const std::size_t pn = x.mag_.size() + y.mag_.size();
+    std::uint64_t* p = scope.alloc(pn);
+    detail::mul_to(p, x.mag_.data(), x.mag_.size(), y.mag_.data(),
+                   y.mag_.size());
+    std::size_t n = pn;
+    while (n > 0 && p[n - 1] == 0) --n;
+    const int ps = x.sign_ * y.sign_;
+    if (acc.sign_ == 0) {
+        acc.mag_.assign(p, p + n);
+        acc.sign_ = ps;
+        return;
+    }
+    if (acc.sign_ == ps) {
+        detail::add_into(acc.mag_, p, n);
+        return;
+    }
+    const int c = detail::cmp(acc.mag_.data(), acc.mag_.size(), p, n);
+    if (c == 0) {
+        acc.sign_ = 0;
+        acc.mag_.clear();
+        return;
+    }
+    if (c > 0) {
+        detail::sub_into(acc.mag_, p, n);
+        return;
+    }
+    detail::rsub_into(acc.mag_, p, n);
+    acc.sign_ = ps;
 }
 
 }  // namespace ftmul

@@ -72,11 +72,15 @@ public:
     BigInt operator<<(std::size_t bits) const;
     BigInt operator>>(std::size_t bits) const;
 
-    BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
-    BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
-    BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
-    BigInt& operator<<=(std::size_t b) { return *this = *this << b; }
-    BigInt& operator>>=(std::size_t b) { return *this = *this >> b; }
+    /// Compound assignments mutate in place: they reuse the existing limb
+    /// buffer whenever the result fits and route temporaries through the
+    /// thread-local LimbArena, so no heap allocation happens on the hot path.
+    /// OpsCounter charges are identical to the out-of-place forms.
+    BigInt& operator+=(const BigInt& o);
+    BigInt& operator-=(const BigInt& o);
+    BigInt& operator*=(const BigInt& o);
+    BigInt& operator<<=(std::size_t b);
+    BigInt& operator>>=(std::size_t b);
 
     /// Three-way comparison by value.
     static int compare(const BigInt& a, const BigInt& b);
@@ -100,19 +104,30 @@ public:
     /// debug builds; the interpolation layers rely on this invariant).
     BigInt divexact(const BigInt& d) const;
 
+    /// In-place exact division. For a single-limb divisor (the interpolation
+    /// denominators) this divides the limb buffer in place with no
+    /// allocation; otherwise it falls back to divexact(). Same contract and
+    /// OpsCounter charge as divexact().
+    BigInt& divexact_inplace(const BigInt& d);
+
     /// Non-negative greatest common divisor; gcd(0, 0) == 0.
     static BigInt gcd(BigInt a, BigInt b);
 
     /// this^e by binary exponentiation.
     BigInt pow(std::uint64_t e) const;
 
-    /// Extract magnitude bits [lo, lo + len) as a non-negative BigInt. This is
-    /// the digit-splitting primitive for Toom-Cook (base 2^len digits).
-    /// Requires a non-negative value.
+    /// Extract magnitude bits [lo, lo + len) as a non-negative BigInt; the
+    /// sign is ignored (the result is a slice of |*this|). This is the
+    /// digit-splitting primitive for Toom-Cook (base 2^len digits).
     BigInt extract_bits(std::size_t lo, std::size_t len) const;
 
 private:
     friend void add_scaled(BigInt& acc, const BigInt& x, std::int64_t c);
+    friend void add_mul(BigInt& acc, const BigInt& x, const BigInt& y);
+
+    /// Shared body of += / -=: *this += (os-signed o). @p os is o's sign,
+    /// possibly flipped by the caller for subtraction.
+    BigInt& add_signed(const BigInt& o, int os);
 
     int sign_ = 0;  // -1, 0, +1
     detail::Limbs mag_;
@@ -123,6 +138,12 @@ private:
 /// sign as the accumulator the operation is a fused in-place limb addmul
 /// (no temporaries).
 void add_scaled(BigInt& acc, const BigInt& x, std::int64_t c);
+
+/// acc += x * y without materializing the product on the heap: the limbs of
+/// x*y live in the thread-local LimbArena and are folded straight into acc.
+/// The inner kernel of row_dot/accumulate_column and of schoolbook
+/// convolution. OpsCounter charges match `acc += x * y` exactly.
+void add_mul(BigInt& acc, const BigInt& x, const BigInt& y);
 
 /// Decimal stream output.
 std::ostream& operator<<(std::ostream& os, const BigInt& v);

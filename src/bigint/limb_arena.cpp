@@ -1,0 +1,36 @@
+#include "bigint/limb_arena.hpp"
+
+#include <algorithm>
+
+namespace ftmul::detail {
+
+LimbArena& LimbArena::local() {
+    static thread_local LimbArena arena;
+    return arena;
+}
+
+void LimbArena::grow(std::size_t need) {
+    // Reuse an already-allocated later slab when one is big enough (they are
+    // kept across release()), otherwise append a new slab that at least
+    // doubles the largest existing one.
+    constexpr std::size_t kMinSlabWords = 1 << 12;  // 32 KiB
+    const std::size_t next = slabs_.empty() ? 0 : active_ + 1;
+    if (next < slabs_.size() && slabs_[next].size >= need) {
+        active_ = next;
+        slabs_[active_].used = 0;
+        return;
+    }
+    std::size_t size = kMinSlabWords;
+    for (const Slab& s : slabs_) size = std::max(size, s.size * 2);
+    size = std::max(size, need);
+    Slab s;
+    s.data = std::make_unique<std::uint64_t[]>(size);
+    s.size = size;
+    s.used = 0;
+    // Drop smaller tail slabs the new one supersedes.
+    slabs_.resize(next);
+    slabs_.push_back(std::move(s));
+    active_ = next;
+}
+
+}  // namespace ftmul::detail

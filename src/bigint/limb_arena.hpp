@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ftmul::detail {
+
+/// Thread-local bump-pointer scratch allocator for limb buffers.
+///
+/// The recursive Toom-Cook algorithms and the fused BigInt kernels need
+/// short-lived limb temporaries (a product before it is folded into an
+/// accumulator, a scratch quotient, ...). Allocating each one with operator
+/// new makes malloc the hot path; instead every thread owns one LimbArena
+/// and each kernel brackets its temporaries with mark()/release() so the
+/// same few slabs are reused across all recursion levels.
+///
+/// Usage contract:
+///   auto& arena = LimbArena::local();
+///   const auto m = arena.mark();
+///   std::uint64_t* tmp = arena.alloc(n);   // uninitialized
+///   ...
+///   arena.release(m);                      // frees everything after m
+///
+/// release() must be called with marks in LIFO order (ArenaScope enforces
+/// this). Pointers handed out after the mark are invalidated by release();
+/// pointers from before it stay valid. alloc() never returns nullptr; it
+/// grows the arena geometrically when a slab runs out.
+class LimbArena {
+public:
+    struct Mark {
+        std::size_t slab;
+        std::size_t used;
+    };
+
+    /// The calling thread's arena.
+    static LimbArena& local();
+
+    /// Current position; pass to release() to free everything since.
+    Mark mark() const noexcept { return {active_, slabs_.empty() ? 0 : slabs_[active_].used}; }
+
+    /// Pop back to @p m, keeping the memory for reuse.
+    void release(Mark m) noexcept {
+        if (slabs_.empty()) return;
+        for (std::size_t s = m.slab + 1; s <= active_; ++s) slabs_[s].used = 0;
+        slabs_[m.slab].used = m.used;
+        active_ = m.slab;
+    }
+
+    /// @p n uninitialized words. n == 0 returns a valid (unusable) pointer.
+    std::uint64_t* alloc(std::size_t n) {
+        if (slabs_.empty() || slabs_[active_].used + n > slabs_[active_].size) {
+            grow(n);
+        }
+        Slab& s = slabs_[active_];
+        std::uint64_t* p = s.data.get() + s.used;
+        s.used += n;
+        return p;
+    }
+
+    /// Total words owned by this arena (all slabs), for tests/statistics.
+    std::size_t capacity_words() const noexcept {
+        std::size_t total = 0;
+        for (const Slab& s : slabs_) total += s.size;
+        return total;
+    }
+
+    /// Words currently handed out (between the base and the bump pointer).
+    std::size_t used_words() const noexcept {
+        std::size_t total = 0;
+        for (std::size_t s = 0; s <= active_ && s < slabs_.size(); ++s) {
+            total += slabs_[s].used;
+        }
+        return total;
+    }
+
+private:
+    struct Slab {
+        std::unique_ptr<std::uint64_t[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    void grow(std::size_t need);
+
+    std::vector<Slab> slabs_;
+    std::size_t active_ = 0;
+};
+
+/// RAII mark/release bracket; destruction frees every arena allocation made
+/// inside the scope.
+class ArenaScope {
+public:
+    ArenaScope() : arena_(LimbArena::local()), mark_(arena_.mark()) {}
+    ~ArenaScope() { arena_.release(mark_); }
+    ArenaScope(const ArenaScope&) = delete;
+    ArenaScope& operator=(const ArenaScope&) = delete;
+
+    LimbArena& arena() noexcept { return arena_; }
+    std::uint64_t* alloc(std::size_t n) { return arena_.alloc(n); }
+
+private:
+    LimbArena& arena_;
+    LimbArena::Mark mark_;
+};
+
+}  // namespace ftmul::detail

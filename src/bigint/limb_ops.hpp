@@ -15,13 +15,19 @@ void normalize(Limbs& a);
 /// Three-way magnitude comparison: negative / zero / positive.
 int cmp(const Limbs& a, const Limbs& b);
 
+/// Raw-span magnitude comparison; operands need not be normalized.
+int cmp(const std::uint64_t* a, std::size_t an, const std::uint64_t* b,
+        std::size_t bn);
+
 /// a + b.
 Limbs add(const Limbs& a, const Limbs& b);
 
 /// a - b; requires cmp(a, b) >= 0.
 Limbs sub(const Limbs& a, const Limbs& b);
 
-/// Schoolbook product, Theta(|a|*|b|) limb multiplications.
+/// Schoolbook product, Theta(|a|*|b|) limb multiplications. The inner loop
+/// is cache-blocked and processes four multiplier limbs per pass (see
+/// docs/PERFORMANCE.md).
 Limbs mul(const Limbs& a, const Limbs& b);
 
 /// a * m for a single-limb multiplier.
@@ -51,5 +57,56 @@ std::size_t bit_length(const Limbs& a);
 
 /// Value of bit i (false beyond the top).
 bool get_bit(const Limbs& a, std::size_t i);
+
+// ---------------------------------------------------------------------------
+// Destination-passing kernels (the allocation-free hot path).
+//
+// Every kernel below writes into caller-provided storage and charges
+// OpsCounter exactly like its allocating counterpart above, so the modeled
+// arithmetic cost F is unchanged by routing through them. Contracts are
+// documented per kernel and in docs/PERFORMANCE.md.
+// ---------------------------------------------------------------------------
+
+/// acc += b in place. Self-addition (&acc == &b) is allowed.
+void add_into(Limbs& acc, const Limbs& b);
+
+/// acc += b[0..bn) in place; b must not alias acc's storage.
+void add_into(Limbs& acc, const std::uint64_t* b, std::size_t bn);
+
+/// acc -= b in place; requires cmp(acc, b) >= 0.
+void sub_into(Limbs& acc, const Limbs& b);
+
+/// acc -= b[0..bn) in place; requires acc >= b; no aliasing.
+void sub_into(Limbs& acc, const std::uint64_t* b, std::size_t bn);
+
+/// acc = b - acc in place; requires b >= acc; no aliasing.
+void rsub_into(Limbs& acc, const std::uint64_t* b, std::size_t bn);
+
+/// out[0..an+bn) = a * b. out must not overlap either input; it is fully
+/// overwritten (no pre-zeroing needed) and is NOT normalized — the top limb
+/// may be zero. Charges an*bn like mul(). Requires an, bn > 0.
+void mul_to(std::uint64_t* out, const std::uint64_t* a, std::size_t an,
+            const std::uint64_t* b, std::size_t bn);
+
+/// out = a * b through mul_to; out must not alias a or b.
+void mul_into(const Limbs& a, const Limbs& b, Limbs& out);
+
+/// a <<= bits in place.
+void shl_into(Limbs& a, std::size_t bits);
+
+/// a >>= bits in place (toward zero).
+void shr_into(Limbs& a, std::size_t bits);
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the original out-of-place implementations, kept
+// verbatim as the oracle for randomized differential tests
+// (fuzz_differential_test) and as the baseline rows of bench_kernels. They
+// charge OpsCounter identically to the optimized kernels.
+// ---------------------------------------------------------------------------
+
+Limbs add_reference(const Limbs& a, const Limbs& b);
+Limbs sub_reference(const Limbs& a, const Limbs& b);
+Limbs mul_reference(const Limbs& a, const Limbs& b);
+Limbs shl_reference(const Limbs& a, std::size_t bits);
 
 }  // namespace ftmul::detail

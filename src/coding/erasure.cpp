@@ -35,7 +35,7 @@ std::vector<BigInt> ErasureCode::encode_blocks(std::span<const BigInt> data,
                 if (w == BigInt{1}) {
                     acc += data[j * block_len + t];
                 } else {
-                    acc += w * data[j * block_len + t];
+                    add_mul(acc, w, data[j * block_len + t]);
                 }
             }
             parity[i * block_len + t] = std::move(acc);

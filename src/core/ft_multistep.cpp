@@ -45,7 +45,7 @@ void apply_matrix_blocks(const Matrix<BigInt>& m, std::span<const BigInt> in,
             for (std::size_t j = 0; j < m.cols(); ++j) {
                 const BigInt& c = m(i, j);
                 if (c.is_zero()) continue;
-                acc += c * in[j * block_len + t];
+                add_mul(acc, c, in[j * block_len + t]);
             }
             out[i * block_len + t] = std::move(acc);
         }

@@ -8,6 +8,7 @@
 
 #include "bigint/ops_counter.hpp"
 #include "bigint/serialize.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ftmul {
 
@@ -197,6 +198,11 @@ EventLog& Machine::enable_event_log() {
     return *events_;
 }
 
+void Machine::set_thread_reuse(bool enabled) {
+    thread_reuse_ = enabled;
+    if (!enabled) pool_.reset();
+}
+
 void Machine::run(const std::function<void(Rank&)>& body) {
     stats_ = RunStats{};
     stats_.world = size_;
@@ -211,37 +217,48 @@ void Machine::run(const std::function<void(Rank&)>& body) {
     std::exception_ptr first_error;
     std::mutex error_mu;
 
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(size_));
-    for (int r = 0; r < size_; ++r) {
-        threads.emplace_back([&, r] {
-            OpsCounter::reset();
-            Rank rank(*this, r, size_);
-            if (events_) {
-                Event e;
-                e.kind = EventKind::PhaseBegin;
-                e.phase = rank.current_phase_;
-                rank.emit(std::move(e));
+    const auto rank_body = [&](int r) {
+        OpsCounter::reset();
+        Rank rank(*this, r, size_);
+        if (events_) {
+            Event e;
+            e.kind = EventKind::PhaseBegin;
+            e.phase = rank.current_phase_;
+            rank.emit(std::move(e));
+        }
+        try {
+            body(rank);
+        } catch (const RunAborted&) {
+            // Secondary casualty of another rank's abort; keep only the
+            // original error.
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error) first_error = std::current_exception();
             }
-            try {
-                body(rank);
-            } catch (const RunAborted&) {
-                // Secondary casualty of another rank's abort; keep only the
-                // original error.
-            } catch (...) {
-                {
-                    std::lock_guard<std::mutex> lock(error_mu);
-                    if (!first_error) first_error = std::current_exception();
-                }
-                // Fail fast: release every blocked receiver.
-                for (auto& mb : mailboxes_) mb->abort();
-            }
-            rank.close_phase();
-            ledgers[static_cast<std::size_t>(r)] = std::move(rank.ledger_);
-            peaks[static_cast<std::size_t>(r)] = rank.peak_memory_;
-        });
+            // Fail fast: release every blocked receiver.
+            for (auto& mb : mailboxes_) mb->abort();
+        }
+        rank.close_phase();
+        ledgers[static_cast<std::size_t>(r)] = std::move(rank.ledger_);
+        peaks[static_cast<std::size_t>(r)] = rank.peak_memory_;
+    };
+
+    if (thread_reuse_) {
+        // Persistent executor: rank r always runs on pool worker r, parked
+        // between runs.
+        if (!pool_ || pool_->size() != static_cast<std::size_t>(size_)) {
+            pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(size_));
+        }
+        pool_->run([&](std::size_t i) { rank_body(static_cast<int>(i)); });
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(size_));
+        for (int r = 0; r < size_; ++r) {
+            threads.emplace_back([&, r] { rank_body(r); });
+        }
+        for (auto& t : threads) t.join();
     }
-    for (auto& t : threads) t.join();
     if (first_error) std::rethrow_exception(first_error);
 
     // Combine: per-phase max across ranks (critical path), plus aggregates.

@@ -18,6 +18,7 @@
 namespace ftmul {
 
 class Machine;
+class ThreadPool;
 
 /// Per-processor execution context handed to the SPMD body: identity,
 /// point-to-point messaging, phase/cost bookkeeping and fault queries.
@@ -121,6 +122,12 @@ public:
     /// Deadlock-detection receive timeout (default 60 s).
     void set_recv_timeout(std::chrono::milliseconds t) { timeout_ = t; }
 
+    /// Reuse a persistent worker pool across run() calls (default on): rank r
+    /// of every run executes on the same parked OS thread. When off, each
+    /// run() spawns and joins fresh threads — the pre-pool behavior, kept as
+    /// the live A/B baseline for the kernels microbench.
+    void set_thread_reuse(bool enabled);
+
     /// Turn on message/phase tracing for subsequent runs; returns the
     /// tracer (owned by the machine, cleared at each run start).
     Tracer& enable_tracing();
@@ -142,6 +149,8 @@ private:
     std::chrono::milliseconds timeout_{60000};
     std::unique_ptr<Tracer> tracer_;
     std::shared_ptr<EventLog> events_;
+    std::unique_ptr<ThreadPool> pool_;  ///< lazily created on first run()
+    bool thread_reuse_ = true;
 };
 
 }  // namespace ftmul

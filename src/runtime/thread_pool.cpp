@@ -1,0 +1,52 @@
+#include "runtime/thread_pool.hpp"
+
+namespace ftmul {
+
+ThreadPool::ThreadPool(std::size_t n) {
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* task = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            task = task_;
+        }
+        (*task)(index);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            // Notify under the lock: the dispatcher may destroy the pool as
+            // soon as it observes remaining_ == 0.
+            if (--remaining_ == 0) done_cv_.notify_one();
+        }
+    }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& task) {
+    std::unique_lock<std::mutex> lock(mu_);
+    task_ = &task;
+    remaining_ = workers_.size();
+    ++generation_;
+    start_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+}
+
+}  // namespace ftmul

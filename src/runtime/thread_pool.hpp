@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftmul {
+
+/// Persistent pool of parked worker threads with a stable index -> worker
+/// mapping: dispatch i always runs on the same OS thread.
+///
+/// The simulated Machine used to spawn (and join) one std::thread per rank on
+/// every run() call, which dominates wall-clock for small problem sizes and
+/// for benchmarks that run thousands of configurations. A Machine now owns
+/// one ThreadPool sized to its world; between run() calls the workers block
+/// on a condition variable.
+///
+/// run() may be called from one thread at a time (the Machine serializes its
+/// runs). Tasks must not throw — the Machine's rank body catches everything
+/// and funnels errors through its own channel.
+class ThreadPool {
+public:
+    /// Spawn @p n workers, parked until the first run().
+    explicit ThreadPool(std::size_t n);
+
+    /// Wakes all workers for shutdown and joins them. Must not race run().
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Run task(i) on worker i for every i in [0, size()) and block until
+    /// every invocation returns.
+    void run(const std::function<void(std::size_t)>& task);
+
+private:
+    void worker_loop(std::size_t index);
+
+    std::mutex mu_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)>* task_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::size_t remaining_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace ftmul

@@ -28,20 +28,6 @@ std::string Tracer::render_phase_sequences() const {
     return render_phase_sequences_impl(effective_world());
 }
 
-std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix(
-    int world, const std::string& phase_prefix) const {
-    return comm_matrix_impl(world, phase_prefix);
-}
-
-std::string Tracer::render_comm_matrix(int world,
-                                       const std::string& phase_prefix) const {
-    return render_comm_matrix_impl(world, phase_prefix);
-}
-
-std::string Tracer::render_phase_sequences(int world) const {
-    return render_phase_sequences_impl(world);
-}
-
 std::vector<std::vector<std::uint64_t>> Tracer::comm_matrix_impl(
     int world, const std::string& phase_prefix) const {
     std::vector<std::vector<std::uint64_t>> m(

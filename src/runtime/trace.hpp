@@ -75,19 +75,6 @@ public:
     /// (consecutive repeats collapsed).
     std::string render_phase_sequences() const;
 
-    /// Deprecated: the world parameter duplicates what the Machine already
-    /// bound at enable_tracing(); use the parameterless overloads.
-    [[deprecated("use the overload without world; the Machine binds it")]]
-    std::vector<std::vector<std::uint64_t>> comm_matrix(
-        int world, const std::string& phase_prefix = "") const;
-
-    [[deprecated("use the overload without world; the Machine binds it")]]
-    std::string render_comm_matrix(int world,
-                                   const std::string& phase_prefix = "") const;
-
-    [[deprecated("use the overload without world; the Machine binds it")]]
-    std::string render_phase_sequences(int world) const;
-
     /// CSV export of all messages: src,dst,tag,words,phase.
     std::string to_csv() const;
 

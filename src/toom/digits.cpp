@@ -7,6 +7,11 @@ namespace ftmul {
 std::vector<BigInt> split_digits(const BigInt& v, std::size_t digit_bits,
                                  std::size_t count) {
     assert(!v.is_negative());
+    return split_digits_abs(v, digit_bits, count);
+}
+
+std::vector<BigInt> split_digits_abs(const BigInt& v, std::size_t digit_bits,
+                                     std::size_t count) {
     assert(v.bit_length() <= digit_bits * count);
     std::vector<BigInt> digits(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -28,7 +33,7 @@ BigInt recompose_digits(std::span<const BigInt> digits,
 
 std::vector<BigInt> split_digits_signed(const BigInt& v, std::size_t digit_bits,
                                         std::size_t count) {
-    std::vector<BigInt> digits = split_digits(v.abs(), digit_bits, count);
+    std::vector<BigInt> digits = split_digits_abs(v, digit_bits, count);
     if (v.is_negative()) {
         for (auto& d : digits) d = -d;
     }
@@ -43,7 +48,7 @@ std::vector<BigInt> convolve_schoolbook(std::span<const BigInt> a,
         if (a[i].is_zero()) continue;
         for (std::size_t j = 0; j < b.size(); ++j) {
             if (b[j].is_zero()) continue;
-            out[i + j] += a[i] * b[j];
+            add_mul(out[i + j], a[i], b[j]);
         }
     }
     return out;

@@ -19,6 +19,12 @@ namespace ftmul {
 std::vector<BigInt> split_digits(const BigInt& v, std::size_t digit_bits,
                                  std::size_t count);
 
+/// Split |v| into exactly @p count digits, ignoring v's sign. Unlike
+/// `split_digits(v.abs(), ...)` this never copies the magnitude. Requires
+/// |v| to fit, i.e. bit_length() <= count * digit_bits.
+std::vector<BigInt> split_digits_abs(const BigInt& v, std::size_t digit_bits,
+                                     std::size_t count);
+
 /// Evaluate a digit polynomial at B = 2^digit_bits: sum_i digits[i] << (i *
 /// digit_bits). Digits may be signed and wider than digit_bits.
 BigInt recompose_digits(std::span<const BigInt> digits, std::size_t digit_bits);

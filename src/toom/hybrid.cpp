@@ -35,8 +35,8 @@ BigInt hybrid_rec(const BigInt& a, const BigInt& b,
 
     const auto k = static_cast<std::size_t>(plan->k());
     const std::size_t digit_bits = (n + k - 1) / k;
-    const std::vector<BigInt> da = split_digits(a.abs(), digit_bits, k);
-    const std::vector<BigInt> db = split_digits(b.abs(), digit_bits, k);
+    const std::vector<BigInt> da = split_digits_abs(a, digit_bits, k);
+    const std::vector<BigInt> db = split_digits_abs(b, digit_bits, k);
 
     std::vector<std::size_t> rows(plan->num_base_points());
     std::iota(rows.begin(), rows.end(), std::size_t{0});

@@ -51,7 +51,7 @@ BigInt InterpOperator::row_dot(std::size_t i, std::span<const BigInt> in,
         for (std::size_t j = 0; j < cols(); ++j) {
             const BigInt& c = num_(i, j);
             if (c.is_zero()) continue;
-            acc += c * in[j * block_len + t];
+            add_mul(acc, c, in[j * block_len + t]);
         }
     }
     return acc;
@@ -62,7 +62,8 @@ std::vector<BigInt> InterpOperator::apply(std::span<const BigInt> in) const {
     std::vector<BigInt> out(rows());
     for (std::size_t i = 0; i < rows(); ++i) {
         BigInt acc = row_dot(i, in, 1, 0);
-        out[i] = den_[i] == BigInt{1} ? std::move(acc) : acc.divexact(den_[i]);
+        if (den_[i] != BigInt{1}) acc.divexact_inplace(den_[i]);
+        out[i] = std::move(acc);
     }
     return out;
 }
@@ -75,8 +76,8 @@ void InterpOperator::apply_blocks(std::span<const BigInt> in,
     for (std::size_t i = 0; i < rows(); ++i) {
         for (std::size_t t = 0; t < block_len; ++t) {
             BigInt acc = row_dot(i, in, block_len, t);
-            out[i * block_len + t] =
-                den_[i] == BigInt{1} ? std::move(acc) : acc.divexact(den_[i]);
+            if (den_[i] != BigInt{1}) acc.divexact_inplace(den_[i]);
+            out[i * block_len + t] = std::move(acc);
         }
     }
 }
@@ -92,7 +93,7 @@ void InterpOperator::accumulate_column(std::size_t col,
         const BigInt& c = num_(i, col);
         if (c.is_zero()) continue;
         for (std::size_t t = 0; t < block_len; ++t) {
-            acc[i * block_len + t] += c * child[t];
+            add_mul(acc[i * block_len + t], c, child[t]);
         }
     }
 }
@@ -103,7 +104,7 @@ void InterpOperator::finalize_blocks(std::span<BigInt> acc,
     for (std::size_t i = 0; i < rows(); ++i) {
         if (den_[i] == BigInt{1}) continue;
         for (std::size_t t = 0; t < block_len; ++t) {
-            acc[i * block_len + t] = acc[i * block_len + t].divexact(den_[i]);
+            acc[i * block_len + t].divexact_inplace(den_[i]);
         }
     }
 }

@@ -195,8 +195,10 @@ BigInt toom_multiply_lazy(const BigInt& a, const BigInt& b,
     std::size_t count = 1;
     while (count * opts.digit_bits < n) count *= k;
 
-    const std::vector<BigInt> da = split_digits(a.abs(), opts.digit_bits, count);
-    const std::vector<BigInt> db = split_digits(b.abs(), opts.digit_bits, count);
+    const std::vector<BigInt> da =
+        split_digits_abs(a, opts.digit_bits, count);
+    const std::vector<BigInt> db =
+        split_digits_abs(b, opts.digit_bits, count);
     const std::vector<BigInt> coeffs =
         lazy_convolve(plan, da, db, opts.base_len);
     BigInt result =

@@ -77,7 +77,7 @@ BigInt evaluate_digits_at(std::span<const BigInt> digits, const MultiPoint& p,
             w *= table[t][rem % k];
             rem /= k;
         }
-        acc += w * digits[idx];
+        add_mul(acc, w, digits[idx]);
     }
     return acc;
 }

@@ -21,8 +21,8 @@ BigInt multiply_rec(const BigInt& a, const BigInt& b, const ToomPlan& plan,
     // Shared base B = 2^digit_bits (paper Section 2.2).
     const std::size_t digit_bits = (n + k - 1) / k;
 
-    const std::vector<BigInt> da = split_digits(a.abs(), digit_bits, k);
-    const std::vector<BigInt> db = split_digits(b.abs(), digit_bits, k);
+    const std::vector<BigInt> da = split_digits_abs(a, digit_bits, k);
+    const std::vector<BigInt> db = split_digits_abs(b, digit_bits, k);
 
     const std::size_t m = base_rows.size();  // 2k-1
     std::vector<BigInt> ea(m), eb(m);

@@ -18,7 +18,7 @@ BigInt square_rec(const BigInt& a, const ToomPlan& plan,
 
     const auto k = static_cast<std::size_t>(plan.k());
     const std::size_t digit_bits = (n + k - 1) / k;
-    const std::vector<BigInt> digits = split_digits(a.abs(), digit_bits, k);
+    const std::vector<BigInt> digits = split_digits_abs(a, digit_bits, k);
 
     const std::size_t m = base_rows.size();
     std::vector<BigInt> ev(m);

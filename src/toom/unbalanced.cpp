@@ -60,8 +60,8 @@ BigInt toom_multiply_unbalanced(const BigInt& a, const BigInt& b,
     const std::size_t digit_bits =
         std::max((na + k1 - 1) / k1, (nb + k2 - 1) / k2);
 
-    const std::vector<BigInt> da = split_digits(a.abs(), digit_bits, k1);
-    const std::vector<BigInt> db = split_digits(b.abs(), digit_bits, k2);
+    const std::vector<BigInt> da = split_digits_abs(a, digit_bits, k1);
+    const std::vector<BigInt> db = split_digits_abs(b, digit_bits, k2);
 
     const std::size_t m = plan.num_points();
     std::vector<BigInt> ea(m), eb(m), products(m);

@@ -119,6 +119,62 @@ TEST_P(DifferentialFuzz, RandomPointSetsAgreeWithOracle) {
     EXPECT_EQ(toom_multiply(a, b, plan, opts), a * b) << "k=" << k;
 }
 
+
+// The in-place compound operators (which route through the asm carry-chain
+// and ADX multiply kernels plus the scratch arena) against their
+// out-of-place twins, over the same structured operand shapes.
+TEST_P(DifferentialFuzz, InPlaceOperatorsAgreeWithOutOfPlace) {
+    Rng rng{GetParam() * 7777777 + 3};
+    for (int iter = 0; iter < 20; ++iter) {
+        BigInt a = gen_operand(rng, 5000);
+        BigInt b = gen_operand(rng, 5000);
+        if (rng.next_below(2)) a = -a;
+        if (rng.next_below(2)) b = -b;
+        const std::size_t sh = rng.next_below(300);
+
+        BigInt v = a;
+        v += b;
+        ASSERT_EQ(v, a + b) << iter;
+        v = a;
+        v -= b;
+        ASSERT_EQ(v, a - b) << iter;
+        v = a;
+        v *= b;
+        ASSERT_EQ(v, a * b) << iter;
+        v = a;
+        v <<= sh;
+        ASSERT_EQ(v, a << sh) << iter;
+        v = a;
+        v >>= sh;
+        ASSERT_EQ(v, a >> sh) << iter;
+        // Self-aliasing compound forms.
+        v = a;
+        v += v;
+        ASSERT_EQ(v, a + a) << iter;
+        v = a;
+        v -= v;
+        ASSERT_TRUE(v.is_zero()) << iter;
+    }
+}
+
+// Arena-backed sequential Toom (small thresholds force deep recursion and
+// heavy scratch reuse) against the schoolbook oracle, with operand shapes
+// chosen to stress carries across digit boundaries.
+TEST_P(DifferentialFuzz, ArenaBackedToomAgreesWithOracle) {
+    Rng rng{GetParam() * 424243 + 9};
+    const ToomPlan p2 = ToomPlan::make(2);
+    const ToomPlan p4 = ToomPlan::make(4);
+    ToomOptions tight;
+    tight.threshold_bits = 128;
+    for (int iter = 0; iter < 6; ++iter) {
+        const BigInt a = gen_operand(rng, 8000);
+        const BigInt b = gen_operand(rng, 8000);
+        const BigInt oracle = a * b;
+        ASSERT_EQ(toom_multiply(a, b, p2, tight), oracle) << iter;
+        ASSERT_EQ(toom_multiply(a, b, p4, tight), oracle) << iter;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
                          ::testing::Range<std::uint64_t>(1, 11));
 
