@@ -52,31 +52,34 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
 
     // Validate the fault plan: protected phases only; a rank and its buddy
     // must not die at the same phase (the classic diskless-checkpoint
-    // limitation).
+    // limitation). Violations are unrecoverable fault sets, not
+    // misconfigurations — raise the typed exception so callers can escalate.
     std::map<std::string, std::vector<int>> faults;
     for (const auto& [phase, rank] : plan.all()) {
         if (phase != kEvalPhase && phase != kLeafPhase &&
             phase != kInterpPhase) {
-            throw std::invalid_argument(
-                "checkpoint: faults supported at eval-L0, leaf-mul and "
-                "interp-L0 only");
+            throw UnrecoverableFault(
+                "checkpoint", phase, {rank},
+                "faults are only tolerated at the checkpointed boundaries "
+                "eval-L0, leaf-mul and interp-L0");
         }
         if (rank < 0 || rank >= P) {
-            throw std::invalid_argument("checkpoint: fault rank out of range");
+            throw UnrecoverableFault(
+                "checkpoint", phase, {rank},
+                "fault rank out of range for world size " + std::to_string(P));
         }
         faults[phase].push_back(rank);
     }
     for (auto& [phase, dead] : faults) {
         std::sort(dead.begin(), dead.end());
-        if (std::adjacent_find(dead.begin(), dead.end()) != dead.end()) {
-            throw std::invalid_argument(
-                "checkpoint: duplicate fault for one rank at one phase");
-        }
         for (int d : dead) {
             if (std::binary_search(dead.begin(), dead.end(), buddy_of(d, P))) {
-                throw std::invalid_argument(
-                    "checkpoint: a rank and its buddy fail at the same "
-                    "phase — state unrecoverable");
+                throw UnrecoverableFault(
+                    "checkpoint", phase, dead,
+                    "rank " + std::to_string(d) + " and its buddy " +
+                        std::to_string(buddy_of(d, P)) +
+                        " fail at the same phase — the buddy checkpoint is "
+                        "lost with its holder");
             }
         }
     }

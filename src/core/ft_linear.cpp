@@ -93,7 +93,8 @@ std::vector<BigInt> encode_column(Rank& rank, int data_procs, int npts, int f,
 /// Recovery: rebuild every dead rank's state from the survivors and the
 /// column's code processors. Returns the reconstructed state on
 /// replacements, empty elsewhere.
-std::vector<BigInt> recover_column(Rank& rank, int data_procs, int npts,
+std::vector<BigInt> recover_column(Rank& rank, const std::string& phase,
+                                   int data_procs, int npts,
                                    int f, const std::vector<int>& members,
                                    int col, const std::vector<int>& dead,
                                    const std::vector<BigInt>& state, int tag) {
@@ -146,7 +147,15 @@ std::vector<BigInt> recover_column(Rank& rank, int data_procs, int npts,
                         members, dead[static_cast<std::size_t>(c)])))};
             }
         }
-        const Matrix<BigRational> inv = inverse(m);
+        Matrix<BigRational> inv;
+        try {
+            inv = inverse(m);
+        } catch (const SingularMatrixError&) {
+            throw UnrecoverableFault(
+                "ft_linear", phase, dead,
+                "singular Vandermonde recovery system; the dead set cannot "
+                "be rebuilt from the surviving code rows");
+        }
         std::vector<std::vector<BigInt>> solved(
             static_cast<std::size_t>(t), std::vector<BigInt>(width));
         for (std::size_t e = 0; e < width; ++e) {
@@ -218,19 +227,23 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
     }
 
     // Parse and validate the fault plan: eval-L<i> / interp-L<i> for any BFS
-    // level i, plus leaf-mul; at most f per (phase, level-i column), no
-    // duplicates, data ranks only.
+    // level i, plus leaf-mul; at most f per (phase, level-i column), data
+    // ranks only. Over-budget or misplaced fault sets are *unrecoverable*,
+    // not misconfigurations: refuse before computing a wrong product.
     LinearFaults faults;
     for (const auto& [phase, rank] : plan.all()) {
         const int level = phase_level(phase, bfs);
         if (level < 0 || level >= bfs) {
-            throw std::invalid_argument(
-                "ft_linear: faults supported at eval-L<i>, interp-L<i> "
+            throw UnrecoverableFault(
+                "ft_linear", phase, {rank},
+                "faults are only tolerated at eval-L<i>, interp-L<i> "
                 "(i < log_{2k-1} P) and leaf-mul phase boundaries");
         }
         if (rank < 0 || rank >= P) {
-            throw std::invalid_argument(
-                "ft_linear: only data processors can fail");
+            throw UnrecoverableFault(
+                "ft_linear", phase, {rank},
+                "only data processors (ranks 0..P-1) can fail; code "
+                "processors carry the redundancy itself");
         }
         faults.by_phase_col[phase][column_at_level(rank, npts, level)]
             .push_back(rank);
@@ -238,13 +251,11 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
     for (auto& [phase, by_col] : faults.by_phase_col) {
         for (auto& [col, dead] : by_col) {
             std::sort(dead.begin(), dead.end());
-            if (std::adjacent_find(dead.begin(), dead.end()) != dead.end()) {
-                throw std::invalid_argument(
-                    "ft_linear: duplicate fault for one rank at one phase");
-            }
             if (static_cast<int>(dead.size()) > f) {
-                throw std::invalid_argument(
-                    "ft_linear: more faults in one column than code rows f");
+                throw UnrecoverableFault(
+                    "ft_linear", phase, dead,
+                    "more faults in column " + std::to_string(col) +
+                        " than code rows f=" + std::to_string(f));
             }
         }
     }
@@ -315,8 +326,8 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
             rank.phase("recover-" + bd.phase);
             rank.begin_recovery(*dead);
             if (i_fail) state.clear();
-            auto rebuilt = recover_column(rank, P, npts, f, members, col,
-                                          *dead, is_code ? code : state,
+            auto rebuilt = recover_column(rank, bd.phase, P, npts, f, members,
+                                          col, *dead, is_code ? code : state,
                                           bd.tag + 2 * f + 2);
             if (i_fail) state = std::move(rebuilt);
             rank.end_recovery();

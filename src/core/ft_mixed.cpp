@@ -57,27 +57,42 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
     const int world = data_world + f * wide;        // plus linear code rows
 
     // ---- fault plan validation --------------------------------------
+    // Every rejection here is an *unrecoverable fault set* (the plan asks
+    // for more than the combined codes can absorb), not a configuration
+    // error — raise the typed exception so callers can escalate.
     std::set<int> doomed;  // poly-killed columns
+    std::vector<int> mul_dead;
     std::map<std::string, std::map<int, std::vector<int>>> linear_faults;
     for (const auto& [phase, rank] : plan.all()) {
         if (phase == kMulPhase) {
             if (rank < 0 || rank >= data_world) {
-                throw std::invalid_argument("ft_mixed: mul fault out of range");
+                throw UnrecoverableFault(
+                    "ft_mixed", phase, {rank},
+                    "mul fault rank out of range for the data region of " +
+                        std::to_string(data_world) + " ranks");
             }
             doomed.insert(rank % wide);
+            mul_dead.push_back(rank);
         } else if (phase == kEvalPhase || phase == kInterpPhase) {
             if (rank < 0 || rank >= data_world) {
-                throw std::invalid_argument(
-                    "ft_mixed: linear-code faults must hit data ranks");
+                throw UnrecoverableFault(
+                    "ft_mixed", phase, {rank},
+                    "linear-code faults must hit data ranks (code rows carry "
+                    "the redundancy itself)");
             }
             linear_faults[phase][rank % wide].push_back(rank);
         } else {
-            throw std::invalid_argument(
-                "ft_mixed: faults supported at eval-L0, mul and interp-L0");
+            throw UnrecoverableFault(
+                "ft_mixed", phase, {rank},
+                "faults are only tolerated at eval-L0, mul and interp-L0");
         }
     }
     if (static_cast<int>(doomed.size()) > f) {
-        throw std::invalid_argument("ft_mixed: more dead columns than f");
+        throw UnrecoverableFault(
+            "ft_mixed", kMulPhase, mul_dead,
+            "faults span " + std::to_string(doomed.size()) +
+                " distinct columns but the polynomial code only tolerates f=" +
+                std::to_string(f));
     }
     std::vector<std::size_t> alive_cols;
     for (int c = 0; c < wide; ++c) {
@@ -90,15 +105,19 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
         for (auto& [col, dead] : by_col) {
             std::sort(dead.begin(), dead.end());
             if (static_cast<int>(dead.size()) > f) {
-                throw std::invalid_argument(
-                    "ft_mixed: more linear faults in one column than f");
+                throw UnrecoverableFault(
+                    "ft_mixed", phase, dead,
+                    "more linear-code faults in column " +
+                        std::to_string(col) + " than code rows f=" +
+                        std::to_string(f));
             }
             if (phase == kInterpPhase &&
                 (doomed.count(col) ||
                  (!doomed.empty() && static_cast<std::size_t>(col) == sub_col))) {
-                throw std::invalid_argument(
-                    "ft_mixed: interp faults cannot hit dead or substitute "
-                    "columns");
+                throw UnrecoverableFault(
+                    "ft_mixed", phase, dead,
+                    "interp faults cannot hit dead or substitute columns "
+                    "(their state is already being rebuilt elsewhere)");
             }
         }
     }
@@ -160,7 +179,8 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
         return my_code;
     };
 
-    auto recover_column = [&](Rank& rank, int col, const std::vector<int>& dead,
+    auto recover_column = [&](Rank& rank, const std::string& phase, int col,
+                              const std::vector<int>& dead,
                               const std::vector<BigInt>& state,
                               const std::vector<BigInt>& my_code, int tag)
         -> std::vector<BigInt> {
@@ -207,7 +227,15 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
                             dead[static_cast<std::size_t>(c)] / wide))};
                 }
             }
-            const Matrix<BigRational> inv = inverse(m);
+            Matrix<BigRational> inv;
+            try {
+                inv = inverse(m);
+            } catch (const SingularMatrixError&) {
+                throw UnrecoverableFault(
+                    "ft_mixed", phase, dead,
+                    "singular Vandermonde recovery system; the dead set "
+                    "cannot be rebuilt from the surviving code rows");
+            }
             std::vector<std::vector<BigInt>> solved(
                 static_cast<std::size_t>(t), std::vector<BigInt>(width));
             for (std::size_t e = 0; e < width; ++e) {
@@ -268,8 +296,8 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
                     static_cast<int>(it->second.at(col).size())) {
                 rank.phase("recover-eval-L0");
                 rank.begin_recovery(it->second.at(col));
-                (void)recover_column(rank, col, it->second.at(col), none, code,
-                                     500);
+                (void)recover_column(rank, kEvalPhase, col, it->second.at(col),
+                                     none, code, 500);
                 rank.end_recovery();
             }
             if (col_doomed) return;  // column halts at the mult phase
@@ -281,8 +309,8 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
                     static_cast<int>(it->second.at(col).size())) {
                 rank.phase("recover-interp-L0");
                 rank.begin_recovery(it->second.at(col));
-                (void)recover_column(rank, col, it->second.at(col), none, code,
-                                     580);
+                (void)recover_column(rank, kInterpPhase, col,
+                                     it->second.at(col), none, code, 580);
                 rank.end_recovery();
             }
             return;
@@ -308,8 +336,8 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
             rank.phase("recover-eval-L0");
             rank.begin_recovery(it->second.at(col));
             if (fail_eval) state.clear();
-            auto rebuilt = recover_column(rank, col, it->second.at(col), state,
-                                          {}, 500);
+            auto rebuilt = recover_column(rank, kEvalPhase, col,
+                                          it->second.at(col), state, {}, 500);
             if (fail_eval) state = std::move(rebuilt);
             rank.end_recovery();
             rank.phase("eval-L0+post-recovery");
@@ -408,8 +436,8 @@ FtRunResult ft_mixed_multiply(const BigInt& a, const BigInt& b,
             rank.begin_recovery(it->second.at(col));
             auto& own = role_children[static_cast<std::size_t>(col)];
             if (fail_interp) own.clear();
-            auto rebuilt =
-                recover_column(rank, col, it->second.at(col), own, {}, 580);
+            auto rebuilt = recover_column(rank, kInterpPhase, col,
+                                          it->second.at(col), own, {}, 580);
             if (fail_interp) own = std::move(rebuilt);
             rank.end_recovery();
             rank.phase("interp-L0+post-recovery");

@@ -75,21 +75,31 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
     const int world = height * wide;
     const int dfs = std::max(0, cfg.base.forced_dfs_steps);
 
-    // Fault plan: "mul" only, at most f distinct columns.
+    // Fault plan: "mul" only, at most f distinct columns. Over-budget sets
+    // are unrecoverable — raise the typed exception so callers can escalate.
     std::set<int> doomed;
+    std::vector<int> dead_ranks;
     for (const auto& [phase, rank] : plan.all()) {
         if (phase != "mul") {
-            throw std::invalid_argument(
-                "ft_multistep: faults are only tolerated at phase \"mul\"");
+            throw UnrecoverableFault(
+                "ft_multistep", phase, {rank},
+                "faults are only tolerated at phase \"mul\"");
         }
         if (rank < 0 || rank >= world) {
-            throw std::invalid_argument("ft_multistep: fault rank out of range");
+            throw UnrecoverableFault(
+                "ft_multistep", phase, {rank},
+                "fault rank out of range for world size " +
+                    std::to_string(world));
         }
         doomed.insert(rank % wide);
+        dead_ranks.push_back(rank);
     }
     if (static_cast<int>(doomed.size()) > f) {
-        throw std::invalid_argument(
-            "ft_multistep: more failed columns than redundancy f");
+        throw UnrecoverableFault(
+            "ft_multistep", "mul", dead_ranks,
+            "faults span " + std::to_string(doomed.size()) +
+                " distinct columns but the code only tolerates f=" +
+                std::to_string(f) + " lost multipoints");
     }
     std::vector<std::size_t> alive_cols;
     for (int c = 0; c < wide; ++c) {
@@ -204,8 +214,16 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
         const Matrix<BigInt> eval_out = multivariate_eval_matrix(
             used_points, static_cast<std::size_t>(npts),
             static_cast<std::size_t>(l));
-        const InterpOperator op =
-            InterpOperator::from_rational(inverse(eval_out.cast<BigRational>()));
+        InterpOperator op;
+        try {
+            op = InterpOperator::from_rational(
+                inverse(eval_out.cast<BigRational>()));
+        } catch (const SingularMatrixError&) {
+            throw UnrecoverableFault(
+                "ft_multistep", "interp-fused", dead_ranks,
+                "surviving multipoints do not determine the product "
+                "(singular fused interpolation system)");
+        }
 
         const auto uwide_data = static_cast<std::size_t>(wide_data);
         auto interp_role = [&](std::size_t role) {

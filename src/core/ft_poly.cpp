@@ -45,23 +45,33 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
     const int dfs = std::max(0, cfg.base.forced_dfs_steps);
 
     // Validate the fault plan: only "mul"-phase faults, at most f distinct
-    // columns (a fault halts its whole column).
+    // columns (a fault halts its whole column). Anything else is an
+    // unrecoverable fault set — refuse rather than compute a wrong product.
     std::set<int> doomed;
+    std::vector<int> dead_ranks;
     for (const auto& [phase, rank] : plan.all()) {
         if (phase != "mul") {
-            throw std::invalid_argument(
-                "ft_poly: faults are only tolerated in the multiplication "
-                "phase (schedule at \"mul\"); use ft_linear for the "
+            throw UnrecoverableFault(
+                "ft_poly", phase, {rank},
+                "faults are only tolerated in the multiplication phase "
+                "(schedule at \"mul\"); use ft_linear for the "
                 "evaluation/interpolation phases");
         }
         if (rank < 0 || rank >= world) {
-            throw std::invalid_argument("ft_poly: fault rank out of range");
+            throw UnrecoverableFault(
+                "ft_poly", phase, {rank},
+                "fault rank out of range for world size " +
+                    std::to_string(world));
         }
         doomed.insert(rank % npts_wide);
+        dead_ranks.push_back(rank);
     }
     if (static_cast<int>(doomed.size()) > f) {
-        throw std::invalid_argument(
-            "ft_poly: more failed columns than redundancy f");
+        throw UnrecoverableFault(
+            "ft_poly", "mul", dead_ranks,
+            "faults span " + std::to_string(doomed.size()) +
+                " distinct columns but the code only tolerates f=" +
+                std::to_string(f) + " lost evaluation points");
     }
 
     std::vector<std::size_t> alive_cols;

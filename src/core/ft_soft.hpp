@@ -6,34 +6,9 @@
 #include "bigint/bigint.hpp"
 #include "core/config.hpp"
 #include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"  // SoftFaultPlan lives with the fault model
 
 namespace ftmul {
-
-/// Schedule of *soft* faults (paper Section 2.1 category ii / Section 7):
-/// a processor miscalculates — here modeled as its state silently gaining a
-/// deterministic pseudorandom error vector upon entering a phase.
-class SoftFaultPlan {
-public:
-    void add(std::string phase, int rank) {
-        events_.emplace_back(std::move(phase), rank);
-    }
-
-    bool corrupts_at(const std::string& phase, int rank) const {
-        for (const auto& [p, r] : events_) {
-            if (r == rank && p == phase) return true;
-        }
-        return false;
-    }
-
-    const std::vector<std::pair<std::string, int>>& all() const {
-        return events_;
-    }
-
-    std::size_t total() const { return events_.size(); }
-
-private:
-    std::vector<std::pair<std::string, int>> events_;
-};
 
 struct FtSoftConfig {
     ParallelConfig base;

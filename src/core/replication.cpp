@@ -23,18 +23,26 @@ FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
     const int replicas = f + 1;
     const int world = replicas * P;
 
-    // A fault anywhere dooms its replica.
+    // A fault anywhere dooms its replica. A plan hitting every replica is
+    // unrecoverable — no clean copy survives to supply the product.
     std::set<int> doomed;
+    std::vector<int> dead_ranks;
     for (const auto& [phase, rank] : plan.all()) {
-        (void)phase;
         if (rank < 0 || rank >= world) {
-            throw std::invalid_argument("replication: fault rank out of range");
+            throw UnrecoverableFault(
+                "replication", phase, {rank},
+                "fault rank out of range for world size " +
+                    std::to_string(world));
         }
         doomed.insert(rank / P);
+        dead_ranks.push_back(rank);
     }
     if (static_cast<int>(doomed.size()) >= replicas) {
-        throw std::invalid_argument(
-            "replication: every replica is hit; more faults than tolerance");
+        throw UnrecoverableFault(
+            "replication", plan.all().empty() ? "" : plan.all().front().first,
+            dead_ranks,
+            "all " + std::to_string(replicas) +
+                " replicas are hit; no clean copy survives");
     }
     int winner = 0;
     while (doomed.count(winner)) ++winner;

@@ -1,0 +1,297 @@
+#include "core/resilient.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "bigint/ops_counter.hpp"
+#include "core/checkpoint.hpp"
+#include "core/ft_linear.hpp"
+#include "core/ft_mixed.hpp"
+#include "core/ft_multistep.hpp"
+#include "core/replication.hpp"
+#include "toom/sequential.hpp"
+
+namespace ftmul {
+
+namespace {
+
+int exact_log(std::uint64_t v, std::uint64_t base) {
+    int l = 0;
+    while (v > 1) {
+        if (v % base != 0) return -1;
+        v /= base;
+        ++l;
+    }
+    return l;
+}
+
+std::size_t ipow(std::size_t b, int e) {
+    std::size_t r = 1;
+    for (int i = 0; i < e; ++i) r *= b;
+    return r;
+}
+
+std::vector<int> iota_ranks(int n) {
+    std::vector<int> r(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) r[static_cast<std::size_t>(i)] = i;
+    return r;
+}
+
+/// Fold one attempt's stats into the accumulated driver total: every rung's
+/// work happens in sequence, so critical paths and aggregates add.
+void accumulate(RunStats& into, const RunStats& s) {
+    if (s.world > into.world) into.world = s.world;
+    into.critical += s.critical;
+    into.aggregate += s.aggregate;
+    for (const auto& [name, c] : s.per_phase) into.per_phase[name] += c;
+    for (const auto& [name, c] : s.per_phase_agg) {
+        into.per_phase_agg[name] += c;
+    }
+    if (s.peak_memory_words > into.peak_memory_words) {
+        into.peak_memory_words = s.peak_memory_words;
+    }
+}
+
+}  // namespace
+
+const char* to_string(FtEngine engine) {
+    switch (engine) {
+        case FtEngine::Linear: return "ft_linear";
+        case FtEngine::Poly: return "ft_poly";
+        case FtEngine::Mixed: return "ft_mixed";
+        case FtEngine::Multistep: return "ft_multistep";
+        case FtEngine::Replication: return "replication";
+        case FtEngine::Checkpoint: return "checkpoint";
+    }
+    return "unknown";
+}
+
+FtEngine ft_engine_from_string(std::string_view name) {
+    if (name == "ft_linear") return FtEngine::Linear;
+    if (name == "ft_poly") return FtEngine::Poly;
+    if (name == "ft_mixed") return FtEngine::Mixed;
+    if (name == "ft_multistep") return FtEngine::Multistep;
+    if (name == "replication") return FtEngine::Replication;
+    if (name == "checkpoint") return FtEngine::Checkpoint;
+    throw std::invalid_argument("unknown FT engine name: " +
+                                std::string(name));
+}
+
+FaultSurface fault_surface(const ResilientConfig& cfg) {
+    const int k = cfg.base.k;
+    const int npts = 2 * k - 1;
+    const int P = cfg.base.processors;
+    const int f = cfg.faults;
+    const int bfs = exact_log(static_cast<std::uint64_t>(P),
+                              static_cast<std::uint64_t>(npts));
+    if (bfs < 1) {
+        throw std::invalid_argument(
+            "fault_surface: processors must be a positive power of 2k-1");
+    }
+    FaultSurface s;
+    switch (cfg.engine) {
+        case FtEngine::Linear: {
+            s.world = P + f * npts;
+            s.ranks = iota_ranks(P);  // data ranks only
+            for (int lv = 0; lv < bfs; ++lv) {
+                s.phases.push_back("eval-L" + std::to_string(lv));
+            }
+            s.phases.push_back("leaf-mul");
+            for (int lv = bfs - 1; lv >= 0; --lv) {
+                s.phases.push_back("interp-L" + std::to_string(lv));
+            }
+            break;
+        }
+        case FtEngine::Poly: {
+            s.world = (P / npts) * (npts + f);
+            s.ranks = iota_ranks(s.world);
+            s.phases = {"mul"};
+            break;
+        }
+        case FtEngine::Mixed: {
+            const int wide = npts + f;
+            const int data_world = (P / npts) * wide;
+            s.world = data_world + f * wide;
+            s.ranks = iota_ranks(data_world);  // data region only
+            s.phases = {"eval-L0", "mul", "interp-L0"};
+            break;
+        }
+        case FtEngine::Multistep: {
+            const auto wide_data = static_cast<int>(
+                ipow(static_cast<std::size_t>(npts), cfg.fused_steps));
+            if (cfg.fused_steps < 1 || bfs < cfg.fused_steps) {
+                throw std::invalid_argument(
+                    "fault_surface: need processors >= (2k-1)^fused_steps");
+            }
+            s.world = (P / wide_data) * (wide_data + f);
+            s.ranks = iota_ranks(s.world);
+            s.phases = {"mul"};
+            break;
+        }
+        case FtEngine::Replication: {
+            s.world = (f + 1) * P;
+            s.ranks = iota_ranks(s.world);
+            // Any phase dooms the replica; "split" exists on every rank.
+            s.phases = {"split"};
+            break;
+        }
+        case FtEngine::Checkpoint: {
+            s.world = P;
+            s.ranks = iota_ranks(P);
+            s.phases = {"eval-L0", "leaf-mul", "interp-L0"};
+            break;
+        }
+    }
+    return s;
+}
+
+FtRunResult run_ft_engine(const BigInt& a, const BigInt& b,
+                          const ResilientConfig& cfg, const FaultPlan& plan) {
+    switch (cfg.engine) {
+        case FtEngine::Linear: {
+            FtLinearConfig c;
+            c.base = cfg.base;
+            c.faults = cfg.faults;
+            return ft_linear_multiply(a, b, c, plan);
+        }
+        case FtEngine::Poly: {
+            FtPolyConfig c;
+            c.base = cfg.base;
+            c.faults = cfg.faults;
+            return ft_poly_multiply(a, b, c, plan);
+        }
+        case FtEngine::Mixed: {
+            FtMixedConfig c;
+            c.base = cfg.base;
+            c.faults = cfg.faults;
+            return ft_mixed_multiply(a, b, c, plan);
+        }
+        case FtEngine::Multistep: {
+            FtMultistepConfig c;
+            c.base = cfg.base;
+            c.faults = cfg.faults;
+            c.fused_steps = cfg.fused_steps;
+            c.point_seed = cfg.point_seed;
+            return ft_multistep_multiply(a, b, c, plan);
+        }
+        case FtEngine::Replication: {
+            ReplicationConfig c;
+            c.base = cfg.base;
+            c.faults = cfg.faults;
+            return replicated_toom_multiply(a, b, c, plan);
+        }
+        case FtEngine::Checkpoint: {
+            CheckpointConfig c;
+            c.base = cfg.base;
+            return checkpoint_toom_multiply(a, b, c, plan);
+        }
+    }
+    throw std::invalid_argument("run_ft_engine: unknown engine");
+}
+
+ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
+                                   const ResilientConfig& cfg,
+                                   const FaultPlan& first_plan,
+                                   const PlanSource& retry_plans) {
+    ResilientResult result;
+    std::exception_ptr last_error;
+
+    // Run one rung; record its outcome and fold its cost in. A failed rung
+    // contributes whatever the run charged before the engine refused (plan
+    // validation refuses up front, so typically nothing — but the audit
+    // trail still names the rung and the fault set that sank it).
+    auto attempt = [&](const std::string& strategy,
+                       const FaultPlan& plan) -> bool {
+        ResilientAttempt att;
+        att.strategy = strategy;
+        att.faults_injected = static_cast<int>(plan.total_faults());
+        try {
+            FtRunResult r = run_ft_engine(a, b, cfg, plan);
+            att.success = true;
+            att.stats = r.stats;
+            accumulate(result.stats, r.stats);
+            result.product = std::move(r.product);
+            result.shape = r.shape;
+            result.events = std::move(r.events);
+            result.attempts.push_back(std::move(att));
+            return true;
+        } catch (const UnrecoverableFault& uf) {
+            att.error = uf.what();
+            result.attempts.push_back(std::move(att));
+            last_error = std::current_exception();
+            return false;
+        }
+    };
+
+    // Rung 1: the configured engine under the trial's fault plan.
+    if (attempt(to_string(cfg.engine), first_plan)) return result;
+
+    // Rung 2: bounded re-runs on fresh processors. Without a PlanSource the
+    // re-run is fault-free (the faulty processors were replaced).
+    for (int i = 1; i <= cfg.max_engine_retries; ++i) {
+        const std::string strategy =
+            std::string(to_string(cfg.engine)) + "-retry-" + std::to_string(i);
+        FaultPlan plan;
+        if (retry_plans) plan = retry_plans(strategy, i);
+        if (attempt(strategy, plan)) return result;
+    }
+
+    // Rung 3: rollback recovery via the buddy-checkpoint engine (skipped
+    // when it *is* the primary engine — that rerun already happened above).
+    if (cfg.checkpoint_fallback && cfg.engine != FtEngine::Checkpoint) {
+        FaultPlan plan;
+        if (retry_plans) plan = retry_plans("checkpoint-fallback", 0);
+        ResilientAttempt att;
+        att.strategy = "checkpoint-fallback";
+        att.faults_injected = static_cast<int>(plan.total_faults());
+        try {
+            FtRunResult r = checkpoint_toom_multiply(
+                a, b, CheckpointConfig{cfg.base}, plan);
+            att.success = true;
+            att.stats = r.stats;
+            accumulate(result.stats, r.stats);
+            result.product = std::move(r.product);
+            result.shape = r.shape;
+            result.events = std::move(r.events);
+            result.attempts.push_back(std::move(att));
+            return result;
+        } catch (const UnrecoverableFault& uf) {
+            att.error = uf.what();
+            result.attempts.push_back(std::move(att));
+            last_error = std::current_exception();
+        }
+    }
+
+    // Rung 4: sequential recompute — immune to the simulated machine's
+    // faults, charged to the cost model as one serial phase.
+    if (cfg.sequential_fallback) {
+        ResilientAttempt att;
+        att.strategy = "sequential-fallback";
+        const ToomPlan tplan = ToomPlan::make(cfg.base.k);
+        OpsCounter::reset();
+        result.product = toom_multiply(a, b, tplan);
+        CostCounters c;
+        c.flops = OpsCounter::get();
+        OpsCounter::reset();
+        att.success = true;
+        att.stats.world = 1;
+        att.stats.critical = c;
+        att.stats.aggregate = c;
+        att.stats.per_phase["sequential-fallback"] = c;
+        att.stats.per_phase_agg["sequential-fallback"] = c;
+        accumulate(result.stats, att.stats);
+        if (result.shape.k == 0) {
+            result.shape = resolve_shape(
+                cfg.base, std::max(a.bit_length(), b.bit_length()));
+        }
+        result.attempts.push_back(std::move(att));
+        return result;
+    }
+
+    // Every enabled rung failed: surface the last engine diagnosis.
+    if (last_error) std::rethrow_exception(last_error);
+    throw std::invalid_argument(
+        "resilient_multiply: no escalation rung enabled");
+}
+
+}  // namespace ftmul

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "core/config.hpp"
+#include "core/ft_poly.hpp"
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// The six hard-fault-tolerant engines, addressable by one tag so drivers
+/// (the resilient escalation ladder, the chaos campaign runner) can sweep
+/// them uniformly.
+enum class FtEngine {
+    Linear,       ///< Vandermonde linear code per phase (Section 4.1)
+    Poly,         ///< polynomial code over the mult phase (Section 4.2)
+    Mixed,        ///< linear + polynomial codes combined (Section 5)
+    Multistep,    ///< fused multi-step polynomial code (Section 6)
+    Replication,  ///< f+1 full replicas (strawman baseline)
+    Checkpoint,   ///< buddy checkpointing baseline (no extra processors)
+};
+
+/// Stable lower-case engine name ("ft_linear", "ft_poly", ...).
+const char* to_string(FtEngine engine);
+
+/// Parse an engine name as printed by to_string(). Throws
+/// std::invalid_argument on unknown names.
+FtEngine ft_engine_from_string(std::string_view name);
+
+/// Configuration of the resilient driver: which engine to run first and
+/// which escalation rungs are enabled when a trial's fault set exceeds the
+/// engine's budget.
+struct ResilientConfig {
+    FtEngine engine = FtEngine::Poly;
+    ParallelConfig base;
+
+    /// Redundancy f handed to the engine (ignored by checkpoint).
+    int faults = 1;
+
+    /// ft_multistep only: number of fused BFS steps l.
+    int fused_steps = 2;
+
+    /// ft_multistep only: seed of the redundant-point search.
+    std::uint64_t point_seed = 1;
+
+    /// Rung 2: how many times to re-run the primary engine on "fresh
+    /// processors" (a new fault plan drawn from the PlanSource) after an
+    /// UnrecoverableFault. 0 disables the rung.
+    int max_engine_retries = 1;
+
+    /// Rung 3: fall back to the buddy-checkpoint engine (rollback recovery
+    /// needs no spare processors and tolerates any non-buddy-pair set).
+    bool checkpoint_fallback = true;
+
+    /// Rung 4: recompute the product sequentially (always succeeds; its
+    /// flops are charged to the cost model like every other retry).
+    bool sequential_fallback = true;
+};
+
+/// The set of (phase, rank) sites where an engine can be hit at all: world
+/// size, the ranks a fault may target and the phases it may trigger at.
+/// Fault injectors restrict their draws to this surface so campaigns probe
+/// the engine's actual budget instead of tripping range validation.
+struct FaultSurface {
+    int world = 0;
+    std::vector<int> ranks;
+    std::vector<std::string> phases;
+};
+
+/// Compute the fault surface of cfg's engine and geometry.
+FaultSurface fault_surface(const ResilientConfig& cfg);
+
+/// Dispatch one run of the configured engine under the given plan.
+/// Propagates UnrecoverableFault on over-budget plans.
+FtRunResult run_ft_engine(const BigInt& a, const BigInt& b,
+                          const ResilientConfig& cfg, const FaultPlan& plan);
+
+/// One rung of the escalation ladder, as executed.
+struct ResilientAttempt {
+    std::string strategy;    ///< "ft_poly", "ft_poly-retry-1",
+                             ///< "checkpoint-fallback", "sequential-fallback"
+    bool success = false;
+    std::string error;       ///< UnrecoverableFault message when !success
+    int faults_injected = 0;
+    RunStats stats;          ///< this attempt's own costs
+};
+
+/// Outcome of resilient_multiply: the product, costs accumulated over every
+/// attempt (failed attempts included — retries are not free), and the
+/// per-rung audit trail.
+struct ResilientResult {
+    BigInt product;
+    ResolvedShape shape;
+    RunStats stats;
+    std::vector<ResilientAttempt> attempts;
+
+    /// Event log of the successful attempt (when cfg.base.events is set).
+    std::shared_ptr<EventLog> events;
+};
+
+/// Supplies the fault plan each retry rung runs under, so campaigns can
+/// model "the re-run is hit too". Called with the rung's strategy label and
+/// the attempt index (1-based for engine retries, 0 for the checkpoint
+/// fallback). An empty PlanSource means retries run fault-free.
+using PlanSource = std::function<FaultPlan(const std::string& strategy,
+                                           int attempt)>;
+
+/// Multiply with graceful degradation: run the configured engine under
+/// first_plan; on UnrecoverableFault escalate through re-runs, the
+/// checkpoint engine and finally a sequential recompute, charging every
+/// rung's cost. Throws the last UnrecoverableFault when every enabled rung
+/// fails (never returns a wrong product).
+ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
+                                   const ResilientConfig& cfg,
+                                   const FaultPlan& first_plan,
+                                   const PlanSource& retry_plans = {});
+
+}  // namespace ftmul

@@ -14,6 +14,7 @@ const char* to_string(EventKind kind) {
         case EventKind::RecoveryBegin: return "recovery-begin";
         case EventKind::RecoveryEnd: return "recovery-end";
         case EventKind::Memory: return "memory";
+        case EventKind::Deadlock: return "deadlock";
     }
     return "unknown";
 }

@@ -1,7 +1,13 @@
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace ftmul {
@@ -13,49 +19,155 @@ namespace ftmul {
 /// the same grid position. The plan is fixed before the run, which models a
 /// perfect failure detector at phase boundaries — every survivor can query
 /// which ranks are gone at any synchronization point, with no data races.
+///
+/// fails_at() sits on every Rank::phase() call, so membership is a hashed
+/// lookup; add() validates ranks at construction (non-negative, no duplicate
+/// (phase, rank) pair) so the engines never see a malformed schedule.
 class FaultPlan {
 public:
     FaultPlan() = default;
 
-    /// Schedule rank @p rank to fail upon entering phase @p phase.
+    /// Schedule rank @p rank to fail upon entering phase @p phase. Throws
+    /// std::invalid_argument on a negative rank or a duplicate (phase, rank).
     void add(std::string phase, int rank) {
-        by_phase_[std::move(phase)].push_back(rank);
+        if (rank < 0) {
+            throw std::invalid_argument(
+                "FaultPlan: fault rank must be non-negative, got " +
+                std::to_string(rank));
+        }
+        auto& ranks = by_phase_[std::move(phase)];
+        if (!ranks.insert(rank).second) {
+            throw std::invalid_argument(
+                "FaultPlan: duplicate fault for rank " + std::to_string(rank) +
+                " at one phase");
+        }
+        ++total_;
     }
 
-    bool fails_at(const std::string& phase, int rank) const {
+    bool fails_at(std::string_view phase, int rank) const {
         auto it = by_phase_.find(phase);
-        if (it == by_phase_.end()) return false;
-        for (int r : it->second) {
-            if (r == rank) return true;
+        return it != by_phase_.end() && it->second.count(rank) != 0;
+    }
+
+    /// Ranks scheduled to fail at exactly this phase, ascending.
+    std::vector<int> failing_at(std::string_view phase) const {
+        auto it = by_phase_.find(phase);
+        if (it == by_phase_.end()) return {};
+        std::vector<int> out(it->second.begin(), it->second.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    /// Every scheduled fault, as (phase, rank) pairs sorted by phase then
+    /// rank — a deterministic order independent of insertion and hashing.
+    std::vector<std::pair<std::string, int>> all() const {
+        std::vector<std::pair<std::string, int>> out;
+        out.reserve(total_);
+        for (const auto& [phase, ranks] : by_phase_) {
+            for (int r : ranks) out.emplace_back(phase, r);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    std::size_t total_faults() const { return total_; }
+
+    bool empty() const { return total_ == 0; }
+
+private:
+    struct StringHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    std::unordered_map<std::string, std::unordered_set<int>, StringHash,
+                       std::equal_to<>>
+        by_phase_;
+    std::size_t total_ = 0;
+};
+
+/// Schedule of *soft* faults (paper Section 2.1 category ii / Section 7):
+/// a processor miscalculates — modeled as its state silently gaining a
+/// deterministic pseudorandom error vector upon entering a phase. Consumed
+/// by ft_soft_multiply (core/ft_soft.hpp) and produced by the FaultInjector.
+class SoftFaultPlan {
+public:
+    void add(std::string phase, int rank) {
+        events_.emplace_back(std::move(phase), rank);
+    }
+
+    bool corrupts_at(const std::string& phase, int rank) const {
+        for (const auto& [p, r] : events_) {
+            if (r == rank && p == phase) return true;
         }
         return false;
     }
 
-    /// Ranks scheduled to fail at exactly this phase.
-    std::vector<int> failing_at(const std::string& phase) const {
-        auto it = by_phase_.find(phase);
-        return it == by_phase_.end() ? std::vector<int>{} : it->second;
+    const std::vector<std::pair<std::string, int>>& all() const {
+        return events_;
     }
 
-    /// Every scheduled fault, as (phase, rank) pairs.
-    std::vector<std::pair<std::string, int>> all() const {
-        std::vector<std::pair<std::string, int>> out;
-        for (const auto& [phase, ranks] : by_phase_) {
-            for (int r : ranks) out.emplace_back(phase, r);
-        }
-        return out;
-    }
-
-    std::size_t total_faults() const {
-        std::size_t n = 0;
-        for (const auto& [phase, ranks] : by_phase_) n += ranks.size();
-        return n;
-    }
-
-    bool empty() const { return by_phase_.empty(); }
+    std::size_t total() const { return events_.size(); }
 
 private:
-    std::map<std::string, std::vector<int>> by_phase_;
+    std::vector<std::pair<std::string, int>> events_;
+};
+
+/// Thrown by the FT engines when a fault schedule exceeds what the
+/// configured redundancy can repair: more dead ranks in one column than code
+/// rows, more dead columns than redundant evaluation points, a rank dying
+/// together with its checkpoint buddy, every replica hit, or a recovery
+/// system that turned out singular. The product is *never* silently wrong —
+/// an over-budget schedule surfaces as this typed error, carrying the
+/// engine, the phase and the dead-rank set so a driver (resilient_multiply)
+/// or a campaign runner can act on it.
+///
+/// Derives from std::invalid_argument: to callers that predate graceful
+/// degradation an unrecoverable schedule still looks like the plan-rejection
+/// they already handle.
+class UnrecoverableFault : public std::invalid_argument {
+public:
+    UnrecoverableFault(std::string engine, std::string phase,
+                       std::vector<int> dead_ranks, const std::string& detail)
+        : std::invalid_argument(format(engine, phase, dead_ranks, detail)),
+          engine_(std::move(engine)),
+          phase_(std::move(phase)),
+          dead_ranks_(std::move(dead_ranks)) {
+        std::sort(dead_ranks_.begin(), dead_ranks_.end());
+    }
+
+    /// Which engine gave up ("ft-linear", "checkpoint", ...).
+    const std::string& engine() const noexcept { return engine_; }
+
+    /// The protected phase whose fault set broke the budget ("" when the
+    /// whole schedule is beyond the engine's model).
+    const std::string& phase() const noexcept { return phase_; }
+
+    /// The dead ranks the engine could not rebuild, ascending.
+    const std::vector<int>& dead_ranks() const noexcept { return dead_ranks_; }
+
+private:
+    static std::string format(const std::string& engine,
+                              const std::string& phase,
+                              const std::vector<int>& dead,
+                              const std::string& detail) {
+        std::string msg = engine + ": unrecoverable fault set";
+        if (!phase.empty()) msg += " at phase \"" + phase + "\"";
+        if (!dead.empty()) {
+            std::vector<int> sorted = dead;
+            std::sort(sorted.begin(), sorted.end());
+            msg += " (dead ranks";
+            for (int r : sorted) msg += " " + std::to_string(r);
+            msg += ")";
+        }
+        msg += ": " + detail;
+        return msg;
+    }
+
+    std::string engine_;
+    std::string phase_;
+    std::vector<int> dead_ranks_;
 };
 
 }  // namespace ftmul

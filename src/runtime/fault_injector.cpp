@@ -1,0 +1,100 @@
+#include "runtime/fault_injector.hpp"
+
+#include <stdexcept>
+
+namespace ftmul {
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t z) noexcept {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// Stateless per-site stream: mixing the (seed, trial, site, salt) tuple
+/// through splitmix64 keeps every site's draw independent of how many draws
+/// other sites consumed, which is what makes trials replayable even when
+/// the config (and thus the site iteration order) changes length.
+double site_uniform(std::uint64_t seed, std::uint64_t trial,
+                    std::uint64_t site, std::uint64_t salt) noexcept {
+    std::uint64_t h = splitmix(seed);
+    h = splitmix(h ^ splitmix(trial));
+    h = splitmix(h ^ splitmix(site));
+    h = splitmix(h ^ splitmix(salt));
+    // 53 uniform mantissa bits in [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double weight_at(const std::vector<double>& w, std::size_t i) {
+    return w.empty() ? 1.0 : w[i];
+}
+
+void check_weights(const char* what, std::size_t sites,
+                   const std::vector<double>& w) {
+    if (!w.empty() && w.size() != sites) {
+        throw std::invalid_argument(
+            std::string("FaultInjector: ") + what +
+            " weights must be empty or match the site list");
+    }
+    for (double x : w) {
+        if (x < 0.0) {
+            throw std::invalid_argument(
+                std::string("FaultInjector: ") + what +
+                " weights must be non-negative");
+        }
+    }
+}
+
+}  // namespace
+
+InjectedFaults FaultInjector::draw(const FaultInjectorConfig& cfg,
+                                   std::uint64_t trial_index) const {
+    if (cfg.hard_rate < 0.0 || cfg.soft_rate < 0.0 ||
+        cfg.straggler_rate < 0.0) {
+        throw std::invalid_argument("FaultInjector: rates must be >= 0");
+    }
+    check_weights("phase", cfg.phases.size(), cfg.phase_weights);
+    check_weights("rank", cfg.ranks.size(), cfg.rank_weights);
+
+    InjectedFaults out;
+    // Site index: phases x ranks in declaration order. The salt separates
+    // the hard and soft streams so raising one rate never perturbs the
+    // other category's draws.
+    for (std::size_t p = 0; p < cfg.phases.size(); ++p) {
+        const double wp = weight_at(cfg.phase_weights, p);
+        for (std::size_t r = 0; r < cfg.ranks.size(); ++r) {
+            const double wr = weight_at(cfg.rank_weights, r);
+            const std::uint64_t site = p * cfg.ranks.size() + r;
+            const double p_hard = cfg.hard_rate * wp * wr;
+            if (p_hard > 0.0 &&
+                (cfg.max_hard_faults == 0 ||
+                 out.hard.total_faults() < cfg.max_hard_faults) &&
+                site_uniform(seed_, trial_index, site, 0x48415244 /*HARD*/) <
+                    p_hard) {
+                out.hard.add(cfg.phases[p], cfg.ranks[r]);
+            }
+            const double p_soft = cfg.soft_rate * wp * wr;
+            if (p_soft > 0.0 &&
+                site_uniform(seed_, trial_index, site, 0x534f4654 /*SOFT*/) <
+                    p_soft) {
+                out.soft.add(cfg.phases[p], cfg.ranks[r]);
+            }
+        }
+    }
+    if (cfg.straggler_rate > 0.0) {
+        for (std::size_t r = 0; r < cfg.ranks.size(); ++r) {
+            const double pr = cfg.straggler_rate *
+                              weight_at(cfg.rank_weights, r);
+            if (site_uniform(seed_, trial_index, r, 0x534c4f57 /*SLOW*/) <
+                pr) {
+                out.stragglers.emplace_back(cfg.ranks[r],
+                                            cfg.straggler_rounds);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace ftmul

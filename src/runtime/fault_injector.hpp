@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/fault.hpp"
+
+namespace ftmul {
+
+/// What a randomized trial injects: concrete, replayable schedules in the
+/// three fault categories of the paper's Section 1 — hard faults (processor
+/// dies, data lost), soft faults (processor miscalculates) and delay faults
+/// (stragglers). Everything an engine or a campaign needs to rerun the exact
+/// trial is in here; nothing is drawn lazily.
+struct InjectedFaults {
+    FaultPlan hard;
+    SoftFaultPlan soft;
+
+    /// (rank, extra critical-path rounds) pairs, the ParallelConfig
+    /// straggler_delays wire format.
+    std::vector<std::pair<int, std::uint64_t>> stragglers;
+
+    std::size_t total() const {
+        return hard.total_faults() + soft.total() + stragglers.size();
+    }
+};
+
+/// Knobs of the probabilistic fault model a campaign sweeps. Rates are per
+/// (rank, phase) Bernoulli probabilities before weighting; weights bias the
+/// draw toward targeted ranks (e.g. one grid column) or phases without
+/// changing the others, so "hammer column 0 at the multiplication phase"
+/// and "uniform background noise" are the same mechanism.
+struct FaultInjectorConfig {
+    /// Candidate fault sites. `phases` must name phases the target engine
+    /// protects; `ranks` the ranks the engine allows to fail (see
+    /// fault_surface() in core/resilient.hpp for the per-engine surfaces).
+    std::vector<std::string> phases;
+    std::vector<int> ranks;
+
+    /// Per-(rank, phase) probability of a hard fault / soft corruption.
+    double hard_rate = 0.0;
+    double soft_rate = 0.0;
+
+    /// Per-rank probability of being a straggler, and the delay charged.
+    double straggler_rate = 0.0;
+    std::uint64_t straggler_rounds = 8;
+
+    /// Optional targeting weights, parallel to `phases` / `ranks`; empty =
+    /// uniform (weight 1.0). A site's fault probability is
+    /// min(1, rate * phase_weight * rank_weight).
+    std::vector<double> phase_weights;
+    std::vector<double> rank_weights;
+
+    /// Cap on hard faults per trial (the draw stops charging once reached);
+    /// 0 = unlimited. Lets a campaign bound trials near the budget edge.
+    std::size_t max_hard_faults = 0;
+};
+
+/// Seeded probabilistic fault model. Every trial's schedule is a pure
+/// function of (seed, trial_index, config): the injector derives an
+/// independent splitmix64 stream per trial and site, so campaigns are
+/// reproducible trial-by-trial — re-running trial 731 of seed 42 injects
+/// byte-identical plans no matter which other trials ran before it.
+class FaultInjector {
+public:
+    explicit FaultInjector(std::uint64_t seed) noexcept : seed_(seed) {}
+
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// Materialize trial @p trial_index into concrete replayable plans.
+    /// Throws std::invalid_argument on malformed configs (negative rates,
+    /// weight vectors of mismatched length).
+    InjectedFaults draw(const FaultInjectorConfig& cfg,
+                        std::uint64_t trial_index) const;
+
+private:
+    std::uint64_t seed_;
+};
+
+}  // namespace ftmul

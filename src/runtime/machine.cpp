@@ -107,7 +107,7 @@ void Rank::end_recovery() {
 }
 
 bool Rank::fails_at(std::string_view name) const {
-    return machine_.plan_.fails_at(std::string(name), id_);
+    return machine_.plan_.fails_at(name, id_);
 }
 
 const FaultPlan& Rank::fault_plan() const { return machine_.plan_; }
@@ -136,8 +136,37 @@ void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
 
 std::vector<std::uint64_t> Rank::recv(int src, int tag) {
     assert(src >= 0 && src < size_);
-    auto payload = machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
-        src, tag, machine_.timeout_);
+    machine_.note_blocked(id_, src, tag, current_phase_);
+    std::vector<std::uint64_t> payload;
+    try {
+        payload = machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
+            src, tag, machine_.timeout_);
+    } catch (const RecvTimeout&) {
+        // Turn the bare timeout into a structured deadlock diagnostic:
+        // every rank still parked in a receive, with its (src, tag, phase).
+        // The snapshot is taken while this rank is still registered, so the
+        // diagnostic includes the thrower itself.
+        std::vector<int> blocked_ranks;
+        const std::string who = machine_.deadlock_diagnostic(blocked_ranks);
+        machine_.note_unblocked(id_);
+        if (machine_.events_) {
+            Event e;
+            e.kind = EventKind::Deadlock;
+            e.phase = current_phase_;
+            e.peer = src;
+            e.tag = tag;
+            e.ranks = blocked_ranks;
+            emit(std::move(e));
+        }
+        throw RecvTimeout(
+            "deadlock: rank " + std::to_string(id_) + " timed out waiting "
+            "for src=" + std::to_string(src) + " tag=" + std::to_string(tag) +
+            " at phase \"" + current_phase_ + "\"; blocked ranks:\n" + who);
+    } catch (...) {
+        machine_.note_unblocked(id_);
+        throw;
+    }
+    machine_.note_unblocked(id_);
     if (machine_.events_) {
         Event e;
         e.kind = EventKind::MessageRecv;
@@ -183,6 +212,39 @@ Machine::Machine(int world_size, FaultPlan plan)
     for (int i = 0; i < world_size; ++i) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
     }
+    blocked_.resize(static_cast<std::size_t>(world_size));
+}
+
+void Machine::note_blocked(int rank, int src, int tag,
+                           const std::string& phase) {
+    std::lock_guard<std::mutex> lock(blocked_mu_);
+    auto& b = blocked_[static_cast<std::size_t>(rank)];
+    b.blocked = true;
+    b.src = src;
+    b.tag = tag;
+    b.phase = phase;
+}
+
+void Machine::note_unblocked(int rank) {
+    std::lock_guard<std::mutex> lock(blocked_mu_);
+    blocked_[static_cast<std::size_t>(rank)].blocked = false;
+}
+
+std::string Machine::deadlock_diagnostic(
+    std::vector<int>& blocked_ranks) const {
+    std::lock_guard<std::mutex> lock(blocked_mu_);
+    std::string out;
+    blocked_ranks.clear();
+    for (int r = 0; r < size_; ++r) {
+        const auto& b = blocked_[static_cast<std::size_t>(r)];
+        if (!b.blocked) continue;
+        blocked_ranks.push_back(r);
+        out += "  rank " + std::to_string(r) + " waiting for src=" +
+               std::to_string(b.src) + " tag=" + std::to_string(b.tag) +
+               " at phase \"" + b.phase + "\"\n";
+    }
+    if (out.empty()) out = "  (no other rank blocked)\n";
+    return out;
 }
 
 Machine::~Machine() = default;
@@ -210,6 +272,10 @@ void Machine::run(const std::function<void(Rank&)>& body) {
     if (events_) events_->clear();
     // Fresh mailboxes per run so stale messages never leak across runs.
     for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+    {
+        std::lock_guard<std::mutex> lock(blocked_mu_);
+        for (auto& b : blocked_) b.blocked = false;
+    }
 
     std::vector<std::vector<std::pair<std::string, CostCounters>>> ledgers(
         static_cast<std::size_t>(size_));

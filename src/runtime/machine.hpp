@@ -3,6 +3,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -142,9 +143,29 @@ public:
 private:
     friend class Rank;
 
+    /// One rank's parked receive, for the deadlock diagnostic: which peer
+    /// and tag it waits on, at which phase. Registered around Mailbox::pop
+    /// so a timing-out rank can name every blocked peer instead of only
+    /// itself.
+    struct BlockedRecv {
+        bool blocked = false;
+        int src = -1;
+        int tag = 0;
+        std::string phase;
+    };
+
+    void note_blocked(int rank, int src, int tag, const std::string& phase);
+    void note_unblocked(int rank);
+
+    /// Human-readable snapshot of every currently blocked rank, one line
+    /// per rank; fills @p blocked_ranks with their ids (ascending).
+    std::string deadlock_diagnostic(std::vector<int>& blocked_ranks) const;
+
     int size_;
     FaultPlan plan_;
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    mutable std::mutex blocked_mu_;
+    std::vector<BlockedRecv> blocked_;
     RunStats stats_;
     std::chrono::milliseconds timeout_{60000};
     std::unique_ptr<Tracer> tracer_;

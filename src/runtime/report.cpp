@@ -314,6 +314,21 @@ Json build_chrome_trace(const EventLog& events) {
                 out.push_back(std::move(c));
                 break;
             }
+            case EventKind::Deadlock: {
+                Json i = trace_event("i", e.rank, e.ts_us,
+                                     "deadlock @ " + e.phase);
+                i.set("cat", "deadlock");
+                i.set("s", "g");  // global-scoped instant: the run is stuck
+                Json args = Json::object();
+                args.set("waiting_for", e.peer);
+                args.set("tag", e.tag);
+                Json blocked = Json::array();
+                for (int r : e.ranks) blocked.push_back(r);
+                args.set("blocked_ranks", std::move(blocked));
+                i.set("args", std::move(args));
+                out.push_back(std::move(i));
+                break;
+            }
         }
     }
 

@@ -1,0 +1,142 @@
+// Seeded randomized fault-injection campaign, in-suite edition: a small
+// deterministic slice of what tools/ftmul_chaos sweeps at scale. Every trial
+// verifies the engine's product against the exact reference; an over-budget
+// draw must surface as UnrecoverableFault and recover through the resilient
+// escalation ladder — a wrong product is a test failure in every branch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bigint/random.hpp"
+#include "core/resilient.hpp"
+#include "runtime/fault_injector.hpp"
+
+namespace ftmul {
+namespace {
+
+ResilientConfig make_cfg(FtEngine engine) {
+    ResilientConfig cfg;
+    cfg.engine = engine;
+    cfg.base.k = 2;
+    cfg.base.processors = 9;
+    cfg.base.digit_bits = 32;
+    cfg.base.base_len = 4;
+    cfg.faults = 1;
+    return cfg;
+}
+
+const std::vector<FtEngine> kAllEngines = {
+    FtEngine::Linear,     FtEngine::Poly,        FtEngine::Mixed,
+    FtEngine::Multistep,  FtEngine::Replication, FtEngine::Checkpoint,
+};
+
+TEST(ChaosCampaign, NeverReturnsAWrongProduct) {
+    constexpr int kTrialsPerEngine = 10;
+    const FaultInjector injector(2026);
+    Rng rng{94};
+
+    int clean = 0, recovered = 0, escalated = 0;
+    for (FtEngine engine : kAllEngines) {
+        const ResilientConfig cfg = make_cfg(engine);
+        const FaultSurface surface = fault_surface(cfg);
+
+        FaultInjectorConfig icfg;
+        icfg.phases = surface.phases;
+        icfg.ranks = surface.ranks;
+        icfg.hard_rate = 0.10;
+        icfg.max_hard_faults = 3;
+
+        for (int t = 0; t < kTrialsPerEngine; ++t) {
+            const BigInt a = random_bits(rng, 420);
+            const BigInt b = random_bits(rng, 390);
+            const BigInt want = a * b;
+            const InjectedFaults faults =
+                injector.draw(icfg, static_cast<std::uint64_t>(t));
+
+            try {
+                const auto res = run_ft_engine(a, b, cfg, faults.hard);
+                ASSERT_EQ(res.product, want)
+                    << to_string(engine) << " trial " << t << " with "
+                    << faults.hard.total_faults() << " faults";
+                (faults.hard.empty() ? clean : recovered) += 1;
+            } catch (const UnrecoverableFault& uf) {
+                ++escalated;
+                EXPECT_EQ(uf.engine(), to_string(engine));
+                EXPECT_FALSE(uf.dead_ranks().empty());
+                // Graceful degradation: the driver must still deliver the
+                // exact product, charging the retries.
+                const auto res = resilient_multiply(a, b, cfg, faults.hard);
+                ASSERT_EQ(res.product, want)
+                    << to_string(engine) << " trial " << t << " (escalated)";
+                ASSERT_GE(res.attempts.size(), 2u);
+                EXPECT_FALSE(res.attempts.front().success);
+                EXPECT_TRUE(res.attempts.back().success);
+            }
+        }
+    }
+    // The fixed seed exercises all three outcomes; if a rate/seed tweak ever
+    // collapses one to zero the campaign is no longer probing the budget edge.
+    EXPECT_GT(clean, 0);
+    EXPECT_GT(recovered, 0);
+    EXPECT_GT(escalated, 0);
+}
+
+TEST(ChaosCampaign, TargetedColumnHammeringStaysInBudget) {
+    // Concentrate the draw on one ft_poly grid column via rank weights: any
+    // number of dead ranks in a single column is one dead column, within
+    // f=1 — so every trial must recover without escalating.
+    const ResilientConfig cfg = make_cfg(FtEngine::Poly);
+    const FaultSurface surface = fault_surface(cfg);
+    const int wide = 4;  // npts + f columns per row block
+
+    FaultInjectorConfig icfg;
+    icfg.phases = surface.phases;
+    icfg.ranks = surface.ranks;
+    icfg.hard_rate = 0.9;
+    for (int r : surface.ranks) {
+        icfg.rank_weights.push_back(r % wide == 0 ? 1.0 : 0.0);
+    }
+
+    const FaultInjector injector(7);
+    Rng rng{95};
+    int multi_fault_trials = 0;
+    for (std::uint64_t t = 0; t < 8; ++t) {
+        const BigInt a = random_bits(rng, 420);
+        const BigInt b = random_bits(rng, 390);
+        const InjectedFaults faults = injector.draw(icfg, t);
+        for (const auto& [phase, rank] : faults.hard.all()) {
+            ASSERT_EQ(rank % wide, 0) << "weight mask leaked at trial " << t;
+        }
+        if (faults.hard.total_faults() > 1) ++multi_fault_trials;
+
+        const auto res = run_ft_engine(a, b, cfg, faults.hard);
+        EXPECT_EQ(res.product, a * b) << "trial " << t;
+    }
+    // The point of the targeting: several same-column faults in one trial.
+    EXPECT_GT(multi_fault_trials, 0);
+}
+
+TEST(ChaosCampaign, SoftFaultDrawsAreReplayable) {
+    // The campaign's soft-fault stream is part of the replayable trial too:
+    // same (seed, trial) -> identical corruption schedule, independent of
+    // the hard-fault rate.
+    FaultInjectorConfig icfg;
+    icfg.phases = {"mul"};
+    icfg.ranks = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+    icfg.soft_rate = 0.3;
+
+    auto with_hard = icfg;
+    with_hard.hard_rate = 0.5;
+
+    const FaultInjector injector(13);
+    for (std::uint64_t t = 0; t < 8; ++t) {
+        EXPECT_EQ(injector.draw(icfg, t).soft.all(),
+                  injector.draw(with_hard, t).soft.all())
+            << "hard rate perturbed the soft stream at trial " << t;
+    }
+}
+
+}  // namespace
+}  // namespace ftmul

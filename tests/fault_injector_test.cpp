@@ -1,0 +1,262 @@
+#include "runtime/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/machine.hpp"
+
+namespace ftmul {
+namespace {
+
+FaultInjectorConfig site_grid() {
+    FaultInjectorConfig cfg;
+    cfg.phases = {"eval-L0", "mul", "interp-L0"};
+    cfg.ranks = {0, 1, 2, 3, 4, 5, 6, 7};
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan (the concrete schedule the injector materializes)
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, RejectsNegativeRank) {
+    FaultPlan plan;
+    EXPECT_THROW(plan.add("mul", -1), std::invalid_argument);
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsDuplicateSite) {
+    FaultPlan plan;
+    plan.add("mul", 3);
+    EXPECT_THROW(plan.add("mul", 3), std::invalid_argument);
+    // The same rank at a different phase is a distinct fault.
+    plan.add("eval-L0", 3);
+    EXPECT_EQ(plan.total_faults(), 2u);
+}
+
+TEST(FaultPlan, HashedMembershipAndSortedViews) {
+    FaultPlan plan;
+    plan.add("mul", 5);
+    plan.add("mul", 1);
+    plan.add("eval-L0", 3);
+
+    EXPECT_TRUE(plan.fails_at("mul", 5));
+    EXPECT_TRUE(plan.fails_at("mul", 1));
+    EXPECT_FALSE(plan.fails_at("mul", 2));
+    EXPECT_FALSE(plan.fails_at("interp-L0", 5));
+    // string_view lookups must not allocate a temporary key type mismatch.
+    const std::string_view sv = "eval-L0";
+    EXPECT_TRUE(plan.fails_at(sv, 3));
+
+    EXPECT_EQ(plan.failing_at("mul"), (std::vector<int>{1, 5}));
+    EXPECT_EQ(plan.failing_at("nowhere"), std::vector<int>{});
+
+    const auto all = plan.all();
+    const std::vector<std::pair<std::string, int>> want = {
+        {"eval-L0", 3}, {"mul", 1}, {"mul", 5}};
+    EXPECT_EQ(all, want);
+    EXPECT_EQ(plan.total_faults(), 3u);
+    EXPECT_FALSE(plan.empty());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector draws
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, ZeroRatesInjectNothing) {
+    const auto faults = FaultInjector(7).draw(site_grid(), 0);
+    EXPECT_EQ(faults.total(), 0u);
+    EXPECT_TRUE(faults.hard.empty());
+    EXPECT_EQ(faults.soft.total(), 0u);
+    EXPECT_TRUE(faults.stragglers.empty());
+}
+
+TEST(FaultInjector, DrawIsPureFunctionOfSeedAndTrial) {
+    auto cfg = site_grid();
+    cfg.hard_rate = 0.3;
+    cfg.soft_rate = 0.2;
+    cfg.straggler_rate = 0.25;
+
+    const FaultInjector inj(42);
+    for (std::uint64_t trial : {0ull, 1ull, 731ull}) {
+        const auto a = inj.draw(cfg, trial);
+        const auto b = inj.draw(cfg, trial);           // same injector
+        const auto c = FaultInjector(42).draw(cfg, trial);  // fresh injector
+        EXPECT_EQ(a.hard.all(), b.hard.all()) << "trial " << trial;
+        EXPECT_EQ(a.hard.all(), c.hard.all()) << "trial " << trial;
+        EXPECT_EQ(a.soft.all(), b.soft.all()) << "trial " << trial;
+        EXPECT_EQ(a.soft.all(), c.soft.all()) << "trial " << trial;
+        EXPECT_EQ(a.stragglers, b.stragglers) << "trial " << trial;
+        EXPECT_EQ(a.stragglers, c.stragglers) << "trial " << trial;
+    }
+}
+
+TEST(FaultInjector, TrialsAndSeedsGiveDistinctSchedules) {
+    auto cfg = site_grid();
+    cfg.hard_rate = 0.3;
+
+    const FaultInjector inj(1);
+    std::set<std::vector<std::pair<std::string, int>>> distinct;
+    for (std::uint64_t t = 0; t < 32; ++t) {
+        distinct.insert(inj.draw(cfg, t).hard.all());
+    }
+    EXPECT_GT(distinct.size(), 1u) << "32 trials all drew the same schedule";
+
+    bool seeds_differ = false;
+    for (std::uint64_t t = 0; t < 32 && !seeds_differ; ++t) {
+        seeds_differ = FaultInjector(1).draw(cfg, t).hard.all() !=
+                       FaultInjector(2).draw(cfg, t).hard.all();
+    }
+    EXPECT_TRUE(seeds_differ) << "seed does not influence the draw";
+}
+
+TEST(FaultInjector, RateOneHitsEverySite) {
+    auto cfg = site_grid();
+    cfg.hard_rate = 1.0;
+    cfg.soft_rate = 1.0;
+    cfg.straggler_rate = 1.0;
+    cfg.straggler_rounds = 11;
+
+    const auto faults = FaultInjector(3).draw(cfg, 5);
+    const std::size_t sites = cfg.phases.size() * cfg.ranks.size();
+    EXPECT_EQ(faults.hard.total_faults(), sites);
+    EXPECT_EQ(faults.soft.total(), sites);
+    for (const auto& phase : cfg.phases) {
+        for (int r : cfg.ranks) {
+            EXPECT_TRUE(faults.hard.fails_at(phase, r));
+            EXPECT_TRUE(faults.soft.corrupts_at(phase, r));
+        }
+    }
+    ASSERT_EQ(faults.stragglers.size(), cfg.ranks.size());
+    for (const auto& [rank, rounds] : faults.stragglers) {
+        EXPECT_EQ(rounds, 11u) << "rank " << rank;
+    }
+}
+
+TEST(FaultInjector, MaxHardFaultsCapsTheDraw) {
+    auto cfg = site_grid();
+    cfg.hard_rate = 1.0;
+    cfg.max_hard_faults = 3;
+    const auto faults = FaultInjector(3).draw(cfg, 5);
+    EXPECT_EQ(faults.hard.total_faults(), 3u);
+}
+
+TEST(FaultInjector, ZeroWeightMasksTargets) {
+    auto cfg = site_grid();
+    cfg.hard_rate = 1.0;
+    cfg.rank_weights = {0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+    cfg.phase_weights = {1.0, 1.0, 0.0};  // never hit interp-L0
+
+    for (std::uint64_t t = 0; t < 16; ++t) {
+        const auto faults = FaultInjector(9).draw(cfg, t);
+        for (const auto& [phase, rank] : faults.hard.all()) {
+            EXPECT_NE(rank, 0) << "masked rank was hit at trial " << t;
+            EXPECT_NE(phase, "interp-L0") << "masked phase hit at trial " << t;
+        }
+    }
+}
+
+TEST(FaultInjector, WeightsSteerWithoutDisturbingOtherSites) {
+    // Raising one rank's weight must not change which *other* sites fire:
+    // per-site streams are independent of each other and of the weights.
+    auto cfg = site_grid();
+    cfg.hard_rate = 0.2;
+    auto boosted = cfg;
+    boosted.rank_weights = {5.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+    const FaultInjector inj(11);
+    for (std::uint64_t t = 0; t < 16; ++t) {
+        const auto base = inj.draw(cfg, t).hard.all();
+        const auto target = inj.draw(boosted, t).hard.all();
+        // Every baseline fault survives the boost (probabilities only grew
+        // at rank 0, stayed equal elsewhere), and any new fault is at rank 0.
+        for (const auto& site : base) {
+            EXPECT_TRUE(std::find(target.begin(), target.end(), site) !=
+                        target.end());
+        }
+        for (const auto& [phase, rank] : target) {
+            if (std::find(base.begin(), base.end(),
+                          std::make_pair(phase, rank)) == base.end()) {
+                EXPECT_EQ(rank, 0) << "boost perturbed an unrelated site";
+            }
+        }
+    }
+}
+
+TEST(FaultInjector, RejectsMalformedConfigs) {
+    const FaultInjector inj(1);
+    auto bad = site_grid();
+    bad.hard_rate = -0.1;
+    EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+
+    bad = site_grid();
+    bad.soft_rate = -1.0;
+    EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+
+    bad = site_grid();
+    bad.rank_weights = {1.0};  // 8 ranks, 1 weight
+    EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+
+    bad = site_grid();
+    bad.phase_weights = {1.0, 1.0, 1.0, 1.0};  // 3 phases, 4 weights
+    EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+
+    bad = site_grid();
+    bad.rank_weights = {1, 1, 1, 1, 1, 1, 1, -2};
+    EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock diagnostic (Machine/Mailbox satellite)
+// ---------------------------------------------------------------------------
+
+TEST(DeadlockDiagnostic, NamesEveryBlockedRankAndLogsEvent) {
+    Machine m(3);
+    m.set_recv_timeout(std::chrono::milliseconds(200));
+    m.enable_event_log();
+
+    bool timed_out = false;
+    try {
+        m.run([](Rank& r) {
+            r.phase("stuck");
+            // Rank 1 exits immediately; 0 and 2 wait on messages that never
+            // arrive — a protocol bug the machine must diagnose, not hang on.
+            // Rank 0 enters its receive late so rank 2 deterministically
+            // times out first, while rank 0 is still parked: the diagnostic
+            // must name both.
+            if (r.id() == 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                (void)r.recv(1, 7);
+            }
+            if (r.id() == 2) (void)r.recv(0, 9);
+        });
+    } catch (const RecvTimeout& e) {
+        timed_out = true;
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("phase \"stuck\""), std::string::npos) << msg;
+        // The diagnostic names both parked ranks, whichever one timed out.
+        EXPECT_NE(msg.find("rank 0 waiting for src=1 tag=7"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("rank 2 waiting for src=0 tag=9"),
+                  std::string::npos)
+            << msg;
+    }
+    EXPECT_TRUE(timed_out) << "expected the run to fail with RecvTimeout";
+
+    const auto deadlocks = m.event_log()->of_kind(EventKind::Deadlock);
+    ASSERT_FALSE(deadlocks.empty());
+    const Event& e = deadlocks.front();
+    EXPECT_EQ(e.phase, "stuck");
+    EXPECT_EQ(e.ranks, (std::vector<int>{0, 2}));
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,194 @@
+// bench_diff: compare two BENCH_<name>.json reports (schema ftmul.bench_rows)
+// and fail on cost-model regressions. Tables are matched by title, rows by
+// name; the compared quantities are the deterministic machine-model numbers
+// (critical/aggregate F and BW, critical L, peak memory). Wall-clock is
+// noisy and machine-dependent, so it is only compared when --wall-threshold
+// is given explicitly.
+//
+// Usage:
+//   bench_diff OLD.json NEW.json [--threshold 0.05] [--wall-threshold F]
+//
+// Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/json.hpp"
+#include "runtime/report.hpp"
+
+namespace {
+
+using ftmul::Json;
+
+struct Options {
+    std::string old_path;
+    std::string new_path;
+    double threshold = 0.05;      ///< allowed fractional growth
+    double wall_threshold = -1.0; ///< <0 = don't compare wall-clock
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s OLD.json NEW.json [--threshold F] "
+                 "[--wall-threshold F]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options o;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--threshold") {
+            o.threshold = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--wall-threshold") {
+            o.wall_threshold = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) usage(argv[0]);
+    o.old_path = positional[0];
+    o.new_path = positional[1];
+    return o;
+}
+
+Json load_report(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Json root = Json::parse(buf.str());
+    const Json* schema = root.find("schema");
+    if (!schema || schema->as_string() != ftmul::kBenchRowsSchema) {
+        std::fprintf(stderr, "bench_diff: %s is not a %s report\n",
+                     path.c_str(), ftmul::kBenchRowsSchema);
+        std::exit(2);
+    }
+    return root;
+}
+
+const Json* find_table(const Json& report, const std::string& title) {
+    for (const Json& t : report.at("tables").items()) {
+        if (t.at("title").as_string() == title) return &t;
+    }
+    return nullptr;
+}
+
+const Json* find_row(const Json& table, const std::string& name) {
+    for (const Json& r : table.at("rows").items()) {
+        if (r.at("name").as_string() == name) return &r;
+    }
+    return nullptr;
+}
+
+/// Numeric leaf of a row, addressed as "critical.flops" etc.; 0 if absent.
+double metric(const Json& row, const char* path) {
+    const char* dot = std::strchr(path, '.');
+    if (dot == nullptr) {
+        const Json* v = row.find(path);
+        return v && v->is_number() ? v->as_double() : 0.0;
+    }
+    const Json* group = row.find(std::string(path, dot));
+    if (group == nullptr) return 0.0;
+    const Json* v = group->find(dot + 1);
+    return v && v->is_number() ? v->as_double() : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    const Json old_report = load_report(opt.old_path);
+    const Json new_report = load_report(opt.new_path);
+
+    struct Metric {
+        const char* path;
+        const char* label;
+    };
+    const std::vector<Metric> metrics = {
+        {"critical.flops", "F(crit)"},    {"critical.words", "BW(crit)"},
+        {"critical.latency", "L(crit)"},  {"aggregate.flops", "F(agg)"},
+        {"aggregate.words", "BW(agg)"},   {"peak_memory_words", "peak_mem"},
+    };
+
+    int regressions = 0;
+    int compared = 0;
+    int missing = 0;
+
+    for (const Json& old_table : old_report.at("tables").items()) {
+        const std::string title = old_table.at("title").as_string();
+        const Json* new_table = find_table(new_report, title);
+        if (new_table == nullptr) {
+            std::printf("MISSING table \"%s\" in %s\n", title.c_str(),
+                        opt.new_path.c_str());
+            ++missing;
+            continue;
+        }
+        for (const Json& old_row : old_table.at("rows").items()) {
+            const std::string name = old_row.at("name").as_string();
+            const Json* new_row = find_row(*new_table, name);
+            if (new_row == nullptr) {
+                std::printf("MISSING row \"%s\" (table \"%s\")\n",
+                            name.c_str(), title.c_str());
+                ++missing;
+                continue;
+            }
+            ++compared;
+
+            // A row whose product stopped verifying is always a failure.
+            const Json* ok = new_row->find("ok");
+            if (ok && !ok->as_bool()) {
+                std::printf("REGRESSION %s / %s: ok flipped to false\n",
+                            title.c_str(), name.c_str());
+                ++regressions;
+            }
+
+            auto check = [&](const char* path, const char* label,
+                             double threshold) {
+                const double before = metric(old_row, path);
+                const double after = metric(*new_row, path);
+                if (before <= 0.0) return;  // nothing to compare against
+                const double growth = (after - before) / before;
+                if (growth > threshold) {
+                    std::printf(
+                        "REGRESSION %s / %s: %s %.0f -> %.0f (+%.1f%% > "
+                        "%.1f%%)\n",
+                        title.c_str(), name.c_str(), label, before, after,
+                        growth * 100.0, threshold * 100.0);
+                    ++regressions;
+                } else if (growth < -threshold) {
+                    std::printf("improved   %s / %s: %s %.0f -> %.0f "
+                                "(%.1f%%)\n",
+                                title.c_str(), name.c_str(), label, before,
+                                after, growth * 100.0);
+                }
+            };
+            for (const Metric& m : metrics) {
+                check(m.path, m.label, opt.threshold);
+            }
+            if (opt.wall_threshold >= 0.0) {
+                check("wall_ns", "wall_ns", opt.wall_threshold);
+            }
+        }
+    }
+
+    std::printf("bench_diff: %d rows compared, %d regressions, %d missing\n",
+                compared, regressions, missing);
+    return regressions > 0 ? 1 : 0;
+}

@@ -1,0 +1,401 @@
+// ftmul_chaos: randomized fault-injection campaigns over the six hard-fault
+// engines. Every trial draws a seeded, replayable fault plan restricted to
+// the engine's fault surface, runs the engine, verifies the product against
+// the sequential reference, and escalates over-budget trials through the
+// resilient driver. The campaign must never produce a wrong product; it
+// writes a schema-versioned JSON report with outcome counts, recovery-cost
+// distributions and survival curves vs injected fault count.
+//
+// Usage:
+//   ftmul_chaos [--trials N] [--seed S] [--bits B] [--out FILE]
+//               [--engines a,b,...] [--rates r1,r2,...] [--smoke] [--quiet]
+//
+// --smoke shrinks the campaign (~25 trials/engine, smaller operands) for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bigint/random.hpp"
+#include "core/resilient.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/report.hpp"
+#include "toom/sequential.hpp"
+
+namespace {
+
+using namespace ftmul;
+
+constexpr const char* kChaosSchema = "ftmul.chaos_report";
+constexpr int kChaosVersion = 1;
+
+struct Options {
+    std::uint64_t trials = 1000;
+    std::uint64_t seed = 42;
+    std::size_t bits = 700;
+    std::string out = "chaos_report.json";
+    std::vector<std::string> engines = {"ft_linear",   "ft_poly",
+                                        "ft_mixed",    "ft_multistep",
+                                        "replication", "checkpoint"};
+    std::vector<double> rates = {0.05, 0.15, 0.35};
+    bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--trials N] [--seed S] [--bits B] [--out FILE]\n"
+        "          [--engines a,b,...] [--rates r1,r2,...] [--smoke] "
+        "[--quiet]\n",
+        argv0);
+    std::exit(2);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start) out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options parse_args(int argc, char** argv) {
+    Options o;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--trials") {
+            o.trials = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            o.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--bits") {
+            o.bits = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--out") {
+            o.out = value();
+        } else if (arg == "--engines") {
+            o.engines = split_list(value());
+        } else if (arg == "--rates") {
+            o.rates.clear();
+            for (const std::string& r : split_list(value())) {
+                o.rates.push_back(std::strtod(r.c_str(), nullptr));
+            }
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--quiet") {
+            o.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (smoke) {
+        o.trials = 25 * o.engines.size();
+        o.bits = 360;
+        if (o.out == "chaos_report.json") o.out = "chaos_smoke_report.json";
+    }
+    if (o.engines.empty() || o.rates.empty() || o.trials == 0) usage(argv[0]);
+    return o;
+}
+
+/// Streaming min/mean/max over uint64 samples (a full histogram would bloat
+/// the report; the distribution tails are what campaigns watch).
+struct Dist {
+    std::uint64_t n = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double sum = 0.0;
+
+    void add(std::uint64_t v) {
+        if (n == 0 || v < min) min = v;
+        if (n == 0 || v > max) max = v;
+        sum += static_cast<double>(v);
+        ++n;
+    }
+
+    Json to_json() const {
+        Json j = Json::object();
+        j.set("samples", n);
+        j.set("min", min);
+        j.set("mean", n == 0 ? 0.0 : sum / static_cast<double>(n));
+        j.set("max", max);
+        return j;
+    }
+};
+
+struct SurvivalBucket {
+    std::uint64_t trials = 0;
+    std::uint64_t in_engine = 0;  ///< absorbed by the engine's own coding
+};
+
+struct EngineTally {
+    std::uint64_t clean = 0;        ///< no fault drawn, product correct
+    std::uint64_t recovered = 0;    ///< faults absorbed in-engine
+    std::uint64_t retried = 0;      ///< escalated via resilient_multiply
+    std::uint64_t wrong_product = 0;
+    std::uint64_t errors = 0;       ///< unexpected exception (not typed)
+    std::map<std::string, std::uint64_t> retry_strategies;
+    Dist recovery_flops;
+    Dist recovery_words;
+    Dist retry_flops;  ///< extra critical-path flops escalation charged
+    std::map<int, SurvivalBucket> survival;  ///< by injected fault count
+    std::vector<std::string> sample_errors;
+};
+
+struct RateTally {
+    std::uint64_t trials = 0;
+    std::uint64_t in_engine = 0;  ///< clean + recovered
+    std::uint64_t retried = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+
+    ResilientConfig proto;
+    proto.base.k = 2;
+    proto.base.processors = 9;
+    proto.base.digit_bits = 32;
+    proto.base.events = true;
+    proto.faults = 1;
+    proto.fused_steps = 2;
+
+    const ToomPlan ref_plan = ToomPlan::make(3);
+    const FaultInjector injector(opt.seed);
+
+    // The trial grid: engines x rates, trials distributed round-robin so a
+    // campaign of any size touches every combination.
+    struct Combo {
+        FtEngine engine;
+        double rate;
+    };
+    std::vector<Combo> combos;
+    for (const std::string& name : opt.engines) {
+        const FtEngine e = ft_engine_from_string(name);  // throws on typos
+        for (double r : opt.rates) combos.push_back({e, r});
+    }
+
+    std::map<std::string, EngineTally> tallies;
+    std::map<std::string, std::map<std::string, RateTally>> rate_tallies;
+
+    for (std::uint64_t t = 0; t < opt.trials; ++t) {
+        const Combo& combo = combos[t % combos.size()];
+        ResilientConfig cfg = proto;
+        cfg.engine = combo.engine;
+        const std::string engine_name = to_string(cfg.engine);
+        EngineTally& tally = tallies[engine_name];
+        char rate_key[32];
+        std::snprintf(rate_key, sizeof(rate_key), "%g", combo.rate);
+        RateTally& rt = rate_tallies[engine_name][rate_key];
+        ++rt.trials;
+
+        // Operands are a pure function of (seed, trial) too, so any trial
+        // replays stand-alone.
+        Rng rng(opt.seed ^ (0x6368616f73ull + t * 0x9e3779b97f4a7c15ull));
+        const BigInt a = random_bits(rng, opt.bits);
+        const BigInt b = random_bits(rng, opt.bits + 37);
+        const BigInt expected = toom_multiply(a, b, ref_plan);
+
+        const FaultSurface surface = fault_surface(cfg);
+        FaultInjectorConfig icfg;
+        icfg.phases = surface.phases;
+        icfg.ranks = surface.ranks;
+        icfg.hard_rate = combo.rate;
+        const InjectedFaults injected = injector.draw(icfg, t);
+        const int nfaults = static_cast<int>(injected.hard.total_faults());
+        SurvivalBucket& bucket = tally.survival[nfaults];
+        ++bucket.trials;
+
+        try {
+            const FtRunResult r = run_ft_engine(a, b, cfg, injected.hard);
+            if (r.product != expected) {
+                ++tally.wrong_product;
+                std::fprintf(stderr,
+                             "WRONG PRODUCT: engine=%s seed=%llu trial=%llu\n",
+                             engine_name.c_str(),
+                             static_cast<unsigned long long>(opt.seed),
+                             static_cast<unsigned long long>(t));
+                continue;
+            }
+            ++bucket.in_engine;
+            ++rt.in_engine;
+            if (nfaults == 0) {
+                ++tally.clean;
+            } else {
+                ++tally.recovered;
+                if (r.events) {
+                    CostCounters rec{};
+                    for (const Event& e :
+                         r.events->of_kind(EventKind::RecoveryEnd)) {
+                        rec += e.counters;
+                    }
+                    tally.recovery_flops.add(rec.flops);
+                    tally.recovery_words.add(rec.words);
+                }
+            }
+        } catch (const UnrecoverableFault&) {
+            // Over-budget fault set: escalate through the resilient ladder.
+            // Retries run fault-free ("fresh processors").
+            ++tally.retried;
+            ++rt.retried;
+            try {
+                const ResilientResult rr =
+                    resilient_multiply(a, b, cfg, injected.hard);
+                if (rr.product != expected) {
+                    ++tally.wrong_product;
+                    std::fprintf(
+                        stderr,
+                        "WRONG PRODUCT (retry): engine=%s seed=%llu "
+                        "trial=%llu\n",
+                        engine_name.c_str(),
+                        static_cast<unsigned long long>(opt.seed),
+                        static_cast<unsigned long long>(t));
+                    continue;
+                }
+                if (!rr.attempts.empty()) {
+                    ++tally.retry_strategies[rr.attempts.back().strategy];
+                }
+                tally.retry_flops.add(rr.stats.critical.flops);
+            } catch (const UnrecoverableFault& uf) {
+                ++tally.errors;
+                if (tally.sample_errors.size() < 3) {
+                    tally.sample_errors.push_back(uf.what());
+                }
+            }
+        } catch (const std::exception& e) {
+            ++tally.errors;
+            if (tally.sample_errors.size() < 3) {
+                tally.sample_errors.push_back(e.what());
+            }
+        }
+    }
+
+    // ---- report ------------------------------------------------------
+    Json root = Json::object();
+    root.set("schema", kChaosSchema);
+    root.set("version", kChaosVersion);
+    root.set("seed", opt.seed);
+    root.set("trials", opt.trials);
+    root.set("bits", static_cast<std::uint64_t>(opt.bits));
+    {
+        Json cfg = Json::object();
+        cfg.set("k", proto.base.k);
+        cfg.set("processors", proto.base.processors);
+        cfg.set("digit_bits", static_cast<std::uint64_t>(proto.base.digit_bits));
+        cfg.set("faults", proto.faults);
+        cfg.set("fused_steps", proto.fused_steps);
+        root.set("config", std::move(cfg));
+    }
+    Json rates = Json::array();
+    for (double r : opt.rates) rates.push_back(r);
+    root.set("rates", std::move(rates));
+
+    std::uint64_t total_wrong = 0;
+    std::uint64_t total_errors = 0;
+    Json engines = Json::array();
+    for (const auto& [name, tally] : tallies) {
+        Json e = Json::object();
+        e.set("engine", name);
+        Json counts = Json::object();
+        counts.set("clean", tally.clean);
+        counts.set("recovered", tally.recovered);
+        counts.set("retried", tally.retried);
+        counts.set("wrong_product", tally.wrong_product);
+        counts.set("errors", tally.errors);
+        e.set("counts", std::move(counts));
+
+        Json by_rate = Json::array();
+        for (const auto& [rate, rt] : rate_tallies[name]) {
+            Json jr = Json::object();
+            jr.set("rate", std::strtod(rate.c_str(), nullptr));
+            jr.set("trials", rt.trials);
+            jr.set("in_engine", rt.in_engine);
+            jr.set("retried", rt.retried);
+            by_rate.push_back(std::move(jr));
+        }
+        e.set("by_rate", std::move(by_rate));
+
+        Json rec = Json::object();
+        rec.set("flops", tally.recovery_flops.to_json());
+        rec.set("words", tally.recovery_words.to_json());
+        e.set("recovery_cost", std::move(rec));
+        e.set("retry_cost_flops", tally.retry_flops.to_json());
+
+        Json strategies = Json::object();
+        for (const auto& [s, n] : tally.retry_strategies) strategies.set(s, n);
+        e.set("retry_strategies", std::move(strategies));
+
+        // Survival curve: P(engine absorbs the trial | n faults injected).
+        Json survival = Json::array();
+        for (const auto& [n, bucket] : tally.survival) {
+            Json s = Json::object();
+            s.set("faults", n);
+            s.set("trials", bucket.trials);
+            s.set("in_engine", bucket.in_engine);
+            s.set("survival",
+                  bucket.trials == 0
+                      ? 0.0
+                      : static_cast<double>(bucket.in_engine) /
+                            static_cast<double>(bucket.trials));
+            survival.push_back(std::move(s));
+        }
+        e.set("survival", std::move(survival));
+
+        if (!tally.sample_errors.empty()) {
+            Json errs = Json::array();
+            for (const std::string& s : tally.sample_errors) errs.push_back(s);
+            e.set("sample_errors", std::move(errs));
+        }
+        engines.push_back(std::move(e));
+        total_wrong += tally.wrong_product;
+        total_errors += tally.errors;
+
+        if (!opt.quiet) {
+            std::printf(
+                "%-14s clean=%llu recovered=%llu retried=%llu wrong=%llu "
+                "errors=%llu\n",
+                name.c_str(), static_cast<unsigned long long>(tally.clean),
+                static_cast<unsigned long long>(tally.recovered),
+                static_cast<unsigned long long>(tally.retried),
+                static_cast<unsigned long long>(tally.wrong_product),
+                static_cast<unsigned long long>(tally.errors));
+        }
+    }
+    root.set("engines", std::move(engines));
+    {
+        Json totals = Json::object();
+        totals.set("wrong_product", total_wrong);
+        totals.set("errors", total_errors);
+        root.set("totals", std::move(totals));
+    }
+
+    if (!write_text_file(opt.out, root.dump(2) + "\n")) {
+        std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+        return 2;
+    }
+    if (!opt.quiet) std::printf("wrote %s\n", opt.out.c_str());
+
+    if (total_wrong != 0 || total_errors != 0) {
+        std::fprintf(stderr,
+                     "CAMPAIGN FAILED: %llu wrong products, %llu errors\n",
+                     static_cast<unsigned long long>(total_wrong),
+                     static_cast<unsigned long long>(total_errors));
+        return 1;
+    }
+    return 0;
+}
