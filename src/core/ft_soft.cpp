@@ -32,9 +32,12 @@ int exact_log(std::uint64_t v, std::uint64_t base) {
     return l;
 }
 
-/// Deterministic nonzero error vector a miscalculating rank adds.
+/// Deterministic nonzero error vector a miscalculating rank adds. The seed
+/// is computed in std::uint64_t: the old `rank * 1000003 + salt` as int
+/// was UB for large rank values (signed overflow) before widening.
 void corrupt(std::vector<BigInt>& state, int rank, int salt) {
-    Rng rng{static_cast<std::uint64_t>(rank * 1000003 + salt)};
+    Rng rng{static_cast<std::uint64_t>(rank) * 1000003ull +
+            static_cast<std::uint64_t>(salt)};
     for (std::size_t i = 0; i < state.size(); i += 1 + rng.next_below(3)) {
         state[i] += BigInt{static_cast<std::int64_t>(1 + rng.next_below(1u << 20))};
     }
@@ -60,8 +63,12 @@ FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
     const int world = P + f * npts;
 
     // Validate: protected phases only; at most one corruption per column per
-    // phase (single-error correction); correction requires f >= 2.
-    std::map<std::string, std::map<int, int>> per_phase_col;
+    // phase (single-error correction); correction requires f >= 2. Config
+    // misuse (unknown phase, rank off the grid) stays a plain
+    // std::invalid_argument; a *well-formed* plan that merely exceeds the
+    // code's budget is typed UnrecoverableFault so drivers (the resilient
+    // escalation ladder, chaos campaigns) can classify and escalate it.
+    std::map<std::string, std::map<int, std::vector<int>>> per_phase_col;
     for (const auto& [phase, rank] : plan.all()) {
         if (phase != kEvalPhase && phase != kLeafPhase && phase != kInterpPhase) {
             throw std::invalid_argument(
@@ -72,14 +79,21 @@ FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
             throw std::invalid_argument(
                 "ft_soft: only data processors miscalculate");
         }
-        if (++per_phase_col[phase][rank % npts] > 1) {
-            throw std::invalid_argument(
-                "ft_soft: at most one corruption per column per phase");
+        auto& col = per_phase_col[phase][rank % npts];
+        col.push_back(rank);
+        if (col.size() > 1) {
+            throw UnrecoverableFault(
+                "ft_soft", phase, col,
+                "at most one corruption per column per phase (the code "
+                "corrects single errors)");
         }
     }
     if (!plan.all().empty() && f < 2) {
-        throw std::invalid_argument(
-            "ft_soft: correction needs f >= 2 code rows (f = 1 only detects)");
+        std::vector<int> ranks;
+        for (const auto& [phase, rank] : plan.all()) ranks.push_back(rank);
+        throw UnrecoverableFault(
+            "ft_soft", "", ranks,
+            "correction needs f >= 2 code rows (f = 1 only detects)");
     }
 
     FtSoftResult result;
@@ -173,9 +187,10 @@ FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
                     e = cand;
                 }
                 if (e < 0) {
-                    throw std::runtime_error(
-                        "ft_soft: syndrome not consistent with a single "
-                        "corrupted rank");
+                    throw UnrecoverableFault(
+                        "ft_soft", std::string("verify-") + phase, members,
+                        "syndrome not consistent with a single corrupted "
+                        "rank");
                 }
                 verdict[0] = BigInt{e};
                 err = syndrome;  // eta_0^e == 1, so s_0 is the raw error

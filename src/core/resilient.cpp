@@ -8,6 +8,7 @@
 #include "core/ft_linear.hpp"
 #include "core/ft_mixed.hpp"
 #include "core/ft_multistep.hpp"
+#include "core/ft_soft.hpp"
 #include "core/replication.hpp"
 #include "toom/sequential.hpp"
 
@@ -50,6 +51,32 @@ void accumulate(RunStats& into, const RunStats& s) {
     if (s.peak_memory_words > into.peak_memory_words) {
         into.peak_memory_words = s.peak_memory_words;
     }
+}
+
+/// Rung 4 of both ladders: sequential recompute — immune to the simulated
+/// machine's faults, charged to the cost model as one serial phase.
+void sequential_rung(const BigInt& a, const BigInt& b,
+                     const ResilientConfig& cfg, ResilientResult& result) {
+    ResilientAttempt att;
+    att.strategy = "sequential-fallback";
+    const ToomPlan tplan = ToomPlan::make(cfg.base.k);
+    OpsCounter::reset();
+    result.product = toom_multiply(a, b, tplan);
+    CostCounters c;
+    c.flops = OpsCounter::get();
+    OpsCounter::reset();
+    att.success = true;
+    att.stats.world = 1;
+    att.stats.critical = c;
+    att.stats.aggregate = c;
+    att.stats.per_phase["sequential-fallback"] = c;
+    att.stats.per_phase_agg["sequential-fallback"] = c;
+    accumulate(result.stats, att.stats);
+    if (result.shape.k == 0) {
+        result.shape = resolve_shape(cfg.base,
+                                     std::max(a.bit_length(), b.bit_length()));
+    }
+    result.attempts.push_back(std::move(att));
 }
 
 }  // namespace
@@ -142,6 +169,24 @@ FaultSurface fault_surface(const ResilientConfig& cfg) {
             break;
         }
     }
+    return s;
+}
+
+FaultSurface soft_fault_surface(const ResilientConfig& cfg) {
+    const int k = cfg.base.k;
+    const int npts = 2 * k - 1;
+    const int P = cfg.base.processors;
+    const int bfs = exact_log(static_cast<std::uint64_t>(P),
+                              static_cast<std::uint64_t>(npts));
+    if (bfs < 1) {
+        throw std::invalid_argument(
+            "soft_fault_surface: processors must be a positive power of "
+            "2k-1");
+    }
+    FaultSurface s;
+    s.world = P + cfg.faults * npts;
+    s.ranks = iota_ranks(P);  // only data processors miscalculate
+    s.phases = {"eval-L0", "leaf-mul", "interp-L0"};
     return s;
 }
 
@@ -262,29 +307,9 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
         }
     }
 
-    // Rung 4: sequential recompute — immune to the simulated machine's
-    // faults, charged to the cost model as one serial phase.
+    // Rung 4: sequential recompute.
     if (cfg.sequential_fallback) {
-        ResilientAttempt att;
-        att.strategy = "sequential-fallback";
-        const ToomPlan tplan = ToomPlan::make(cfg.base.k);
-        OpsCounter::reset();
-        result.product = toom_multiply(a, b, tplan);
-        CostCounters c;
-        c.flops = OpsCounter::get();
-        OpsCounter::reset();
-        att.success = true;
-        att.stats.world = 1;
-        att.stats.critical = c;
-        att.stats.aggregate = c;
-        att.stats.per_phase["sequential-fallback"] = c;
-        att.stats.per_phase_agg["sequential-fallback"] = c;
-        accumulate(result.stats, att.stats);
-        if (result.shape.k == 0) {
-            result.shape = resolve_shape(
-                cfg.base, std::max(a.bit_length(), b.bit_length()));
-        }
-        result.attempts.push_back(std::move(att));
+        sequential_rung(a, b, cfg, result);
         return result;
     }
 
@@ -292,6 +317,81 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     if (last_error) std::rethrow_exception(last_error);
     throw std::invalid_argument(
         "resilient_multiply: no escalation rung enabled");
+}
+
+ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
+                                        const ResilientConfig& cfg,
+                                        const SoftFaultPlan& plan,
+                                        const ProductVerifier& verify) {
+    ResilientResult result;
+    std::exception_ptr last_error;
+
+    FtSoftConfig scfg;
+    scfg.base = cfg.base;
+    scfg.code_rows = cfg.faults;
+
+    // Run one rung of the soft ladder. Over-budget plans surface as typed
+    // UnrecoverableFault; a product the verifier rejects is a soft-fault-
+    // induced wrong interpolation — recorded as a failed (recoverable) rung
+    // and escalated past, never returned.
+    auto attempt = [&](const std::string& strategy,
+                       const SoftFaultPlan& p) -> bool {
+        ResilientAttempt att;
+        att.strategy = strategy;
+        att.faults_injected = static_cast<int>(p.total());
+        try {
+            FtSoftResult r = ft_soft_multiply(a, b, scfg, p);
+            accumulate(result.stats, r.stats);
+            att.stats = r.stats;
+            if (verify && !verify(r.product)) {
+                att.error =
+                    "ft_soft: wrong interpolation (verifier rejected the "
+                    "product)";
+                result.attempts.push_back(std::move(att));
+                last_error = std::make_exception_ptr(UnrecoverableFault(
+                    "ft_soft", "", {},
+                    "soft faults produced a wrong interpolation the code "
+                    "did not correct"));
+                return false;
+            }
+            att.success = true;
+            result.product = std::move(r.product);
+            result.shape = r.shape;
+            result.attempts.push_back(std::move(att));
+            return true;
+        } catch (const UnrecoverableFault& uf) {
+            att.error = uf.what();
+            result.attempts.push_back(std::move(att));
+            last_error = std::current_exception();
+            return false;
+        }
+    };
+
+    // Rung 1: the soft engine under the trial's corruption plan.
+    if (attempt("ft_soft", plan)) return result;
+
+    // Rung 2: bounded fault-free re-runs on fresh processors. (There is no
+    // checkpoint rung: a miscalculating rank corrupts its checkpoint too,
+    // so rollback recovery has no leverage against soft faults.)
+    for (int i = 1; i <= cfg.max_engine_retries; ++i) {
+        if (attempt("ft_soft-retry-" + std::to_string(i), {})) return result;
+    }
+
+    // Rung 4: sequential recompute, still subject to the verifier.
+    if (cfg.sequential_fallback) {
+        sequential_rung(a, b, cfg, result);
+        if (!verify || verify(result.product)) return result;
+        result.attempts.back().success = false;
+        result.attempts.back().error =
+            "sequential-fallback: verifier rejected the product";
+        last_error = std::make_exception_ptr(UnrecoverableFault(
+            "ft_soft", "", {},
+            "verifier rejected even the sequential recompute"));
+    }
+
+    if (last_error) std::rethrow_exception(last_error);
+    throw std::invalid_argument(
+        "resilient_soft_multiply: no escalation rung enabled");
 }
 
 }  // namespace ftmul

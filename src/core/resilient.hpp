@@ -74,6 +74,12 @@ struct FaultSurface {
 /// Compute the fault surface of cfg's engine and geometry.
 FaultSurface fault_surface(const ResilientConfig& cfg);
 
+/// The (phase, rank) sites where the soft-fault engine (ft_soft_multiply,
+/// core/ft_soft.hpp) can be corrupted at all: the three protected
+/// boundaries, on the data processors. cfg.faults is read as the number of
+/// code rows f (>= 2 corrects; the campaign default).
+FaultSurface soft_fault_surface(const ResilientConfig& cfg);
+
 /// Dispatch one run of the configured engine under the given plan.
 /// Propagates UnrecoverableFault on over-budget plans.
 FtRunResult run_ft_engine(const BigInt& a, const BigInt& b,
@@ -118,5 +124,30 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
                                    const ResilientConfig& cfg,
                                    const FaultPlan& first_plan,
                                    const PlanSource& retry_plans = {});
+
+/// Independent acceptance check a driver runs on a rung's product before
+/// trusting it (campaigns pass a comparison against the reference product).
+/// Returning false classifies the rung as a *soft-fault-induced wrong
+/// interpolation* — a recoverable failure the ladder escalates past, never
+/// a product handed back to the caller.
+using ProductVerifier = std::function<bool(const BigInt&)>;
+
+/// The escalation ladder for the soft-fault engine: run ft_soft_multiply
+/// under `plan` (cfg.faults = code rows f); when the plan exceeds the
+/// code's budget (more than one corruption per column per boundary, f < 2,
+/// or an inconsistent syndrome at run time — all typed UnrecoverableFault),
+/// or when `verify` rejects the rung's product as a wrong interpolation,
+/// escalate: bounded fault-free re-runs on fresh processors
+/// (cfg.max_engine_retries), then the sequential recompute
+/// (cfg.sequential_fallback). The checkpoint rung is skipped by design — a
+/// miscalculating rank corrupts its checkpoint too, so rollback recovery
+/// has no leverage against soft faults. Every rung is charged to the cost
+/// model; the audit trail lands in ResilientResult::attempts. Throws the
+/// last UnrecoverableFault when every enabled rung fails (never returns a
+/// product the verifier rejected).
+ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
+                                        const ResilientConfig& cfg,
+                                        const SoftFaultPlan& plan,
+                                        const ProductVerifier& verify = {});
 
 }  // namespace ftmul

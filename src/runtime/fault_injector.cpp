@@ -1,6 +1,9 @@
 #include "runtime/fault_injector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string_view>
+#include <tuple>
 
 namespace ftmul {
 
@@ -13,18 +16,44 @@ std::uint64_t splitmix(std::uint64_t z) noexcept {
     return z ^ (z >> 31);
 }
 
+/// FNV-1a, fixed here rather than std::hash so site streams are stable
+/// across standard libraries and builds (campaign replays cross machines).
+std::uint64_t fnv1a(std::string_view s) noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// Content-addressed site identity: the stream is keyed by the phase *name*
+/// and the rank *number*, never by their positions in the config lists, so
+/// reordering (or extending) `phases` / `ranks` leaves every existing
+/// site's draws untouched.
+std::uint64_t site_key(std::string_view phase, int rank) noexcept {
+    return splitmix(fnv1a(phase)) ^
+           splitmix(static_cast<std::uint64_t>(rank) + 0x52414e4bull /*RANK*/);
+}
+
 /// Stateless per-site stream: mixing the (seed, trial, site, salt) tuple
 /// through splitmix64 keeps every site's draw independent of how many draws
 /// other sites consumed, which is what makes trials replayable even when
 /// the config (and thus the site iteration order) changes length.
-double site_uniform(std::uint64_t seed, std::uint64_t trial,
-                    std::uint64_t site, std::uint64_t salt) noexcept {
+std::uint64_t site_bits(std::uint64_t seed, std::uint64_t trial,
+                        std::uint64_t site, std::uint64_t salt) noexcept {
     std::uint64_t h = splitmix(seed);
     h = splitmix(h ^ splitmix(trial));
     h = splitmix(h ^ splitmix(site));
     h = splitmix(h ^ splitmix(salt));
+    return h;
+}
+
+double site_uniform(std::uint64_t seed, std::uint64_t trial,
+                    std::uint64_t site, std::uint64_t salt) noexcept {
     // 53 uniform mantissa bits in [0, 1).
-    return static_cast<double>(h >> 11) * 0x1.0p-53;
+    return static_cast<double>(site_bits(seed, trial, site, salt) >> 11) *
+           0x1.0p-53;
 }
 
 double weight_at(const std::vector<double>& w, std::size_t i) {
@@ -47,52 +76,94 @@ void check_weights(const char* what, std::size_t sites,
     }
 }
 
+void check_rate(const char* what, double rate) {
+    if (rate < 0.0 || rate > 1.0) {
+        throw std::invalid_argument(
+            std::string("FaultInjector: ") + what +
+            " rate must be a probability in [0, 1]");
+    }
+}
+
 }  // namespace
 
 InjectedFaults FaultInjector::draw(const FaultInjectorConfig& cfg,
                                    std::uint64_t trial_index) const {
-    if (cfg.hard_rate < 0.0 || cfg.soft_rate < 0.0 ||
-        cfg.straggler_rate < 0.0) {
-        throw std::invalid_argument("FaultInjector: rates must be >= 0");
-    }
+    check_rate("hard", cfg.hard_rate);
+    check_rate("soft", cfg.soft_rate);
+    check_rate("straggler", cfg.straggler_rate);
     check_weights("phase", cfg.phases.size(), cfg.phase_weights);
     check_weights("rank", cfg.ranks.size(), cfg.rank_weights);
 
     InjectedFaults out;
-    // Site index: phases x ranks in declaration order. The salt separates
-    // the hard and soft streams so raising one rate never perturbs the
-    // other category's draws.
+    // Hard candidates are collected first so the max_hard_faults cap can be
+    // applied by deterministic hash order over the *fired* sites: which
+    // faults survive the cap is a pure function of (seed, trial, site
+    // content), never of the order the config lists declare the sites in.
+    struct HardCandidate {
+        std::uint64_t priority;
+        std::string_view phase;
+        int rank;
+    };
+    std::vector<HardCandidate> hard_fired;
+    std::vector<std::pair<std::string_view, int>> soft_fired;
+
+    // The salt separates the hard and soft streams so raising one rate
+    // never perturbs the other category's draws. Weighted probabilities are
+    // clamped at 1.0 (the documented min(1, rate * w_p * w_r)): a product
+    // past 1.0 fires with certainty instead of indexing past the uniform.
     for (std::size_t p = 0; p < cfg.phases.size(); ++p) {
         const double wp = weight_at(cfg.phase_weights, p);
         for (std::size_t r = 0; r < cfg.ranks.size(); ++r) {
             const double wr = weight_at(cfg.rank_weights, r);
-            const std::uint64_t site = p * cfg.ranks.size() + r;
-            const double p_hard = cfg.hard_rate * wp * wr;
+            const std::uint64_t site = site_key(cfg.phases[p], cfg.ranks[r]);
+            const double p_hard = std::min(1.0, cfg.hard_rate * wp * wr);
             if (p_hard > 0.0 &&
-                (cfg.max_hard_faults == 0 ||
-                 out.hard.total_faults() < cfg.max_hard_faults) &&
                 site_uniform(seed_, trial_index, site, 0x48415244 /*HARD*/) <
                     p_hard) {
-                out.hard.add(cfg.phases[p], cfg.ranks[r]);
+                hard_fired.push_back(
+                    {site_bits(seed_, trial_index, site, 0x434150 /*CAP*/),
+                     cfg.phases[p], cfg.ranks[r]});
             }
-            const double p_soft = cfg.soft_rate * wp * wr;
+            const double p_soft = std::min(1.0, cfg.soft_rate * wp * wr);
             if (p_soft > 0.0 &&
                 site_uniform(seed_, trial_index, site, 0x534f4654 /*SOFT*/) <
                     p_soft) {
-                out.soft.add(cfg.phases[p], cfg.ranks[r]);
+                soft_fired.emplace_back(cfg.phases[p], cfg.ranks[r]);
             }
         }
     }
+    if (cfg.max_hard_faults != 0 && hard_fired.size() > cfg.max_hard_faults) {
+        std::sort(hard_fired.begin(), hard_fired.end(),
+                  [](const HardCandidate& a, const HardCandidate& b) {
+                      return std::tie(a.priority, a.phase, a.rank) <
+                             std::tie(b.priority, b.phase, b.rank);
+                  });
+        hard_fired.resize(cfg.max_hard_faults);
+    }
+    for (const HardCandidate& c : hard_fired) {
+        out.hard.add(std::string(c.phase), c.rank);
+    }
+    // Materialize the schedule in canonical (phase, rank) order: the plan is
+    // a *set* of sites and must read identically however the config lists
+    // were ordered (FaultPlan sorts its own views; SoftFaultPlan and the
+    // straggler list preserve insertion order, so sort here).
+    std::sort(soft_fired.begin(), soft_fired.end());
+    for (const auto& [phase, rank] : soft_fired) {
+        out.soft.add(std::string(phase), rank);
+    }
+
     if (cfg.straggler_rate > 0.0) {
         for (std::size_t r = 0; r < cfg.ranks.size(); ++r) {
-            const double pr = cfg.straggler_rate *
-                              weight_at(cfg.rank_weights, r);
-            if (site_uniform(seed_, trial_index, r, 0x534c4f57 /*SLOW*/) <
+            const double pr = std::min(
+                1.0, cfg.straggler_rate * weight_at(cfg.rank_weights, r));
+            const std::uint64_t site = site_key({}, cfg.ranks[r]);
+            if (site_uniform(seed_, trial_index, site, 0x534c4f57 /*SLOW*/) <
                 pr) {
                 out.stragglers.emplace_back(cfg.ranks[r],
                                             cfg.straggler_rounds);
             }
         }
+        std::sort(out.stragglers.begin(), out.stragglers.end());
     }
     return out;
 }

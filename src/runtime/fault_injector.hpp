@@ -40,6 +40,7 @@ struct FaultInjectorConfig {
     std::vector<int> ranks;
 
     /// Per-(rank, phase) probability of a hard fault / soft corruption.
+    /// Rates are probabilities: draw() rejects values outside [0, 1].
     double hard_rate = 0.0;
     double soft_rate = 0.0;
 
@@ -49,12 +50,17 @@ struct FaultInjectorConfig {
 
     /// Optional targeting weights, parallel to `phases` / `ranks`; empty =
     /// uniform (weight 1.0). A site's fault probability is
-    /// min(1, rate * phase_weight * rank_weight).
+    /// min(1, rate * phase_weight * rank_weight) — the clamp is explicit, so
+    /// a product past 1.0 fires with certainty (a warning sign the weights
+    /// are doing the rate's job, but a legal way to pin a target).
     std::vector<double> phase_weights;
     std::vector<double> rank_weights;
 
-    /// Cap on hard faults per trial (the draw stops charging once reached);
-    /// 0 = unlimited. Lets a campaign bound trials near the budget edge.
+    /// Cap on hard faults per trial; 0 = unlimited. Lets a campaign bound
+    /// trials near the budget edge. When more sites fire than the cap
+    /// allows, the survivors are chosen by deterministic hash order over the
+    /// fired sites — a pure function of (seed, trial, site content), never
+    /// of the order `phases` / `ranks` declare the sites in.
     std::size_t max_hard_faults = 0;
 };
 
@@ -63,6 +69,9 @@ struct FaultInjectorConfig {
 /// independent splitmix64 stream per trial and site, so campaigns are
 /// reproducible trial-by-trial — re-running trial 731 of seed 42 injects
 /// byte-identical plans no matter which other trials ran before it.
+/// Site streams are content-addressed (keyed by phase name and rank
+/// number, not list position), so reordering or extending the candidate
+/// lists never perturbs an existing site's draws.
 class FaultInjector {
 public:
     explicit FaultInjector(std::uint64_t seed) noexcept : seed_(seed) {}
@@ -70,8 +79,8 @@ public:
     std::uint64_t seed() const noexcept { return seed_; }
 
     /// Materialize trial @p trial_index into concrete replayable plans.
-    /// Throws std::invalid_argument on malformed configs (negative rates,
-    /// weight vectors of mismatched length).
+    /// Throws std::invalid_argument on malformed configs (rates outside
+    /// [0, 1], weight vectors of mismatched length, negative weights).
     InjectedFaults draw(const FaultInjectorConfig& cfg,
                         std::uint64_t trial_index) const;
 

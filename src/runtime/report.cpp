@@ -17,6 +17,13 @@ Json counters_json(const CostCounters& c) {
     return j;
 }
 
+Json report_header(const char* schema, int version) {
+    Json root = Json::object();
+    root.set("schema", schema);
+    root.set("version", version);
+    return root;
+}
+
 // ---------------------------------------------------------------------------
 // Run report
 // ---------------------------------------------------------------------------
@@ -24,9 +31,7 @@ Json counters_json(const CostCounters& c) {
 Json build_run_report(const RunStats& stats, const ReportMeta& meta,
                       const FaultPlan* plan, const EventLog* events,
                       const CostModel& model) {
-    Json root = Json::object();
-    root.set("schema", kRunReportSchema);
-    root.set("version", kRunReportVersion);
+    Json root = report_header(kRunReportSchema, kRunReportVersion);
     if (!meta.algorithm.empty()) root.set("algorithm", meta.algorithm);
     root.set("operation", meta.operation);
 
@@ -335,9 +340,7 @@ Json build_chrome_trace(const EventLog& events) {
     Json root = Json::object();
     root.set("traceEvents", std::move(out));
     root.set("displayTimeUnit", "ms");
-    Json other = Json::object();
-    other.set("schema", kChromeTraceSchema);
-    other.set("version", kChromeTraceVersion);
+    Json other = report_header(kChromeTraceSchema, kChromeTraceVersion);
     other.set("world", world);
     root.set("otherData", std::move(other));
     return root;

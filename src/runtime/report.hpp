@@ -19,6 +19,11 @@ inline constexpr const char* kChromeTraceSchema = "ftmul.chrome_trace";
 inline constexpr int kChromeTraceVersion = 1;
 inline constexpr const char* kBenchRowsSchema = "ftmul.bench_rows";
 inline constexpr int kBenchRowsVersion = 1;
+/// v2: full fault taxonomy (hard + soft + straggler categories, per-category
+/// outcome counts, soft detection/miss rates, straggler latency
+/// distributions); emitted deterministically regardless of --jobs.
+inline constexpr const char* kChaosReportSchema = "ftmul.chaos_report";
+inline constexpr int kChaosReportVersion = 2;
 
 /// Context a RunStats cannot know about itself: which algorithm ran, the
 /// machine geometry, the inputs, and whether the product was verified.
@@ -36,6 +41,11 @@ struct ReportMeta {
 
 /// F/BW/L/msgs as a JSON object — the unit every export shares.
 Json counters_json(const CostCounters& c);
+
+/// A schema-stamped report root: {"schema": schema, "version": version}.
+/// Every exporter starts from this so downstream tooling can always
+/// validate what it is reading before touching the payload.
+Json report_header(const char* schema, int version);
 
 /// Render a completed run as the schema-versioned JSON run report: the
 /// per-phase F/BW/L table (critical path and machine-wide), totals, modeled

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bigint/random.hpp"
+#include "core/ft_soft.hpp"
 #include "core/resilient.hpp"
 #include "runtime/fault_injector.hpp"
 
@@ -116,6 +117,117 @@ TEST(ChaosCampaign, TargetedColumnHammeringStaysInBudget) {
     }
     // The point of the targeting: several same-column faults in one trial.
     EXPECT_GT(multi_fault_trials, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Soft escalation ladder (resilient_soft_multiply)
+// ---------------------------------------------------------------------------
+
+TEST(SoftLadder, SurfaceGeometryMatchesTheSoftEngine) {
+    ResilientConfig cfg = make_cfg(FtEngine::Poly);
+    cfg.faults = 2;  // code rows f
+    const FaultSurface s = soft_fault_surface(cfg);
+    // k=2 -> npts=3, P=9 data processors plus f*npts code processors.
+    EXPECT_EQ(s.world, 9 + 2 * 3);
+    ASSERT_EQ(s.ranks.size(), 9u);
+    EXPECT_EQ(s.ranks.front(), 0);
+    EXPECT_EQ(s.ranks.back(), 8);
+    EXPECT_EQ(s.phases, (std::vector<std::string>{"eval-L0", "leaf-mul",
+                                                  "interp-L0"}));
+
+    cfg.base.processors = 8;  // not a power of 2k-1
+    EXPECT_THROW(soft_fault_surface(cfg), std::invalid_argument);
+}
+
+TEST(SoftLadder, InBudgetCorruptionNeedsNoEscalation) {
+    ResilientConfig cfg = make_cfg(FtEngine::Poly);
+    cfg.faults = 2;
+    Rng rng{96};
+    const BigInt a = random_bits(rng, 420);
+    const BigInt b = random_bits(rng, 390);
+
+    SoftFaultPlan plan;
+    plan.add("leaf-mul", 4);
+    const auto res = resilient_soft_multiply(
+        a, b, cfg, plan, [&](const BigInt& p) { return p == a * b; });
+    EXPECT_EQ(res.product, a * b);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts.front().strategy, "ft_soft");
+    EXPECT_TRUE(res.attempts.front().success);
+}
+
+TEST(SoftLadder, OverBudgetPlanEscalatesWithAuditTrail) {
+    // Two corruptions in one column at one boundary exceed the per-column
+    // budget: rung 1 fails typed, the fault-free retry recovers, and both
+    // rungs land in the audit trail with their costs charged.
+    ResilientConfig cfg = make_cfg(FtEngine::Poly);
+    cfg.faults = 2;
+    Rng rng{97};
+    const BigInt a = random_bits(rng, 420);
+    const BigInt b = random_bits(rng, 390);
+
+    SoftFaultPlan plan;
+    plan.add("leaf-mul", 2);
+    plan.add("leaf-mul", 5);  // same column as rank 2 (P=9, npts=3)
+    EXPECT_THROW(
+        {
+            FtSoftConfig scfg;
+            scfg.base = cfg.base;
+            scfg.code_rows = cfg.faults;
+            ft_soft_multiply(a, b, scfg, plan);
+        },
+        UnrecoverableFault);
+
+    const auto res = resilient_soft_multiply(
+        a, b, cfg, plan, [&](const BigInt& p) { return p == a * b; });
+    EXPECT_EQ(res.product, a * b);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_EQ(res.attempts[0].strategy, "ft_soft");
+    EXPECT_FALSE(res.attempts[0].success);
+    EXPECT_EQ(res.attempts[1].strategy, "ft_soft-retry-1");
+    EXPECT_TRUE(res.attempts[1].success);
+    EXPECT_GT(res.stats.critical.flops, 0u);
+}
+
+TEST(SoftLadder, VerifierRejectionIsARecoverableWrongInterpolation) {
+    // A verifier veto classifies the rung as a soft-fault-induced wrong
+    // interpolation: a *failed* attempt the ladder escalates past — not an
+    // exception, and never a product handed back.
+    ResilientConfig cfg = make_cfg(FtEngine::Poly);
+    cfg.faults = 2;
+    Rng rng{98};
+    const BigInt a = random_bits(rng, 420);
+    const BigInt b = random_bits(rng, 390);
+
+    int calls = 0;
+    const auto res = resilient_soft_multiply(
+        a, b, cfg, {}, [&](const BigInt& p) {
+            // Reject the first (clean!) product to simulate a miss the code
+            // did not catch; accept from then on.
+            return ++calls > 1 && p == a * b;
+        });
+    EXPECT_EQ(res.product, a * b);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_FALSE(res.attempts[0].success);
+    EXPECT_NE(res.attempts[0].error.find("wrong interpolation"),
+              std::string::npos)
+        << res.attempts[0].error;
+    EXPECT_TRUE(res.attempts[1].success);
+}
+
+TEST(SoftLadder, ThrowsWhenTheVerifierRejectsEveryRung) {
+    // Even the sequential recompute is subject to the verifier; when every
+    // rung is vetoed the ladder surfaces a typed error instead of returning
+    // a rejected product.
+    ResilientConfig cfg = make_cfg(FtEngine::Poly);
+    cfg.faults = 2;
+    Rng rng{99};
+    const BigInt a = random_bits(rng, 260);
+    const BigInt b = random_bits(rng, 250);
+
+    EXPECT_THROW(resilient_soft_multiply(a, b, cfg, {},
+                                         [](const BigInt&) { return false; }),
+                 UnrecoverableFault);
 }
 
 TEST(ChaosCampaign, SoftFaultDrawsAreReplayable) {

@@ -147,6 +147,110 @@ TEST(FaultInjector, MaxHardFaultsCapsTheDraw) {
     EXPECT_EQ(faults.hard.total_faults(), 3u);
 }
 
+TEST(FaultInjector, DrawIsInvariantUnderSiteListReordering) {
+    // Site streams are content-addressed: the draw is a pure function of
+    // (seed, trial, site), so listing the same phases/ranks in a different
+    // order must fire the exact same sites. This was the replayability bug:
+    // positional indexing keyed streams by list position.
+    auto cfg = site_grid();
+    cfg.hard_rate = 0.3;
+    cfg.soft_rate = 0.25;
+    cfg.straggler_rate = 0.2;
+
+    auto shuffled = cfg;
+    shuffled.phases = {"interp-L0", "eval-L0", "mul"};
+    shuffled.ranks = {5, 0, 7, 2, 6, 1, 4, 3};
+
+    const FaultInjector inj(2026);
+    for (std::uint64_t t = 0; t < 32; ++t) {
+        const auto a = inj.draw(cfg, t);
+        const auto b = inj.draw(shuffled, t);
+        // Schedules materialize in canonical site order, so the comparison
+        // is exact — not just set equality.
+        EXPECT_EQ(a.hard.all(), b.hard.all()) << "trial " << t;
+        EXPECT_EQ(a.soft.all(), b.soft.all()) << "trial " << t;
+        EXPECT_EQ(a.stragglers, b.stragglers) << "trial " << t;
+    }
+}
+
+TEST(FaultInjector, CappedDrawIsInvariantUnderSiteListReordering) {
+    // The max_hard_faults cap must select the same survivors however the
+    // candidate lists are ordered: the cap ranks fired sites by a
+    // deterministic hash of the site content, not by declaration order.
+    auto cfg = site_grid();
+    cfg.hard_rate = 1.0;  // every site fires; only the cap decides
+    cfg.max_hard_faults = 3;
+
+    auto shuffled = cfg;
+    shuffled.phases = {"mul", "interp-L0", "eval-L0"};
+    shuffled.ranks = {7, 6, 5, 4, 3, 2, 1, 0};
+
+    const FaultInjector inj(17);
+    for (std::uint64_t t = 0; t < 16; ++t) {
+        const auto a = inj.draw(cfg, t).hard.all();
+        const auto b = inj.draw(shuffled, t).hard.all();
+        ASSERT_EQ(a.size(), 3u) << "trial " << t;
+        EXPECT_EQ(a, b) << "cap picked order-dependent survivors, trial "
+                        << t;
+    }
+}
+
+TEST(FaultInjector, SoftAndStragglerExtremeRates) {
+    // Rate 0.0 never fires and 1.0 always fires, independently per
+    // category: the taxonomies draw from separate salted streams.
+    auto cfg = site_grid();
+    cfg.soft_rate = 0.0;
+    cfg.straggler_rate = 1.0;
+    cfg.straggler_rounds = 5;
+    const FaultInjector inj(8);
+    for (std::uint64_t t = 0; t < 8; ++t) {
+        const auto f = inj.draw(cfg, t);
+        EXPECT_TRUE(f.hard.empty());
+        EXPECT_EQ(f.soft.total(), 0u);
+        EXPECT_EQ(f.stragglers.size(), cfg.ranks.size());
+    }
+
+    cfg.soft_rate = 1.0;
+    cfg.straggler_rate = 0.0;
+    for (std::uint64_t t = 0; t < 8; ++t) {
+        const auto f = inj.draw(cfg, t);
+        EXPECT_EQ(f.soft.total(), cfg.phases.size() * cfg.ranks.size());
+        EXPECT_TRUE(f.stragglers.empty());
+    }
+}
+
+TEST(FaultInjector, RejectsRatesAboveOne) {
+    // Rates are probabilities: values above 1.0 used to be accepted
+    // silently (the weighted product just saturated), masking config typos.
+    const FaultInjector inj(1);
+    for (auto set : {+[](FaultInjectorConfig& c) { c.hard_rate = 1.5; },
+                     +[](FaultInjectorConfig& c) { c.soft_rate = 2.0; },
+                     +[](FaultInjectorConfig& c) {
+                         c.straggler_rate = 1.0001;
+                     }}) {
+        auto bad = site_grid();
+        set(bad);
+        EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+    }
+}
+
+TEST(FaultInjector, WeightedProbabilityClampsAtOne) {
+    // rate x weight > 1 clamps to probability 1: the boosted site fires at
+    // every trial (it cannot overflow into neighboring streams).
+    auto cfg = site_grid();
+    cfg.hard_rate = 0.5;
+    cfg.rank_weights = {4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+    const FaultInjector inj(23);
+    for (std::uint64_t t = 0; t < 32; ++t) {
+        const auto faults = inj.draw(cfg, t);
+        for (const auto& phase : cfg.phases) {
+            EXPECT_TRUE(faults.hard.fails_at(phase, 0))
+                << "clamped-probability site missed at trial " << t;
+        }
+    }
+}
+
 TEST(FaultInjector, ZeroWeightMasksTargets) {
     auto cfg = site_grid();
     cfg.hard_rate = 1.0;

@@ -1,40 +1,72 @@
-// ftmul_chaos: randomized fault-injection campaigns over the six hard-fault
-// engines. Every trial draws a seeded, replayable fault plan restricted to
-// the engine's fault surface, runs the engine, verifies the product against
-// the sequential reference, and escalates over-budget trials through the
-// resilient driver. The campaign must never produce a wrong product; it
-// writes a schema-versioned JSON report with outcome counts, recovery-cost
-// distributions and survival curves vs injected fault count.
+// ftmul_chaos: randomized fault-injection campaigns over the full fault
+// taxonomy of the paper's Section 1 — hard faults (fail-stop), soft faults
+// (silent miscalculation) and delay faults (stragglers). Every trial draws a
+// seeded, replayable fault plan restricted to the target's fault surface,
+// runs the engine, verifies the product against the sequential reference,
+// and escalates over-budget trials through the resilient driver. The
+// campaign must never produce a wrong product; it writes a schema-versioned
+// JSON report (ftmul.chaos_report v2) with per-category outcome counts,
+// soft-fault detection/miss rates, straggler latency distributions,
+// recovery-cost distributions and survival curves.
+//
+// Hard trials sweep the six FT engines; soft trials route through
+// ft_soft_multiply (the code detects and corrects the corruption, the
+// resilient soft ladder absorbs over-budget draws); straggler trials run
+// the plain parallel algorithm with the drawn delays and assert the coded
+// schedule's critical-path advantage (cf. bench_stragglers): the straggling
+// columns are discarded via ft_poly instead of waited for.
+//
+// Trials execute in parallel on the runtime ThreadPool (--jobs N). Results
+// are stored per trial and aggregated serially in trial order, so the
+// report JSON is byte-identical for --jobs 1 and --jobs N.
 //
 // Usage:
 //   ftmul_chaos [--trials N] [--seed S] [--bits B] [--out FILE]
-//               [--engines a,b,...] [--rates r1,r2,...] [--smoke] [--quiet]
+//               [--engines a,b,...] [--rates r1,r2,...]
+//               [--categories hard,soft,straggler] [--straggler-rounds R]
+//               [--jobs N] [--smoke] [--quiet]
 //
-// --smoke shrinks the campaign (~25 trials/engine, smaller operands) for CI.
+// --smoke shrinks the campaign (~8 trials/combination, smaller operands)
+// for CI.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bigint/random.hpp"
+#include "core/ft_poly.hpp"
+#include "core/ft_soft.hpp"
+#include "core/parallel.hpp"
 #include "core/resilient.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/report.hpp"
+#include "runtime/thread_pool.hpp"
 #include "toom/sequential.hpp"
 
 namespace {
 
 using namespace ftmul;
 
-constexpr const char* kChaosSchema = "ftmul.chaos_report";
-constexpr int kChaosVersion = 1;
+enum class Category { Hard, Soft, Straggler };
+
+const char* to_string(Category c) {
+    switch (c) {
+        case Category::Hard: return "hard";
+        case Category::Soft: return "soft";
+        case Category::Straggler: return "straggler";
+    }
+    return "unknown";
+}
 
 struct Options {
     std::uint64_t trials = 1000;
+    bool trials_set = false;
     std::uint64_t seed = 42;
     std::size_t bits = 700;
     std::string out = "chaos_report.json";
@@ -42,6 +74,11 @@ struct Options {
                                         "ft_mixed",    "ft_multistep",
                                         "replication", "checkpoint"};
     std::vector<double> rates = {0.05, 0.15, 0.35};
+    std::vector<Category> categories = {Category::Hard, Category::Soft,
+                                        Category::Straggler};
+    std::uint64_t straggler_rounds = 65536;
+    std::size_t jobs = 1;
+    bool smoke = false;
     bool quiet = false;
 };
 
@@ -49,8 +86,10 @@ struct Options {
     std::fprintf(
         stderr,
         "usage: %s [--trials N] [--seed S] [--bits B] [--out FILE]\n"
-        "          [--engines a,b,...] [--rates r1,r2,...] [--smoke] "
-        "[--quiet]\n",
+        "          [--engines a,b,...] [--rates r1,r2,...]\n"
+        "          [--categories hard,soft,straggler] "
+        "[--straggler-rounds R]\n"
+        "          [--jobs N] [--smoke] [--quiet]\n",
         argv0);
     std::exit(2);
 }
@@ -70,7 +109,6 @@ std::vector<std::string> split_list(const std::string& s) {
 
 Options parse_args(int argc, char** argv) {
     Options o;
-    bool smoke = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
@@ -79,6 +117,7 @@ Options parse_args(int argc, char** argv) {
         };
         if (arg == "--trials") {
             o.trials = std::strtoull(value().c_str(), nullptr, 10);
+            o.trials_set = true;
         } else if (arg == "--seed") {
             o.seed = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--bits") {
@@ -92,8 +131,27 @@ Options parse_args(int argc, char** argv) {
             for (const std::string& r : split_list(value())) {
                 o.rates.push_back(std::strtod(r.c_str(), nullptr));
             }
+        } else if (arg == "--categories") {
+            o.categories.clear();
+            for (const std::string& c : split_list(value())) {
+                if (c == "hard") {
+                    o.categories.push_back(Category::Hard);
+                } else if (c == "soft") {
+                    o.categories.push_back(Category::Soft);
+                } else if (c == "straggler") {
+                    o.categories.push_back(Category::Straggler);
+                } else {
+                    std::fprintf(stderr, "unknown category: %s\n", c.c_str());
+                    usage(argv[0]);
+                }
+            }
+        } else if (arg == "--straggler-rounds") {
+            o.straggler_rounds = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            o.jobs = std::strtoull(value().c_str(), nullptr, 10);
+            if (o.jobs == 0) o.jobs = 1;
         } else if (arg == "--smoke") {
-            smoke = true;
+            o.smoke = true;
         } else if (arg == "--quiet") {
             o.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -103,12 +161,13 @@ Options parse_args(int argc, char** argv) {
             usage(argv[0]);
         }
     }
-    if (smoke) {
-        o.trials = 25 * o.engines.size();
+    if (o.smoke) {
         o.bits = 360;
         if (o.out == "chaos_report.json") o.out = "chaos_smoke_report.json";
     }
-    if (o.engines.empty() || o.rates.empty() || o.trials == 0) usage(argv[0]);
+    if (o.engines.empty() || o.rates.empty() || o.categories.empty()) {
+        usage(argv[0]);
+    }
     return o;
 }
 
@@ -137,23 +196,48 @@ struct Dist {
     }
 };
 
+/// One trial's full outcome, stored per trial index so a parallel campaign
+/// aggregates in deterministic trial order afterwards.
+struct TrialResult {
+    Category cat = Category::Hard;
+    std::string engine;    ///< hard trials: the FT engine swept
+    std::string rate_key;  ///< "%g" of the combo's rate
+
+    enum class Outcome {
+        Clean,      ///< no fault drawn, product correct
+        Recovered,  ///< absorbed: in-engine (hard), corrected (soft),
+                    ///< coded mitigation (straggler)
+        Retried,    ///< escalated through a resilient ladder; straggler:
+                    ///< over-budget delay absorbed by the plain run
+        WrongProduct,
+        Error,  ///< unexpected exception / lost latency advantage
+    };
+    Outcome outcome = Outcome::Clean;
+    std::string error;
+
+    int nfaults = 0;  ///< faults drawn, whatever the category
+    // hard
+    bool has_recovery_cost = false;
+    CostCounters recovery{};
+    bool has_retry_cost = false;
+    std::uint64_t retry_flops = 0;
+    std::string retry_strategy;
+    // soft
+    int soft_detected = 0;
+    int soft_corrected = 0;
+    bool soft_wrong_interp = false;
+    bool soft_completed = false;  ///< ft_soft ran to completion (counts
+                                  ///< toward detection statistics)
+    // straggler
+    bool coded_ran = false;
+    std::uint64_t plain_latency = 0;
+    std::uint64_t coded_latency = 0;
+    bool coded_faster = false;
+};
+
 struct SurvivalBucket {
     std::uint64_t trials = 0;
     std::uint64_t in_engine = 0;  ///< absorbed by the engine's own coding
-};
-
-struct EngineTally {
-    std::uint64_t clean = 0;        ///< no fault drawn, product correct
-    std::uint64_t recovered = 0;    ///< faults absorbed in-engine
-    std::uint64_t retried = 0;      ///< escalated via resilient_multiply
-    std::uint64_t wrong_product = 0;
-    std::uint64_t errors = 0;       ///< unexpected exception (not typed)
-    std::map<std::string, std::uint64_t> retry_strategies;
-    Dist recovery_flops;
-    Dist recovery_words;
-    Dist retry_flops;  ///< extra critical-path flops escalation charged
-    std::map<int, SurvivalBucket> survival;  ///< by injected fault count
-    std::vector<std::string> sample_errors;
 };
 
 struct RateTally {
@@ -162,10 +246,304 @@ struct RateTally {
     std::uint64_t retried = 0;
 };
 
+struct EngineTally {
+    std::uint64_t clean = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t wrong_product = 0;
+    std::uint64_t errors = 0;
+    std::map<std::string, std::uint64_t> retry_strategies;
+    Dist recovery_flops;
+    Dist recovery_words;
+    Dist retry_flops;
+    std::map<int, SurvivalBucket> survival;  ///< by injected fault count
+    std::vector<std::string> sample_errors;
+};
+
+struct SoftTally {
+    std::uint64_t trials = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t corrected = 0;  ///< in-code detection + correction
+    std::uint64_t escalated = 0;
+    std::uint64_t wrong_interpolations = 0;  ///< caught by the verifier
+    std::uint64_t wrong_product = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t injected = 0;   ///< corruption events over completed runs
+    std::uint64_t detected = 0;
+    std::uint64_t corrected_events = 0;
+    std::map<std::string, std::uint64_t> retry_strategies;
+    std::map<std::string, RateTally> by_rate;
+    std::vector<std::string> sample_errors;
+};
+
+struct StragglerTally {
+    std::uint64_t trials = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t mitigated = 0;  ///< coded run discarded the slow columns
+    std::uint64_t absorbed = 0;   ///< over-budget: plain run ate the delay
+    std::uint64_t wrong_product = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t coded_trials = 0;
+    std::uint64_t coded_faster = 0;
+    Dist stragglers_per_trial;  ///< over trials with at least one straggler
+    Dist plain_latency;         ///< critical latency, straggled plain run
+    Dist coded_latency;         ///< critical latency, coded mitigation run
+    std::map<std::string, RateTally> by_rate;
+    std::vector<std::string> sample_errors;
+};
+
+struct Combo {
+    Category cat;
+    FtEngine engine;  ///< meaningful for Category::Hard only
+    double rate;
+};
+
+std::string rate_key_of(double rate) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", rate);
+    return buf;
+}
+
+void note_error(std::vector<std::string>& samples, const std::string& what) {
+    if (samples.size() < 3) samples.push_back(what);
+}
+
+// ---------------------------------------------------------------------------
+// Per-category trial bodies. Each is a pure function of (seed, trial index,
+// combo): the operands, the fault plans and therefore the whole outcome
+// replay stand-alone.
+// ---------------------------------------------------------------------------
+
+void run_hard_trial(TrialResult& tr, const BigInt& a, const BigInt& b,
+                    const BigInt& expected, const ResilientConfig& proto,
+                    const Combo& combo, const FaultInjector& injector,
+                    std::uint64_t seed, std::uint64_t t) {
+    using Outcome = TrialResult::Outcome;
+    ResilientConfig cfg = proto;
+    cfg.engine = combo.engine;
+
+    const FaultSurface surface = fault_surface(cfg);
+    FaultInjectorConfig icfg;
+    icfg.phases = surface.phases;
+    icfg.ranks = surface.ranks;
+    icfg.hard_rate = combo.rate;
+    const InjectedFaults injected = injector.draw(icfg, t);
+    tr.nfaults = static_cast<int>(injected.hard.total_faults());
+
+    try {
+        const FtRunResult r = run_ft_engine(a, b, cfg, injected.hard);
+        if (r.product != expected) {
+            tr.outcome = Outcome::WrongProduct;
+            std::fprintf(stderr,
+                         "WRONG PRODUCT: engine=%s seed=%llu trial=%llu\n",
+                         tr.engine.c_str(),
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(t));
+            return;
+        }
+        if (tr.nfaults == 0) {
+            tr.outcome = Outcome::Clean;
+        } else {
+            tr.outcome = Outcome::Recovered;
+            if (r.events) {
+                CostCounters rec{};
+                for (const Event& e :
+                     r.events->of_kind(EventKind::RecoveryEnd)) {
+                    rec += e.counters;
+                }
+                tr.recovery = rec;
+                tr.has_recovery_cost = true;
+            }
+        }
+    } catch (const UnrecoverableFault&) {
+        // Over-budget fault set: escalate through the resilient ladder.
+        // Retries run fault-free ("fresh processors").
+        tr.outcome = Outcome::Retried;
+        try {
+            const ResilientResult rr =
+                resilient_multiply(a, b, cfg, injected.hard);
+            if (rr.product != expected) {
+                tr.outcome = Outcome::WrongProduct;
+                std::fprintf(stderr,
+                             "WRONG PRODUCT (retry): engine=%s seed=%llu "
+                             "trial=%llu\n",
+                             tr.engine.c_str(),
+                             static_cast<unsigned long long>(seed),
+                             static_cast<unsigned long long>(t));
+                return;
+            }
+            if (!rr.attempts.empty()) {
+                tr.retry_strategy = rr.attempts.back().strategy;
+            }
+            tr.retry_flops = rr.stats.critical.flops;
+            tr.has_retry_cost = true;
+        } catch (const UnrecoverableFault& uf) {
+            tr.outcome = Outcome::Error;
+            tr.error = uf.what();
+        }
+    } catch (const std::exception& e) {
+        tr.outcome = Outcome::Error;
+        tr.error = e.what();
+    }
+}
+
+void run_soft_trial(TrialResult& tr, const BigInt& a, const BigInt& b,
+                    const BigInt& expected, const ResilientConfig& proto,
+                    const Combo& combo, const FaultInjector& injector,
+                    std::uint64_t seed, std::uint64_t t) {
+    using Outcome = TrialResult::Outcome;
+    ResilientConfig cfg = proto;
+    cfg.faults = 2;  // code rows f: >= 2 locates *and* corrects
+
+    const FaultSurface surface = soft_fault_surface(cfg);
+    FaultInjectorConfig icfg;
+    icfg.phases = surface.phases;
+    icfg.ranks = surface.ranks;
+    icfg.soft_rate = combo.rate;
+    const InjectedFaults injected = injector.draw(icfg, t);
+    tr.nfaults = static_cast<int>(injected.soft.total());
+
+    // Over-budget draws (two corruptions in one column at one boundary) and
+    // wrong interpolations both land here: the soft ladder re-runs on fresh
+    // processors and, armed with the verifier, never surfaces a product
+    // that does not match the reference.
+    auto escalate = [&]() {
+        tr.outcome = Outcome::Retried;
+        try {
+            const ResilientResult rr = resilient_soft_multiply(
+                a, b, cfg, injected.soft,
+                [&](const BigInt& p) { return p == expected; });
+            if (!rr.attempts.empty()) {
+                tr.retry_strategy = rr.attempts.back().strategy;
+            }
+            tr.retry_flops = rr.stats.critical.flops;
+            tr.has_retry_cost = true;
+        } catch (const UnrecoverableFault& uf) {
+            tr.outcome = Outcome::Error;
+            tr.error = uf.what();
+        }
+    };
+
+    FtSoftConfig scfg;
+    scfg.base = cfg.base;
+    scfg.code_rows = cfg.faults;
+    try {
+        const FtSoftResult r = ft_soft_multiply(a, b, scfg, injected.soft);
+        tr.soft_completed = true;
+        tr.soft_detected = r.corruptions_detected;
+        tr.soft_corrected = r.corruptions_corrected;
+        if (r.product != expected) {
+            // A silent miss would be a coding bug; the campaign both counts
+            // it as a detection miss and proves the ladder recovers it.
+            tr.soft_wrong_interp = true;
+            std::fprintf(stderr,
+                         "SOFT MISS (wrong interpolation): seed=%llu "
+                         "trial=%llu\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(t));
+            escalate();
+            return;
+        }
+        tr.outcome = tr.nfaults == 0 ? Outcome::Clean : Outcome::Recovered;
+    } catch (const UnrecoverableFault&) {
+        escalate();
+    } catch (const std::exception& e) {
+        tr.outcome = Outcome::Error;
+        tr.error = e.what();
+    }
+}
+
+void run_straggler_trial(TrialResult& tr, const BigInt& a, const BigInt& b,
+                         const BigInt& expected, const ResilientConfig& proto,
+                         const Combo& combo, const FaultInjector& injector,
+                         std::uint64_t straggler_rounds, std::uint64_t seed,
+                         std::uint64_t t) {
+    using Outcome = TrialResult::Outcome;
+    const int npts = 2 * proto.base.k - 1;
+    const int P = proto.base.processors;
+
+    FaultInjectorConfig icfg;
+    icfg.ranks.resize(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) icfg.ranks[static_cast<std::size_t>(r)] = r;
+    icfg.straggler_rate = combo.rate;
+    icfg.straggler_rounds = straggler_rounds;
+    const InjectedFaults injected = injector.draw(icfg, t);
+    tr.nfaults = static_cast<int>(injected.stragglers.size());
+
+    try {
+        // The plain schedule has no choice: the slowest rank's delay lands
+        // on the critical path.
+        ParallelConfig pcfg = proto.base;
+        pcfg.events = false;
+        pcfg.straggler_delays = injected.stragglers;
+        const ParallelRunResult plain = parallel_toom_multiply(a, b, pcfg);
+        if (plain.product != expected) {
+            tr.outcome = Outcome::WrongProduct;
+            std::fprintf(stderr,
+                         "WRONG PRODUCT (straggled plain): seed=%llu "
+                         "trial=%llu\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(t));
+            return;
+        }
+        tr.plain_latency = plain.stats.critical.latency;
+        if (injected.stragglers.empty()) {
+            tr.outcome = Outcome::Clean;
+            return;
+        }
+
+        // The coded schedule discards straggling columns instead of waiting
+        // — the same redundancy that tolerates hard faults (bench_stragglers
+        // and the coded-computation literature the paper builds on). Budget:
+        // at most `faults` distinct columns may be dropped.
+        std::set<int> columns;
+        for (const auto& [r, rounds] : injected.stragglers) {
+            columns.insert(r % npts);
+        }
+        if (static_cast<int>(columns.size()) > proto.faults) {
+            tr.outcome = Outcome::Retried;  // absorbed: plain run ate it
+            return;
+        }
+        FtPolyConfig ft;
+        ft.base = proto.base;
+        ft.base.events = false;
+        ft.faults = proto.faults;
+        const int wide = npts + proto.faults;
+        FaultPlan drop;
+        for (const auto& [r, rounds] : injected.stragglers) {
+            drop.add("mul", (r / npts) * wide + (r % npts));
+        }
+        const FtRunResult coded = ft_poly_multiply(a, b, ft, drop);
+        if (coded.product != expected) {
+            tr.outcome = Outcome::WrongProduct;
+            std::fprintf(stderr,
+                         "WRONG PRODUCT (coded straggler): seed=%llu "
+                         "trial=%llu\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(t));
+            return;
+        }
+        tr.coded_ran = true;
+        tr.coded_latency = coded.stats.critical.latency;
+        tr.coded_faster = tr.coded_latency < tr.plain_latency;
+        if (!tr.coded_faster) {
+            tr.outcome = Outcome::Error;
+            tr.error =
+                "coded schedule lost its critical-path advantage over the "
+                "straggled plain run";
+            return;
+        }
+        tr.outcome = Outcome::Recovered;
+    } catch (const std::exception& e) {
+        tr.outcome = Outcome::Error;
+        tr.error = e.what();
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    const Options opt = parse_args(argc, argv);
+    Options opt = parse_args(argc, argv);
 
     ResilientConfig proto;
     proto.base.k = 2;
@@ -178,117 +556,182 @@ int main(int argc, char** argv) {
     const ToomPlan ref_plan = ToomPlan::make(3);
     const FaultInjector injector(opt.seed);
 
-    // The trial grid: engines x rates, trials distributed round-robin so a
-    // campaign of any size touches every combination.
-    struct Combo {
-        FtEngine engine;
-        double rate;
-    };
+    // The trial grid: (category-specific combos) x rates, trials distributed
+    // round-robin so a campaign of any size touches every combination.
     std::vector<Combo> combos;
-    for (const std::string& name : opt.engines) {
-        const FtEngine e = ft_engine_from_string(name);  // throws on typos
-        for (double r : opt.rates) combos.push_back({e, r});
+    for (Category cat : opt.categories) {
+        if (cat == Category::Hard) {
+            for (const std::string& name : opt.engines) {
+                const FtEngine e = ft_engine_from_string(name);  // throws
+                for (double r : opt.rates) combos.push_back({cat, e, r});
+            }
+        } else {
+            for (double r : opt.rates) {
+                combos.push_back({cat, FtEngine::Poly, r});
+            }
+        }
+    }
+    if (opt.smoke && !opt.trials_set) {
+        opt.trials = 8 * combos.size();
+    }
+    if (opt.trials == 0) usage(argv[0]);
+
+    // Run every trial, in parallel when --jobs > 1. Results land in a
+    // per-trial slot; all aggregation below walks them serially in trial
+    // order, which is what makes the report bytes independent of the job
+    // count and the scheduling.
+    std::vector<TrialResult> results(opt.trials);
+    std::atomic<std::uint64_t> next{0};
+    auto worker = [&]() {
+        for (std::uint64_t t = next.fetch_add(1); t < opt.trials;
+             t = next.fetch_add(1)) {
+            const Combo& combo = combos[t % combos.size()];
+            TrialResult& tr = results[t];
+            tr.cat = combo.cat;
+            tr.engine = combo.cat == Category::Hard
+                            ? ftmul::to_string(combo.engine)
+                            : to_string(combo.cat);
+            tr.rate_key = rate_key_of(combo.rate);
+            try {
+                // Operands are a pure function of (seed, trial) too, so any
+                // trial replays stand-alone.
+                Rng rng(opt.seed ^
+                        (0x6368616f73ull + t * 0x9e3779b97f4a7c15ull));
+                const BigInt a = random_bits(rng, opt.bits);
+                const BigInt b = random_bits(rng, opt.bits + 37);
+                const BigInt expected = toom_multiply(a, b, ref_plan);
+                switch (combo.cat) {
+                    case Category::Hard:
+                        run_hard_trial(tr, a, b, expected, proto, combo,
+                                       injector, opt.seed, t);
+                        break;
+                    case Category::Soft:
+                        run_soft_trial(tr, a, b, expected, proto, combo,
+                                       injector, opt.seed, t);
+                        break;
+                    case Category::Straggler:
+                        run_straggler_trial(tr, a, b, expected, proto, combo,
+                                            injector, opt.straggler_rounds,
+                                            opt.seed, t);
+                        break;
+                }
+            } catch (const std::exception& e) {
+                tr.outcome = TrialResult::Outcome::Error;
+                tr.error = e.what();
+            } catch (...) {
+                tr.outcome = TrialResult::Outcome::Error;
+                tr.error = "unknown exception";
+            }
+        }
+    };
+    if (opt.jobs <= 1) {
+        worker();
+    } else {
+        ThreadPool pool(opt.jobs);
+        pool.run([&](std::size_t) { worker(); });
     }
 
+    // ---- deterministic aggregation, in trial order --------------------
+    using Outcome = TrialResult::Outcome;
     std::map<std::string, EngineTally> tallies;
     std::map<std::string, std::map<std::string, RateTally>> rate_tallies;
+    SoftTally soft;
+    StragglerTally straggler;
 
-    for (std::uint64_t t = 0; t < opt.trials; ++t) {
-        const Combo& combo = combos[t % combos.size()];
-        ResilientConfig cfg = proto;
-        cfg.engine = combo.engine;
-        const std::string engine_name = to_string(cfg.engine);
-        EngineTally& tally = tallies[engine_name];
-        char rate_key[32];
-        std::snprintf(rate_key, sizeof(rate_key), "%g", combo.rate);
-        RateTally& rt = rate_tallies[engine_name][rate_key];
-        ++rt.trials;
-
-        // Operands are a pure function of (seed, trial) too, so any trial
-        // replays stand-alone.
-        Rng rng(opt.seed ^ (0x6368616f73ull + t * 0x9e3779b97f4a7c15ull));
-        const BigInt a = random_bits(rng, opt.bits);
-        const BigInt b = random_bits(rng, opt.bits + 37);
-        const BigInt expected = toom_multiply(a, b, ref_plan);
-
-        const FaultSurface surface = fault_surface(cfg);
-        FaultInjectorConfig icfg;
-        icfg.phases = surface.phases;
-        icfg.ranks = surface.ranks;
-        icfg.hard_rate = combo.rate;
-        const InjectedFaults injected = injector.draw(icfg, t);
-        const int nfaults = static_cast<int>(injected.hard.total_faults());
-        SurvivalBucket& bucket = tally.survival[nfaults];
-        ++bucket.trials;
-
-        try {
-            const FtRunResult r = run_ft_engine(a, b, cfg, injected.hard);
-            if (r.product != expected) {
-                ++tally.wrong_product;
-                std::fprintf(stderr,
-                             "WRONG PRODUCT: engine=%s seed=%llu trial=%llu\n",
-                             engine_name.c_str(),
-                             static_cast<unsigned long long>(opt.seed),
-                             static_cast<unsigned long long>(t));
-                continue;
+    for (const TrialResult& tr : results) {
+        const bool in_engine =
+            tr.outcome == Outcome::Clean || tr.outcome == Outcome::Recovered;
+        if (tr.cat == Category::Hard) {
+            EngineTally& tally = tallies[tr.engine];
+            RateTally& rt = rate_tallies[tr.engine][tr.rate_key];
+            ++rt.trials;
+            SurvivalBucket& bucket = tally.survival[tr.nfaults];
+            ++bucket.trials;
+            if (in_engine) {
+                ++bucket.in_engine;
+                ++rt.in_engine;
             }
-            ++bucket.in_engine;
-            ++rt.in_engine;
-            if (nfaults == 0) {
-                ++tally.clean;
-            } else {
-                ++tally.recovered;
-                if (r.events) {
-                    CostCounters rec{};
-                    for (const Event& e :
-                         r.events->of_kind(EventKind::RecoveryEnd)) {
-                        rec += e.counters;
-                    }
-                    tally.recovery_flops.add(rec.flops);
-                    tally.recovery_words.add(rec.words);
+            switch (tr.outcome) {
+                case Outcome::Clean: ++tally.clean; break;
+                case Outcome::Recovered: ++tally.recovered; break;
+                case Outcome::Retried: ++tally.retried; ++rt.retried; break;
+                case Outcome::WrongProduct: ++tally.wrong_product; break;
+                case Outcome::Error:
+                    ++tally.errors;
+                    note_error(tally.sample_errors, tr.error);
+                    break;
+            }
+            if (tr.has_recovery_cost) {
+                tally.recovery_flops.add(tr.recovery.flops);
+                tally.recovery_words.add(tr.recovery.words);
+            }
+            if (tr.has_retry_cost) {
+                tally.retry_flops.add(tr.retry_flops);
+                if (!tr.retry_strategy.empty()) {
+                    ++tally.retry_strategies[tr.retry_strategy];
                 }
             }
-        } catch (const UnrecoverableFault&) {
-            // Over-budget fault set: escalate through the resilient ladder.
-            // Retries run fault-free ("fresh processors").
-            ++tally.retried;
-            ++rt.retried;
-            try {
-                const ResilientResult rr =
-                    resilient_multiply(a, b, cfg, injected.hard);
-                if (rr.product != expected) {
-                    ++tally.wrong_product;
-                    std::fprintf(
-                        stderr,
-                        "WRONG PRODUCT (retry): engine=%s seed=%llu "
-                        "trial=%llu\n",
-                        engine_name.c_str(),
-                        static_cast<unsigned long long>(opt.seed),
-                        static_cast<unsigned long long>(t));
-                    continue;
-                }
-                if (!rr.attempts.empty()) {
-                    ++tally.retry_strategies[rr.attempts.back().strategy];
-                }
-                tally.retry_flops.add(rr.stats.critical.flops);
-            } catch (const UnrecoverableFault& uf) {
-                ++tally.errors;
-                if (tally.sample_errors.size() < 3) {
-                    tally.sample_errors.push_back(uf.what());
-                }
+        } else if (tr.cat == Category::Soft) {
+            ++soft.trials;
+            RateTally& rt = soft.by_rate[tr.rate_key];
+            ++rt.trials;
+            if (in_engine) ++rt.in_engine;
+            if (tr.soft_completed) {
+                soft.injected += static_cast<std::uint64_t>(tr.nfaults);
+                soft.detected += static_cast<std::uint64_t>(tr.soft_detected);
+                soft.corrected_events +=
+                    static_cast<std::uint64_t>(tr.soft_corrected);
             }
-        } catch (const std::exception& e) {
-            ++tally.errors;
-            if (tally.sample_errors.size() < 3) {
-                tally.sample_errors.push_back(e.what());
+            if (tr.soft_wrong_interp) ++soft.wrong_interpolations;
+            switch (tr.outcome) {
+                case Outcome::Clean: ++soft.clean; break;
+                case Outcome::Recovered: ++soft.corrected; break;
+                case Outcome::Retried:
+                    ++soft.escalated;
+                    ++rt.retried;
+                    break;
+                case Outcome::WrongProduct: ++soft.wrong_product; break;
+                case Outcome::Error:
+                    ++soft.errors;
+                    note_error(soft.sample_errors, tr.error);
+                    break;
+            }
+            if (tr.has_retry_cost && !tr.retry_strategy.empty()) {
+                ++soft.retry_strategies[tr.retry_strategy];
+            }
+        } else {
+            ++straggler.trials;
+            RateTally& rt = straggler.by_rate[tr.rate_key];
+            ++rt.trials;
+            if (in_engine) ++rt.in_engine;
+            if (tr.nfaults > 0) {
+                straggler.stragglers_per_trial.add(
+                    static_cast<std::uint64_t>(tr.nfaults));
+                straggler.plain_latency.add(tr.plain_latency);
+            }
+            if (tr.coded_ran) {
+                ++straggler.coded_trials;
+                straggler.coded_latency.add(tr.coded_latency);
+                if (tr.coded_faster) ++straggler.coded_faster;
+            }
+            switch (tr.outcome) {
+                case Outcome::Clean: ++straggler.clean; break;
+                case Outcome::Recovered: ++straggler.mitigated; break;
+                case Outcome::Retried:
+                    ++straggler.absorbed;
+                    ++rt.retried;
+                    break;
+                case Outcome::WrongProduct: ++straggler.wrong_product; break;
+                case Outcome::Error:
+                    ++straggler.errors;
+                    note_error(straggler.sample_errors, tr.error);
+                    break;
             }
         }
     }
 
-    // ---- report ------------------------------------------------------
-    Json root = Json::object();
-    root.set("schema", kChaosSchema);
-    root.set("version", kChaosVersion);
+    // ---- report (ftmul.chaos_report v2) -------------------------------
+    Json root = report_header(kChaosReportSchema, kChaosReportVersion);
     root.set("seed", opt.seed);
     root.set("trials", opt.trials);
     root.set("bits", static_cast<std::uint64_t>(opt.bits));
@@ -296,10 +739,24 @@ int main(int argc, char** argv) {
         Json cfg = Json::object();
         cfg.set("k", proto.base.k);
         cfg.set("processors", proto.base.processors);
-        cfg.set("digit_bits", static_cast<std::uint64_t>(proto.base.digit_bits));
+        cfg.set("digit_bits",
+                static_cast<std::uint64_t>(proto.base.digit_bits));
         cfg.set("faults", proto.faults);
         cfg.set("fused_steps", proto.fused_steps);
+        cfg.set("soft_code_rows", 2);
+        cfg.set("straggler_rounds", opt.straggler_rounds);
         root.set("config", std::move(cfg));
+    }
+    {
+        Json cats = Json::array();
+        for (Category c : {Category::Hard, Category::Soft,
+                           Category::Straggler}) {
+            if (std::find(opt.categories.begin(), opt.categories.end(), c) !=
+                opt.categories.end()) {
+                cats.push_back(to_string(c));
+            }
+        }
+        root.set("categories", std::move(cats));
     }
     Json rates = Json::array();
     for (double r : opt.rates) rates.push_back(r);
@@ -377,6 +834,127 @@ int main(int argc, char** argv) {
         }
     }
     root.set("engines", std::move(engines));
+
+    if (soft.trials != 0) {
+        Json s = Json::object();
+        Json counts = Json::object();
+        counts.set("clean", soft.clean);
+        counts.set("corrected", soft.corrected);
+        counts.set("escalated", soft.escalated);
+        counts.set("wrong_interpolations", soft.wrong_interpolations);
+        counts.set("wrong_product", soft.wrong_product);
+        counts.set("errors", soft.errors);
+        s.set("counts", std::move(counts));
+        Json corr = Json::object();
+        corr.set("injected", soft.injected);
+        corr.set("detected", soft.detected);
+        corr.set("corrected", soft.corrected_events);
+        s.set("corruptions", std::move(corr));
+        // Detection statistics over completed in-budget runs: the code must
+        // flag every injected corruption; a wrong interpolation that slipped
+        // through detection is a miss.
+        s.set("detection_rate",
+              soft.injected == 0
+                  ? 1.0
+                  : static_cast<double>(soft.detected) /
+                        static_cast<double>(soft.injected));
+        s.set("miss_rate",
+              soft.trials == 0
+                  ? 0.0
+                  : static_cast<double>(soft.wrong_interpolations) /
+                        static_cast<double>(soft.trials));
+        Json strategies = Json::object();
+        for (const auto& [name, n] : soft.retry_strategies) {
+            strategies.set(name, n);
+        }
+        s.set("retry_strategies", std::move(strategies));
+        Json by_rate = Json::array();
+        for (const auto& [rate, rt] : soft.by_rate) {
+            Json jr = Json::object();
+            jr.set("rate", std::strtod(rate.c_str(), nullptr));
+            jr.set("trials", rt.trials);
+            jr.set("in_code", rt.in_engine);
+            jr.set("escalated", rt.retried);
+            by_rate.push_back(std::move(jr));
+        }
+        s.set("by_rate", std::move(by_rate));
+        if (!soft.sample_errors.empty()) {
+            Json errs = Json::array();
+            for (const std::string& m : soft.sample_errors) errs.push_back(m);
+            s.set("sample_errors", std::move(errs));
+        }
+        root.set("soft", std::move(s));
+        total_wrong += soft.wrong_product;
+        total_errors += soft.errors;
+
+        if (!opt.quiet) {
+            std::printf(
+                "%-14s clean=%llu corrected=%llu escalated=%llu wrong=%llu "
+                "errors=%llu\n",
+                "soft", static_cast<unsigned long long>(soft.clean),
+                static_cast<unsigned long long>(soft.corrected),
+                static_cast<unsigned long long>(soft.escalated),
+                static_cast<unsigned long long>(soft.wrong_product),
+                static_cast<unsigned long long>(soft.errors));
+        }
+    }
+
+    if (straggler.trials != 0) {
+        Json s = Json::object();
+        Json counts = Json::object();
+        counts.set("clean", straggler.clean);
+        counts.set("mitigated", straggler.mitigated);
+        counts.set("absorbed", straggler.absorbed);
+        counts.set("wrong_product", straggler.wrong_product);
+        counts.set("errors", straggler.errors);
+        s.set("counts", std::move(counts));
+        Json adv = Json::object();
+        adv.set("coded_trials", straggler.coded_trials);
+        adv.set("coded_faster", straggler.coded_faster);
+        adv.set("rate", straggler.coded_trials == 0
+                            ? 1.0
+                            : static_cast<double>(straggler.coded_faster) /
+                                  static_cast<double>(straggler.coded_trials));
+        s.set("advantage", std::move(adv));
+        Json lat = Json::object();
+        lat.set("stragglers_per_trial",
+                straggler.stragglers_per_trial.to_json());
+        lat.set("plain_critical_latency", straggler.plain_latency.to_json());
+        lat.set("coded_critical_latency", straggler.coded_latency.to_json());
+        s.set("latency", std::move(lat));
+        Json by_rate = Json::array();
+        for (const auto& [rate, rt] : straggler.by_rate) {
+            Json jr = Json::object();
+            jr.set("rate", std::strtod(rate.c_str(), nullptr));
+            jr.set("trials", rt.trials);
+            jr.set("mitigated_or_clean", rt.in_engine);
+            jr.set("absorbed", rt.retried);
+            by_rate.push_back(std::move(jr));
+        }
+        s.set("by_rate", std::move(by_rate));
+        if (!straggler.sample_errors.empty()) {
+            Json errs = Json::array();
+            for (const std::string& m : straggler.sample_errors) {
+                errs.push_back(m);
+            }
+            s.set("sample_errors", std::move(errs));
+        }
+        root.set("straggler", std::move(s));
+        total_wrong += straggler.wrong_product;
+        total_errors += straggler.errors;
+
+        if (!opt.quiet) {
+            std::printf(
+                "%-14s clean=%llu mitigated=%llu absorbed=%llu wrong=%llu "
+                "errors=%llu\n",
+                "straggler", static_cast<unsigned long long>(straggler.clean),
+                static_cast<unsigned long long>(straggler.mitigated),
+                static_cast<unsigned long long>(straggler.absorbed),
+                static_cast<unsigned long long>(straggler.wrong_product),
+                static_cast<unsigned long long>(straggler.errors));
+        }
+    }
+
     {
         Json totals = Json::object();
         totals.set("wrong_product", total_wrong);
