@@ -8,6 +8,7 @@
 
 #include "runtime/costs.hpp"
 #include "runtime/json.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/report.hpp"
 
 namespace ftmul::bench {
@@ -112,6 +113,13 @@ class JsonReport {
         root.set("version", kBenchRowsVersion);
         root.set("bench", name_);
         root.set("tables", tables_);
+        // With the registry live (FTMUL_METRICS=1), the runtime's view of
+        // the same run rides along as a last section; reports from
+        // metrics-off runs are byte-identical to pre-metrics ones.
+        if (metrics::enabled()) {
+            root.set("metrics",
+                     MetricsRegistry::global().snapshot().to_json());
+        }
         return root;
     }
 

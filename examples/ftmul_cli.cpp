@@ -17,6 +17,10 @@
 //                       (machine engines only; see docs/OBSERVABILITY.md)
 //     --report-out FILE write the JSON run report to FILE
 //     --trace-out FILE  write a Chrome Trace Event file (chrome://tracing)
+//     --metrics         enable the live metrics registry (also FTMUL_METRICS=1);
+//                       run reports gain an embedded "metrics" section
+//     --metrics-out FILE  write a metrics dump to FILE (implies --metrics)
+//     --metrics-format prom|json  dump format (default prom)
 //
 // Example: ftmul_cli --engine ft-poly --kill mul:0 --stats 123456789 987654321
 
@@ -30,6 +34,7 @@
 #include "core/ft_poly.hpp"
 #include "core/parallel.hpp"
 #include "funcs/elementary.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/report.hpp"
 #include "toom/lazy.hpp"
 #include "toom/sequential.hpp"
@@ -50,6 +55,9 @@ struct Options {
     std::string report;      // "json" = print run report on stdout
     std::string report_out;  // write run report to this file
     std::string trace_out;   // write Chrome trace to this file
+    bool metrics = false;
+    std::string metrics_out;            // metrics dump file
+    std::string metrics_format = "prom";  // "prom" or "json"
     FaultPlan plan;
     std::vector<std::string> operands;
 };
@@ -59,7 +67,9 @@ struct Options {
                  "usage: ftmul_cli [--engine seq|lazy|unbalanced|parallel|"
                  "ft-linear|ft-poly|ft-mixed] [--k K] [--procs P] "
                  "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] "
-                 "[--report json] [--report-out FILE] [--trace-out FILE] A B\n");
+                 "[--report json] [--report-out FILE] [--trace-out FILE] "
+                 "[--metrics] [--metrics-out FILE] "
+                 "[--metrics-format prom|json] A B\n");
     std::exit(2);
 }
 
@@ -98,6 +108,16 @@ Options parse(int argc, char** argv) {
             o.report_out = next();
         } else if (arg == "--trace-out") {
             o.trace_out = next();
+        } else if (arg == "--metrics") {
+            o.metrics = true;
+        } else if (arg == "--metrics-out") {
+            o.metrics_out = next();
+            o.metrics = true;
+        } else if (arg == "--metrics-format") {
+            o.metrics_format = next();
+            if (o.metrics_format != "prom" && o.metrics_format != "json") {
+                usage();
+            }
         } else if (arg.rfind("--", 0) == 0) {
             usage();
         } else {
@@ -121,10 +141,27 @@ void print_stats(const RunStats& s) {
                  static_cast<unsigned long long>(s.peak_memory_words));
 }
 
+/// Final metrics dump (--metrics-out): Prometheus text or the ftmul.metrics
+/// v1 JSON document, whichever --metrics-format selected.
+int write_metrics_dump(const Options& o) {
+    if (o.metrics_out.empty()) return 0;
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    const std::string text = o.metrics_format == "json"
+                                 ? snap.to_json().dump(2) + "\n"
+                                 : snap.to_prometheus();
+    if (!write_text_file(o.metrics_out, text)) {
+        std::fprintf(stderr, "ftmul_cli: cannot write %s\n",
+                     o.metrics_out.c_str());
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const Options o = parse(argc, argv);
+    if (o.metrics) MetricsRegistry::global().set_enabled(true);
     auto read = [&](const std::string& s) {
         return o.hex ? BigInt::from_hex(s) : BigInt::from_decimal(s);
     };
@@ -166,7 +203,7 @@ int main(int argc, char** argv) {
         } else {
             usage();
         }
-        return 0;
+        return write_metrics_dump(o);
     }
 
     BigInt product;
@@ -238,8 +275,13 @@ int main(int argc, char** argv) {
         if (o.stats) print_stats(stats);
         if (wants_obs) {
             meta.product_hex = product.to_hex();
-            const std::string report = run_report_json(
-                stats, meta, &o.plan, events.get());
+            Json report_doc =
+                build_run_report(stats, meta, &o.plan, events.get());
+            if (metrics::enabled()) {
+                report_doc.set("metrics",
+                               MetricsRegistry::global().snapshot().to_json());
+            }
+            const std::string report = report_doc.dump(2) + "\n";
             if (o.report == "json") std::fputs(report.c_str(), stdout);
             if (!o.report_out.empty() &&
                 !write_text_file(o.report_out, report)) {
@@ -268,5 +310,5 @@ int main(int argc, char** argv) {
         std::printf("%s\n", o.hex ? product.to_hex().c_str()
                                   : product.to_decimal().c_str());
     }
-    return 0;
+    return write_metrics_dump(o);
 }

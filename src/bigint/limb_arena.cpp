@@ -1,12 +1,27 @@
 #include "bigint/limb_arena.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace ftmul::detail {
+
+namespace {
+std::atomic<std::uint64_t> g_capacity_high_water{0};
+std::atomic<std::uint64_t> g_grow_count{0};
+}  // namespace
 
 LimbArena& LimbArena::local() {
     static thread_local LimbArena arena;
     return arena;
+}
+
+std::size_t LimbArena::process_capacity_high_water() noexcept {
+    return static_cast<std::size_t>(
+        g_capacity_high_water.load(std::memory_order_relaxed));
+}
+
+std::uint64_t LimbArena::process_grow_count() noexcept {
+    return g_grow_count.load(std::memory_order_relaxed);
 }
 
 void LimbArena::grow(std::size_t need) {
@@ -31,6 +46,13 @@ void LimbArena::grow(std::size_t need) {
     slabs_.resize(next);
     slabs_.push_back(std::move(s));
     active_ = next;
+
+    g_grow_count.fetch_add(1, std::memory_order_relaxed);
+    const auto cap = static_cast<std::uint64_t>(capacity_words());
+    std::uint64_t cur = g_capacity_high_water.load(std::memory_order_relaxed);
+    while (cur < cap && !g_capacity_high_water.compare_exchange_weak(
+                            cur, cap, std::memory_order_relaxed)) {
+    }
 }
 
 }  // namespace ftmul::detail

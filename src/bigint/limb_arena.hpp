@@ -66,6 +66,13 @@ public:
         return total;
     }
 
+    /// Process-wide high-water mark over every arena's capacity_words(),
+    /// and the total number of new-slab growths. Published through plain
+    /// atomics (no runtime-layer dependency) so the metrics registry can
+    /// sample them from a snapshot collector.
+    static std::size_t process_capacity_high_water() noexcept;
+    static std::uint64_t process_grow_count() noexcept;
+
     /// Words currently handed out (between the base and the bump pointer).
     std::size_t used_words() const noexcept {
         std::size_t total = 0;

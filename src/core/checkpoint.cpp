@@ -1,4 +1,5 @@
 #include "core/checkpoint.hpp"
+#include "runtime/metrics.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -36,6 +37,7 @@ int buddy_of(int rank, int p) { return (rank + 1) % p; }
 FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
                                      const CheckpointConfig& cfg,
                                      const FaultPlan& plan) {
+    const EngineRunScope metrics_scope("checkpoint");
     const int k = cfg.base.k;
     const int npts = 2 * k - 1;
     const int P = cfg.base.processors;

@@ -1,4 +1,5 @@
 #include "core/ft_linear.hpp"
+#include "runtime/metrics.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -209,6 +210,7 @@ int phase_level(const std::string& phase, int bfs) {
 FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
                                const FtLinearConfig& cfg,
                                const FaultPlan& plan) {
+    const EngineRunScope metrics_scope("ft_linear");
     const int k = cfg.base.k;
     const int npts = 2 * k - 1;
     const int f = cfg.faults;

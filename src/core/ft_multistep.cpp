@@ -1,4 +1,5 @@
 #include "core/ft_multistep.hpp"
+#include "runtime/metrics.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -57,6 +58,7 @@ void apply_matrix_blocks(const Matrix<BigInt>& m, std::span<const BigInt> in,
 FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
                                   const FtMultistepConfig& cfg,
                                   const FaultPlan& plan) {
+    const EngineRunScope metrics_scope("ft_multistep");
     const int k = cfg.base.k;
     const int npts = 2 * k - 1;
     const int f = cfg.faults;

@@ -1,4 +1,5 @@
 #include "core/ft_poly.hpp"
+#include "runtime/metrics.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -29,6 +30,7 @@ int exact_log(std::uint64_t v, std::uint64_t base) {
 
 FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
                              const FtPolyConfig& cfg, const FaultPlan& plan) {
+    const EngineRunScope metrics_scope("ft_poly");
     const int k = cfg.base.k;
     const int npts = 2 * k - 1;
     const int f = cfg.faults;

@@ -1,4 +1,5 @@
 #include "core/ft_soft.hpp"
+#include "runtime/metrics.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -48,6 +49,7 @@ void corrupt(std::vector<BigInt>& state, int rank, int salt) {
 FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
                               const FtSoftConfig& cfg,
                               const SoftFaultPlan& plan) {
+    const EngineRunScope metrics_scope("ft_soft");
     const int k = cfg.base.k;
     const int npts = 2 * k - 1;
     const int f = cfg.code_rows;

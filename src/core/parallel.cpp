@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/layout.hpp"
+#include "runtime/metrics.hpp"
 #include "toom/digits.hpp"
 #include "toom/lazy.hpp"
 
@@ -199,6 +200,7 @@ std::vector<BigInt> dist_convolve_steps(Rank& rank, const ToomPlan& plan,
 ParallelRunResult parallel_toom_multiply(const BigInt& a, const BigInt& b,
                                          const ParallelConfig& cfg) {
     using namespace core_detail;
+    const EngineRunScope metrics_scope("parallel");
 
     ParallelRunResult result;
     const std::size_t n_bits = std::max(a.bit_length(), b.bit_length());

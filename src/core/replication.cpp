@@ -1,4 +1,5 @@
 #include "core/replication.hpp"
+#include "runtime/metrics.hpp"
 
 #include <cassert>
 #include <set>
@@ -17,6 +18,7 @@ using core_detail::local_input_digits;
 FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
                                      const ReplicationConfig& cfg,
                                      const FaultPlan& plan) {
+    const EngineRunScope metrics_scope("replication");
     const int P = cfg.base.processors;
     const int f = cfg.faults;
     if (f < 0) throw std::invalid_argument("replication: faults must be >= 0");

@@ -10,6 +10,7 @@
 #include "core/ft_multistep.hpp"
 #include "core/ft_soft.hpp"
 #include "core/replication.hpp"
+#include "runtime/metrics.hpp"
 #include "toom/sequential.hpp"
 
 namespace ftmul {
@@ -77,6 +78,30 @@ void sequential_rung(const BigInt& a, const BigInt& b,
                                      std::max(a.bit_length(), b.bit_length()));
     }
     result.attempts.push_back(std::move(att));
+}
+
+/// Ladder telemetry with bounded rung *classes* — retries collapse into one
+/// "engine-retry" label so cardinality stays fixed however high
+/// max_engine_retries is configured. The cost of the rung that finally
+/// succeeded past rung 1 is the ladder's recovery price for this input.
+void note_rung(const char* ladder, const char* rung, bool success,
+               const RunStats* stats) {
+    auto& reg = MetricsRegistry::global();
+    if (!reg.enabled()) return;
+    reg.counter("ftmul_resilient_attempts_total",
+                {{"ladder", ladder},
+                 {"rung", rung},
+                 {"outcome", success ? "success" : "failed"}},
+                "escalation-ladder rungs executed")
+        .inc();
+    if (success && stats != nullptr &&
+        std::string_view(rung) != "engine") {
+        reg.histogram("ftmul_resilient_retry_flops", {{"ladder", ladder}},
+                      exponential_buckets(100, 4.0, 12),
+                      "critical-path flops of the rung that recovered the "
+                      "product after rung 1 failed")
+            .observe(stats->critical.flops);
+    }
 }
 
 }  // namespace
@@ -245,7 +270,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     // contributes whatever the run charged before the engine refused (plan
     // validation refuses up front, so typically nothing — but the audit
     // trail still names the rung and the fault set that sank it).
-    auto attempt = [&](const std::string& strategy,
+    auto attempt = [&](const std::string& strategy, const char* rung,
                        const FaultPlan& plan) -> bool {
         ResilientAttempt att;
         att.strategy = strategy;
@@ -254,6 +279,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             FtRunResult r = run_ft_engine(a, b, cfg, plan);
             att.success = true;
             att.stats = r.stats;
+            note_rung("hard", rung, true, &r.stats);
             accumulate(result.stats, r.stats);
             result.product = std::move(r.product);
             result.shape = r.shape;
@@ -262,6 +288,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             return true;
         } catch (const UnrecoverableFault& uf) {
             att.error = uf.what();
+            note_rung("hard", rung, false, nullptr);
             result.attempts.push_back(std::move(att));
             last_error = std::current_exception();
             return false;
@@ -269,7 +296,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     };
 
     // Rung 1: the configured engine under the trial's fault plan.
-    if (attempt(to_string(cfg.engine), first_plan)) return result;
+    if (attempt(to_string(cfg.engine), "engine", first_plan)) return result;
 
     // Rung 2: bounded re-runs on fresh processors. Without a PlanSource the
     // re-run is fault-free (the faulty processors were replaced).
@@ -278,7 +305,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             std::string(to_string(cfg.engine)) + "-retry-" + std::to_string(i);
         FaultPlan plan;
         if (retry_plans) plan = retry_plans(strategy, i);
-        if (attempt(strategy, plan)) return result;
+        if (attempt(strategy, "engine-retry", plan)) return result;
     }
 
     // Rung 3: rollback recovery via the buddy-checkpoint engine (skipped
@@ -294,6 +321,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
                 a, b, CheckpointConfig{cfg.base}, plan);
             att.success = true;
             att.stats = r.stats;
+            note_rung("hard", "checkpoint-fallback", true, &r.stats);
             accumulate(result.stats, r.stats);
             result.product = std::move(r.product);
             result.shape = r.shape;
@@ -302,6 +330,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             return result;
         } catch (const UnrecoverableFault& uf) {
             att.error = uf.what();
+            note_rung("hard", "checkpoint-fallback", false, nullptr);
             result.attempts.push_back(std::move(att));
             last_error = std::current_exception();
         }
@@ -310,6 +339,8 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     // Rung 4: sequential recompute.
     if (cfg.sequential_fallback) {
         sequential_rung(a, b, cfg, result);
+        note_rung("hard", "sequential-fallback", true,
+                  &result.attempts.back().stats);
         return result;
     }
 
@@ -334,7 +365,7 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
     // UnrecoverableFault; a product the verifier rejects is a soft-fault-
     // induced wrong interpolation — recorded as a failed (recoverable) rung
     // and escalated past, never returned.
-    auto attempt = [&](const std::string& strategy,
+    auto attempt = [&](const std::string& strategy, const char* rung,
                        const SoftFaultPlan& p) -> bool {
         ResilientAttempt att;
         att.strategy = strategy;
@@ -347,6 +378,7 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
                 att.error =
                     "ft_soft: wrong interpolation (verifier rejected the "
                     "product)";
+                note_rung("soft", rung, false, nullptr);
                 result.attempts.push_back(std::move(att));
                 last_error = std::make_exception_ptr(UnrecoverableFault(
                     "ft_soft", "", {},
@@ -355,12 +387,14 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
                 return false;
             }
             att.success = true;
+            note_rung("soft", rung, true, &r.stats);
             result.product = std::move(r.product);
             result.shape = r.shape;
             result.attempts.push_back(std::move(att));
             return true;
         } catch (const UnrecoverableFault& uf) {
             att.error = uf.what();
+            note_rung("soft", rung, false, nullptr);
             result.attempts.push_back(std::move(att));
             last_error = std::current_exception();
             return false;
@@ -368,19 +402,25 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
     };
 
     // Rung 1: the soft engine under the trial's corruption plan.
-    if (attempt("ft_soft", plan)) return result;
+    if (attempt("ft_soft", "engine", plan)) return result;
 
     // Rung 2: bounded fault-free re-runs on fresh processors. (There is no
     // checkpoint rung: a miscalculating rank corrupts its checkpoint too,
     // so rollback recovery has no leverage against soft faults.)
     for (int i = 1; i <= cfg.max_engine_retries; ++i) {
-        if (attempt("ft_soft-retry-" + std::to_string(i), {})) return result;
+        if (attempt("ft_soft-retry-" + std::to_string(i), "engine-retry",
+                    {})) {
+            return result;
+        }
     }
 
     // Rung 4: sequential recompute, still subject to the verifier.
     if (cfg.sequential_fallback) {
         sequential_rung(a, b, cfg, result);
-        if (!verify || verify(result.product)) return result;
+        const bool accepted = !verify || verify(result.product);
+        note_rung("soft", "sequential-fallback", accepted,
+                  &result.attempts.back().stats);
+        if (accepted) return result;
         result.attempts.back().success = false;
         result.attempts.back().error =
             "sequential-fallback: verifier rejected the product";

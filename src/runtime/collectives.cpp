@@ -4,9 +4,19 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+
 namespace ftmul {
 
 namespace {
+
+/// One call-counter per collective. Each call site keeps the handle in a
+/// function-local static, so after first registration a call costs one
+/// relaxed load + sharded fetch_add (nothing but the load when disabled).
+Counter collective_counter(const char* op) {
+    return metrics::counter("ftmul_collectives_calls_total", {{"op", op}},
+                            "collective operations entered, by op");
+}
 
 /// Binary-tree helpers over group positions, rotated so @p root sits at
 /// position 0. Depth is ceil(log2(n)).
@@ -57,6 +67,8 @@ void add_elementwise(std::vector<BigInt>& acc, const std::vector<BigInt>& v) {
 void bcast(Rank& self, const Group& g, int root, std::vector<BigInt>& data,
            int tag) {
     assert(g.contains(self.id()));
+    static const Counter calls = collective_counter("bcast");
+    calls.inc();
     const Tree tree(g, root, self.id());
     if (tree.has_parent()) {
         data = self.recv_bigints(unrotate(g, root, tree.parent()), tag);
@@ -70,6 +82,8 @@ void bcast(Rank& self, const Group& g, int root, std::vector<BigInt>& data,
 std::vector<BigInt> reduce_sum(Rank& self, const Group& g, int root,
                                std::vector<BigInt> local, int tag) {
     assert(g.contains(self.id()));
+    static const Counter calls = collective_counter("reduce_sum");
+    calls.inc();
     const Tree tree(g, root, self.id());
     // Post-order: fold children into the local value, then pass up.
     for (std::size_t child : tree.children()) {
@@ -86,6 +100,8 @@ std::vector<BigInt> reduce_sum(Rank& self, const Group& g, int root,
 std::vector<BigInt> allreduce_sum(Rank& self, const Group& g,
                                   std::vector<BigInt> local, int tag) {
     const int root = g.members.front();
+    static const Counter calls = collective_counter("allreduce_sum");
+    calls.inc();
     std::vector<BigInt> sum = reduce_sum(self, g, root, std::move(local), tag);
     bcast(self, g, root, sum, tag);
     return sum;
@@ -94,6 +110,8 @@ std::vector<BigInt> allreduce_sum(Rank& self, const Group& g,
 std::vector<std::vector<BigInt>> gather(Rank& self, const Group& g, int root,
                                         std::vector<BigInt> local, int tag) {
     assert(g.contains(self.id()));
+    static const Counter calls = collective_counter("gather");
+    calls.inc();
     if (self.id() != root) {
         self.send_bigints(root, tag, local);
         self.add_latency(1);
@@ -112,6 +130,8 @@ std::vector<std::vector<BigInt>> gather(Rank& self, const Group& g, int root,
 std::vector<std::vector<BigInt>> allgather(Rank& self, const Group& g,
                                            std::vector<BigInt> local, int tag) {
     const int root = g.members.front();
+    static const Counter calls = collective_counter("allgather");
+    calls.inc();
     auto gathered = gather(self, g, root, std::move(local), tag);
     // Broadcast the concatenation with section lengths preserved.
     std::vector<BigInt> flat;
@@ -139,6 +159,8 @@ std::vector<std::vector<BigInt>> alltoall(Rank& self, const Group& g,
                                           std::vector<std::vector<BigInt>> blocks,
                                           int tag) {
     assert(g.contains(self.id()));
+    static const Counter calls = collective_counter("alltoall");
+    calls.inc();
     if (blocks.size() != g.size()) {
         throw std::invalid_argument("alltoall: need one block per member");
     }
@@ -160,6 +182,8 @@ std::vector<std::vector<BigInt>> alltoall(Rank& self, const Group& g,
 }
 
 void barrier(Rank& self, const Group& g, int tag) {
+    static const Counter calls = collective_counter("barrier");
+    calls.inc();
     allreduce_sum(self, g, std::vector<BigInt>{}, tag);
 }
 

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <tuple>
 
+#include "runtime/metrics.hpp"
+
 namespace ftmul {
 
 namespace {
@@ -165,6 +167,20 @@ InjectedFaults FaultInjector::draw(const FaultInjectorConfig& cfg,
         }
         std::sort(out.stragglers.begin(), out.stragglers.end());
     }
+
+    static const Counter draws = metrics::counter(
+        "ftmul_injector_draws_total", {}, "FaultInjector::draw() calls");
+    static const Counter hard_faults = metrics::counter(
+        "ftmul_injector_faults_total", {{"kind", "hard"}},
+        "faults fired across all draws, by kind");
+    static const Counter soft_faults = metrics::counter(
+        "ftmul_injector_faults_total", {{"kind", "soft"}});
+    static const Counter stragglers = metrics::counter(
+        "ftmul_injector_faults_total", {{"kind", "straggler"}});
+    draws.inc();
+    hard_faults.inc(out.hard.total_faults());
+    soft_faults.inc(out.soft.all().size());
+    stragglers.inc(out.stragglers.size());
     return out;
 }
 

@@ -71,21 +71,27 @@ void Rank::note_fault() {
 }
 
 void Rank::begin_recovery(std::span<const int> dead_ranks) {
-    if (!machine_.events_ || in_recovery_) return;
+    // Armed by either consumer: the event log or the metrics registry.
+    if ((!machine_.events_ && !machine_.metric_recovery_flops_.live()) ||
+        in_recovery_) {
+        return;
+    }
     in_recovery_ = true;
     recovery_dead_.assign(dead_ranks.begin(), dead_ranks.end());
     flush_flops();
     recovery_base_ = lifetime_;
     recovery_base_ += current_;
-    Event e;
-    e.kind = EventKind::RecoveryBegin;
-    e.phase = current_phase_;
-    e.ranks = recovery_dead_;
-    emit(std::move(e));
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::RecoveryBegin;
+        e.phase = current_phase_;
+        e.ranks = recovery_dead_;
+        emit(std::move(e));
+    }
 }
 
 void Rank::end_recovery() {
-    if (!machine_.events_ || !in_recovery_) return;
+    if (!in_recovery_) return;
     in_recovery_ = false;
     flush_flops();
     CostCounters total = lifetime_;
@@ -96,14 +102,24 @@ void Rank::end_recovery() {
     delta.words = total.words - recovery_base_.words;
     delta.msgs = total.msgs - recovery_base_.msgs;
     delta.latency = total.latency - recovery_base_.latency;
-    Event e;
-    e.kind = EventKind::RecoveryEnd;
-    e.phase = current_phase_;
-    e.counters = delta;
-    e.words = delta.words;
-    e.ranks = std::move(recovery_dead_);
+    if (machine_.metric_recovery_flops_.live()) {
+        metrics::counter("ftmul_recoveries_total",
+                         {{"phase", current_phase_}},
+                         "recovery brackets completed, by phase")
+            .inc();
+        machine_.metric_recovery_flops_.observe(delta.flops);
+        machine_.metric_recovery_words_.observe(delta.words);
+    }
+    if (machine_.events_) {
+        Event e;
+        e.kind = EventKind::RecoveryEnd;
+        e.phase = current_phase_;
+        e.counters = delta;
+        e.words = delta.words;
+        e.ranks = std::move(recovery_dead_);
+        emit(std::move(e));
+    }
     recovery_dead_.clear();
-    emit(std::move(e));
 }
 
 bool Rank::fails_at(std::string_view name) const {
@@ -117,6 +133,8 @@ void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
     flush_flops();
     current_.words += payload.size();
     current_.msgs += 1;
+    machine_.metric_msgs_.inc();
+    machine_.metric_msg_words_.inc(payload.size());
     if (machine_.tracer_) {
         machine_.tracer_->record_send(id_, dst, tag, payload.size(),
                                       current_phase_);
@@ -139,6 +157,7 @@ std::vector<std::uint64_t> Rank::recv(int src, int tag) {
     machine_.note_blocked(id_, src, tag, current_phase_);
     std::vector<std::uint64_t> payload;
     try {
+        ProfileScope blocked(machine_.metric_blocked_us_);
         payload = machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
             src, tag, machine_.timeout_);
     } catch (const RecvTimeout&) {
@@ -208,6 +227,25 @@ Machine::Machine(int world_size, FaultPlan plan)
     if (world_size <= 0) {
         throw std::invalid_argument("Machine: world_size must be positive");
     }
+    metric_msgs_ = metrics::counter("ftmul_machine_messages_total", {},
+                                    "point-to-point messages sent");
+    metric_msg_words_ =
+        metrics::counter("ftmul_machine_message_words_total", {},
+                         "words carried by point-to-point messages");
+    metric_blocked_us_ = metrics::histogram(
+        "ftmul_machine_blocked_recv_us", {}, duration_buckets_us(),
+        "wall-clock a rank spent parked in recv()");
+    metric_runs_ = metrics::counter("ftmul_machine_runs_total", {},
+                                    "Machine::run() invocations");
+    metric_run_us_ =
+        metrics::histogram("ftmul_machine_run_us", {}, duration_buckets_us(),
+                           "wall-clock of one Machine::run()");
+    metric_recovery_flops_ = metrics::histogram(
+        "ftmul_recovery_flops", {}, exponential_buckets(100, 4.0, 12),
+        "per-rank limb ops spent inside a recovery bracket");
+    metric_recovery_words_ = metrics::histogram(
+        "ftmul_recovery_words", {}, exponential_buckets(16, 4.0, 12),
+        "per-rank words moved inside a recovery bracket");
     mailboxes_.reserve(static_cast<std::size_t>(world_size));
     for (int i = 0; i < world_size; ++i) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -266,6 +304,8 @@ void Machine::set_thread_reuse(bool enabled) {
 }
 
 void Machine::run(const std::function<void(Rank&)>& body) {
+    metric_runs_.inc();
+    ProfileScope run_timer(metric_run_us_);
     stats_ = RunStats{};
     stats_.world = size_;
     if (tracer_) tracer_->clear();

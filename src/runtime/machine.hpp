@@ -14,6 +14,7 @@
 #include "runtime/events.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
 
 namespace ftmul {
@@ -172,6 +173,16 @@ private:
     std::shared_ptr<EventLog> events_;
     std::unique_ptr<ThreadPool> pool_;  ///< lazily created on first run()
     bool thread_reuse_ = true;
+
+    // Process-wide instruments, resolved once per machine so the
+    // per-message hot path is a relaxed load plus a sharded fetch_add.
+    Counter metric_msgs_;
+    Counter metric_msg_words_;
+    Histogram metric_blocked_us_;
+    Counter metric_runs_;
+    Histogram metric_run_us_;
+    Histogram metric_recovery_flops_;
+    Histogram metric_recovery_words_;
 };
 
 }  // namespace ftmul

@@ -1,0 +1,258 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runtime/json.hpp"
+
+namespace ftmul {
+
+/// Schema identifier of the metrics export (the `ftmul.metrics` v1 JSON
+/// section embedded in run/chaos/bench reports and written by
+/// --metrics-out). Versioned like every other export in report.hpp.
+inline constexpr const char* kMetricsSchema = "ftmul.metrics";
+inline constexpr int kMetricsVersion = 1;
+
+/// Low-cardinality labels attached to an instrument: (key, value) pairs,
+/// canonicalized (sorted by key) at registration so the same set registered
+/// in any order addresses the same instrument. Keep values from bounded
+/// vocabularies (engine, phase, fault kind, ladder rung) — never operand
+/// data or trial indices.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// Stable lower-case kind name ("counter", "gauge", "histogram").
+const char* to_string(MetricKind kind);
+
+namespace detail_metrics {
+struct CounterImpl;
+struct GaugeImpl;
+struct HistogramImpl;
+}  // namespace detail_metrics
+
+/// Monotonic counter handle. Handles are cheap value types bound to storage
+/// owned by a MetricsRegistry; a default-constructed handle is inert.
+/// inc() on a disabled registry is a relaxed load and a branch — hot paths
+/// keep their handles instead of re-looking instruments up by name.
+class Counter {
+public:
+    Counter() = default;
+
+    /// Wait-free: one relaxed fetch_add on this thread's shard.
+    void inc(std::uint64_t n = 1) const noexcept;
+
+    /// Merged total over all shards (exact once writers have joined).
+    std::uint64_t value() const noexcept;
+
+    /// Bound to storage *and* the owning registry is enabled?
+    bool live() const noexcept;
+
+private:
+    friend class MetricsRegistry;
+    explicit Counter(detail_metrics::CounterImpl* impl) : impl_(impl) {}
+    detail_metrics::CounterImpl* impl_ = nullptr;
+};
+
+/// Last-written-value instrument (queue depths, high-water marks). set() is
+/// a relaxed store; update_max() is a CAS loop — both safe from any thread.
+class Gauge {
+public:
+    Gauge() = default;
+
+    void set(std::int64_t v) const noexcept;
+    void add(std::int64_t delta) const noexcept;
+
+    /// Raise the gauge to @p v if it is higher (high-water semantics).
+    void update_max(std::int64_t v) const noexcept;
+
+    std::int64_t value() const noexcept;
+    bool live() const noexcept;
+
+private:
+    friend class MetricsRegistry;
+    explicit Gauge(detail_metrics::GaugeImpl* impl) : impl_(impl) {}
+    detail_metrics::GaugeImpl* impl_ = nullptr;
+};
+
+/// Fixed-bucket histogram over uint64 samples. Buckets have Prometheus `le`
+/// semantics: bucket i counts samples <= bounds[i]; one implicit overflow
+/// bucket (le = +Inf) catches the rest. observe() is wait-free (two relaxed
+/// fetch_adds on this thread's shard).
+class Histogram {
+public:
+    Histogram() = default;
+
+    void observe(std::uint64_t v) const noexcept;
+
+    std::uint64_t count() const noexcept;  ///< merged sample count
+    std::uint64_t sum() const noexcept;    ///< merged sample sum
+    bool live() const noexcept;
+
+private:
+    friend class MetricsRegistry;
+    explicit Histogram(detail_metrics::HistogramImpl* impl) : impl_(impl) {}
+    detail_metrics::HistogramImpl* impl_ = nullptr;
+};
+
+/// One instrument's merged state at snapshot time.
+struct MetricSample {
+    MetricKind kind = MetricKind::Counter;
+    std::string name;
+    MetricLabels labels;  ///< canonical (key-sorted) order
+    std::string help;
+
+    std::uint64_t value = 0;       ///< counter total
+    std::int64_t gauge_value = 0;  ///< gauge value
+
+    // Histogram: per-bucket (non-cumulative) counts; buckets.size() ==
+    // bounds.size() + 1, the last entry being the +Inf overflow bucket.
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;
+};
+
+/// Deterministic point-in-time view of a registry: samples sorted by
+/// (name, labels), independent of registration or thread interleaving.
+struct MetricsSnapshot {
+    std::vector<MetricSample> samples;
+
+    /// The `ftmul.metrics` v1 document: {schema, version, counters, gauges,
+    /// histograms}. Histogram buckets are exported cumulatively (Prometheus
+    /// `le` convention): the last bucket ("+Inf") equals `count`.
+    Json to_json() const;
+
+    /// Prometheus text exposition format (one # TYPE line per metric name,
+    /// label values escaped per the spec: \\ , \" and \n).
+    std::string to_prometheus() const;
+};
+
+/// Thread-safe registry of typed instruments. Registration (counter() /
+/// gauge() / histogram()) takes a mutex and canonicalizes the label set;
+/// returned handles then update per-thread shards wait-free. Instruments
+/// are identified by (name, labels): registering the same pair twice
+/// returns the same storage, and re-registering under a different kind (or
+/// different histogram bounds) throws std::logic_error.
+///
+/// The process-wide instance (global()) starts disabled unless the
+/// FTMUL_METRICS environment variable is truthy ("1", "true", "on",
+/// "yes"); a disabled registry makes every instrument a no-op, so
+/// instrumented hot paths cost one relaxed load + branch.
+class MetricsRegistry {
+public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The process-wide registry every built-in instrumentation site uses.
+    /// Never destroyed (leaked on purpose: worker threads may still tick
+    /// counters during static destruction).
+    static MetricsRegistry& global();
+
+    void set_enabled(bool on) noexcept;
+    bool enabled() const noexcept;
+
+    /// Register-or-find. Names must match [a-zA-Z_:][a-zA-Z0-9_:]* and
+    /// label keys [a-zA-Z_][a-zA-Z0-9_]*; violations, duplicate label keys
+    /// and (for histograms) non-strictly-increasing bounds throw
+    /// std::invalid_argument.
+    Counter counter(std::string_view name, MetricLabels labels = {},
+                    std::string_view help = {});
+    Gauge gauge(std::string_view name, MetricLabels labels = {},
+                std::string_view help = {});
+    Histogram histogram(std::string_view name, MetricLabels labels,
+                        std::vector<std::uint64_t> bounds,
+                        std::string_view help = {});
+
+    /// Run @p fn at the start of every snapshot() — the pull-model hook for
+    /// subsystems that keep their own statistics (e.g. the thread-local
+    /// LimbArenas publish process-wide high-water marks this way).
+    void add_collector(std::function<void()> fn);
+
+    /// Deterministic merged view; runs collectors first (outside the
+    /// registration lock, so collectors may register instruments).
+    MetricsSnapshot snapshot();
+
+    /// Zero every instrument's state; registrations are kept.
+    void reset();
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+/// Default duration buckets for ProfileScope histograms, in microseconds:
+/// 1us .. 1s in 1-5-10 steps.
+const std::vector<std::uint64_t>& duration_buckets_us();
+
+/// {start, start*factor, ...} (count bounds, rounded, strictly increasing)
+/// — for cost histograms (recovery flops, message words).
+std::vector<std::uint64_t> exponential_buckets(std::uint64_t start,
+                                               double factor, int count);
+
+/// RAII wall-clock timer: observes the scope's duration (microseconds) into
+/// a histogram at destruction. When the histogram is dead (disabled
+/// registry or empty handle) the clock is never read, so wrapping
+/// limb-kernel batches, collectives and FT-engine phases is free when
+/// metrics are off.
+class ProfileScope {
+public:
+    explicit ProfileScope(Histogram h) noexcept : h_(h), armed_(h.live()) {
+        if (armed_) start_ = std::chrono::steady_clock::now();
+    }
+    ~ProfileScope() {
+        if (!armed_) return;
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_);
+        h_.observe(static_cast<std::uint64_t>(us.count()));
+    }
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+private:
+    Histogram h_;
+    bool armed_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// One line at the top of every engine entry point: counts the run
+/// (ftmul_engine_runs_total{engine=...}) and times it
+/// (ftmul_engine_run_us{engine=...}).
+class EngineRunScope {
+public:
+    explicit EngineRunScope(const char* engine);
+
+private:
+    ProfileScope scope_;
+};
+
+/// Convenience forwarders to the process-wide registry.
+namespace metrics {
+
+inline Counter counter(std::string_view name, MetricLabels labels = {},
+                       std::string_view help = {}) {
+    return MetricsRegistry::global().counter(name, std::move(labels), help);
+}
+inline Gauge gauge(std::string_view name, MetricLabels labels = {},
+                   std::string_view help = {}) {
+    return MetricsRegistry::global().gauge(name, std::move(labels), help);
+}
+inline Histogram histogram(std::string_view name, MetricLabels labels,
+                           std::vector<std::uint64_t> bounds,
+                           std::string_view help = {}) {
+    return MetricsRegistry::global().histogram(name, std::move(labels),
+                                               std::move(bounds), help);
+}
+inline bool enabled() { return MetricsRegistry::global().enabled(); }
+
+}  // namespace metrics
+
+}  // namespace ftmul

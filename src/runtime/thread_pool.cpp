@@ -3,6 +3,19 @@
 namespace ftmul {
 
 ThreadPool::ThreadPool(std::size_t n) {
+    metric_runs_ = metrics::counter("ftmul_pool_runs_total", {},
+                                    "ThreadPool::run() dispatches");
+    metric_tasks_ = metrics::counter("ftmul_pool_tasks_total", {},
+                                     "per-worker task executions");
+    metric_run_us_ =
+        metrics::histogram("ftmul_pool_run_us", {}, duration_buckets_us(),
+                           "wall-clock of one pool dispatch (all workers)");
+    metric_task_us_ =
+        metrics::histogram("ftmul_pool_task_us", {}, duration_buckets_us(),
+                           "busy wall-clock of one worker's task");
+    metrics::gauge("ftmul_pool_threads_max", {},
+                   "largest pool spawned in this process")
+        .update_max(static_cast<std::int64_t>(n));
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -29,7 +42,11 @@ void ThreadPool::worker_loop(std::size_t index) {
             seen = generation_;
             task = task_;
         }
-        (*task)(index);
+        {
+            metric_tasks_.inc();
+            ProfileScope busy(metric_task_us_);
+            (*task)(index);
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             // Notify under the lock: the dispatcher may destroy the pool as
@@ -40,6 +57,8 @@ void ThreadPool::worker_loop(std::size_t index) {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& task) {
+    metric_runs_.inc();
+    ProfileScope dispatch(metric_run_us_);
     std::unique_lock<std::mutex> lock(mu_);
     task_ = &task;
     remaining_ = workers_.size();

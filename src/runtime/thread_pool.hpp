@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/metrics.hpp"
+
 namespace ftmul {
 
 /// Persistent pool of parked worker threads with a stable index -> worker
@@ -50,6 +52,13 @@ private:
     std::size_t remaining_ = 0;
     bool stop_ = false;
     std::vector<std::thread> workers_;
+
+    // Dispatch/busy-time instruments; utilization is the ratio of
+    // ftmul_pool_task_us sum to run_us sum x pool size.
+    Counter metric_runs_;
+    Counter metric_tasks_;
+    Histogram metric_run_us_;
+    Histogram metric_task_us_;
 };
 
 }  // namespace ftmul

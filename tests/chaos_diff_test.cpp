@@ -1,0 +1,225 @@
+// Tests for the chaos-campaign diff logic (tools/chaos_diff_core.hpp) and
+// the time-budget admission gate (tools/campaign_budget.hpp) that ftmul_chaos
+// and chaos_diff are built on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "../tools/campaign_budget.hpp"
+#include "../tools/chaos_diff_core.hpp"
+#include "runtime/json.hpp"
+
+namespace ftmul {
+namespace {
+
+using chaos::CampaignBudget;
+using chaos::DiffOptions;
+using chaos::DiffResult;
+using chaos::diff_reports;
+
+Json dist(double mean) {
+    Json d = Json::object();
+    d.set("samples", 4);
+    d.set("min", 1);
+    d.set("mean", mean);
+    d.set("max", 9);
+    return d;
+}
+
+Json counts(std::uint64_t clean, std::uint64_t absorbed,
+            std::uint64_t escalated, std::uint64_t wrong,
+            std::uint64_t errors, const char* absorbed_key,
+            const char* escalated_key) {
+    Json c = Json::object();
+    c.set("clean", clean);
+    c.set(absorbed_key, absorbed);
+    c.set(escalated_key, escalated);
+    c.set("wrong_product", wrong);
+    c.set("errors", errors);
+    return c;
+}
+
+/// A minimal but structurally faithful ftmul.chaos_report document.
+Json make_report() {
+    Json root = Json::object();
+    root.set("schema", "ftmul.chaos_report");
+    root.set("version", 2);
+
+    Json engines = Json::array();
+    for (const char* name : {"ft_linear", "ft_poly"}) {
+        Json e = Json::object();
+        e.set("engine", name);
+        e.set("counts", counts(40, 30, 30, 0, 0, "recovered", "retried"));
+        Json rec = Json::object();
+        rec.set("flops", dist(100.0));
+        rec.set("words", dist(50.0));
+        e.set("recovery_cost", std::move(rec));
+        e.set("retry_cost_flops", dist(2000.0));
+        engines.push_back(std::move(e));
+    }
+    root.set("engines", std::move(engines));
+
+    Json soft = Json::object();
+    {
+        Json c = counts(10, 60, 30, 0, 0, "corrected", "escalated");
+        c.set("wrong_interpolations", 0);
+        soft.set("counts", std::move(c));
+    }
+    soft.set("detection_rate", 1.0);
+    root.set("soft", std::move(soft));
+
+    Json straggler = Json::object();
+    straggler.set("counts", counts(20, 50, 30, 0, 0, "mitigated", "absorbed"));
+    Json adv = Json::object();
+    adv.set("coded_trials", 50);
+    adv.set("coded_faster", 50);
+    adv.set("rate", 1.0);
+    straggler.set("advantage", std::move(adv));
+    root.set("straggler", std::move(straggler));
+
+    Json totals = Json::object();
+    totals.set("wrong_product", 0);
+    totals.set("errors", 0);
+    root.set("totals", std::move(totals));
+    return root;
+}
+
+Json* engine_entry(Json& report, const std::string& name) {
+    Json& engines = const_cast<Json&>(report.at("engines"));
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        Json& e = const_cast<Json&>(engines.at(i));
+        if (e.at("engine").as_string() == name) return &e;
+    }
+    return nullptr;
+}
+
+TEST(ChaosDiff, IdenticalReportsHaveNoRegressions) {
+    const Json r = make_report();
+    const DiffResult d = diff_reports(r, r);
+    EXPECT_EQ(d.regressions, 0);
+    EXPECT_GT(d.compared, 10);
+}
+
+TEST(ChaosDiff, WrongProductIncreaseRegresses) {
+    const Json before = make_report();
+    Json after = make_report();
+    Json totals = Json::object();
+    totals.set("wrong_product", 1);
+    totals.set("errors", 0);
+    after.set("totals", std::move(totals));
+    Json* e = engine_entry(after, "ft_poly");
+    ASSERT_NE(e, nullptr);
+    e->set("counts", counts(40, 30, 29, 1, 0, "recovered", "retried"));
+
+    const DiffResult d = diff_reports(before, after);
+    EXPECT_EQ(d.regressions, 2);  // totals.wrong_product + ft_poly's
+}
+
+TEST(ChaosDiff, DetectionRateDropRegressesBeyondThreshold) {
+    const Json before = make_report();
+    Json within = make_report();
+    const_cast<Json*>(within.find("soft"))->set("detection_rate", 0.99);
+    EXPECT_EQ(diff_reports(before, within).regressions, 0);
+
+    Json beyond = make_report();
+    const_cast<Json*>(beyond.find("soft"))->set("detection_rate", 0.9);
+    EXPECT_EQ(diff_reports(before, beyond).regressions, 1);
+}
+
+TEST(ChaosDiff, AdvantageRateDropRegresses) {
+    const Json before = make_report();
+    Json after = make_report();
+    Json* straggler = const_cast<Json*>(after.find("straggler"));
+    Json adv = Json::object();
+    adv.set("coded_trials", 50);
+    adv.set("coded_faster", 40);
+    adv.set("rate", 0.8);
+    straggler->set("advantage", std::move(adv));
+    EXPECT_EQ(diff_reports(before, after).regressions, 1);
+}
+
+TEST(ChaosDiff, RecoveryCostGrowthRegressesBeyondThreshold) {
+    const Json before = make_report();
+    Json within = make_report();
+    Json* e = engine_entry(within, "ft_linear");
+    Json rec = Json::object();
+    rec.set("flops", dist(120.0));  // +20% < default 25% allowance
+    rec.set("words", dist(50.0));
+    e->set("recovery_cost", std::move(rec));
+    EXPECT_EQ(diff_reports(before, within).regressions, 0);
+
+    Json beyond = make_report();
+    e = engine_entry(beyond, "ft_linear");
+    Json rec2 = Json::object();
+    rec2.set("flops", dist(200.0));  // +100%
+    rec2.set("words", dist(50.0));
+    e->set("recovery_cost", std::move(rec2));
+    const DiffResult d = diff_reports(before, beyond);
+    EXPECT_EQ(d.regressions, 1);
+
+    // A tightened threshold flips the within-allowance case.
+    DiffOptions tight;
+    tight.cost_growth = 0.1;
+    EXPECT_EQ(diff_reports(before, within, tight).regressions, 1);
+}
+
+TEST(ChaosDiff, InEngineAbsorptionDropRegresses) {
+    const Json before = make_report();
+    Json after = make_report();
+    Json* e = engine_entry(after, "ft_poly");
+    // 70/100 absorbed -> 60/100 absorbed: a 0.1 drop > default 0.02.
+    e->set("counts", counts(40, 20, 40, 0, 0, "recovered", "retried"));
+    EXPECT_EQ(diff_reports(before, after).regressions, 1);
+}
+
+TEST(ChaosDiff, MissingEngineRegresses) {
+    const Json before = make_report();
+    Json after = make_report();
+    Json engines = Json::array();
+    // Drop ft_poly entirely.
+    engines.push_back(after.at("engines").at(0));
+    after.set("engines", std::move(engines));
+    const DiffResult d = diff_reports(before, after);
+    EXPECT_GE(d.regressions, 1);
+    bool found = false;
+    for (const std::string& line : d.lines) {
+        if (line.find("ft_poly missing") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ChaosDiff, MissingSectionsRegress) {
+    const Json before = make_report();
+    Json after = make_report();
+    // Rebuild without the soft section (Json has no erase; build fresh).
+    Json stripped = Json::object();
+    for (const auto& [k, v] : after.members()) {
+        if (k != "soft") stripped.set(k, v);
+    }
+    const DiffResult d = diff_reports(before, stripped);
+    EXPECT_GE(d.regressions, 1);
+}
+
+TEST(CampaignBudget, TrialCapAdmits) {
+    const auto now = std::chrono::steady_clock::now();
+    const CampaignBudget b = CampaignBudget::make(10, 0.0, now);
+    EXPECT_TRUE(b.admits(0, now));
+    EXPECT_TRUE(b.admits(9, now));
+    EXPECT_FALSE(b.admits(10, now));
+    // No wall-clock deadline when the budget is 0.
+    EXPECT_TRUE(b.admits(5, now + std::chrono::hours(24)));
+}
+
+TEST(CampaignBudget, DeadlineTripsWhicheverFirst) {
+    const auto now = std::chrono::steady_clock::now();
+    const CampaignBudget b = CampaignBudget::make(1000, 2.5, now);
+    EXPECT_TRUE(b.admits(0, now));
+    EXPECT_TRUE(b.admits(999, now + std::chrono::seconds(2)));
+    EXPECT_FALSE(b.admits(1, now + std::chrono::seconds(3)));
+    EXPECT_FALSE(b.admits(1000, now));  // cap still applies under budget
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ftmul::chaos {
+
+/// Admission control for a campaign: a trial-count cap and an optional
+/// wall-clock budget — whichever trips first ends the campaign. Workers
+/// consult admits() before starting each trial, so a budgeted campaign
+/// stops between trials (never mid-trial) and the report records how many
+/// trials actually completed.
+struct CampaignBudget {
+    std::uint64_t max_trials = 0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+
+    static CampaignBudget make(std::uint64_t max_trials, double time_budget_s,
+                               std::chrono::steady_clock::time_point now) {
+        CampaignBudget b;
+        b.max_trials = max_trials;
+        if (time_budget_s > 0.0) {
+            b.has_deadline = true;
+            b.deadline =
+                now + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(time_budget_s));
+        }
+        return b;
+    }
+
+    bool admits(std::uint64_t trial_index,
+                std::chrono::steady_clock::time_point now) const noexcept {
+        if (trial_index >= max_trials) return false;
+        return !has_deadline || now < deadline;
+    }
+};
+
+}  // namespace ftmul::chaos

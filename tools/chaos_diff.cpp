@@ -1,0 +1,108 @@
+// chaos_diff: compare two chaos-campaign reports (schema ftmul.chaos_report)
+// and fail on resilience regressions — the campaign twin of bench_diff.
+// Outcome counts that must stay zero (wrong products, errors) regress on any
+// increase; in-engine absorption, soft detection and coded straggler
+// advantage tolerate a small absolute rate drop (--rate-drop) and recovery /
+// retry cost distributions a fractional mean growth (--cost-growth), because
+// two campaigns sample different fault sets. An engine present in the old
+// report but absent from the new one is always a regression.
+//
+// Usage:
+//   chaos_diff OLD.json NEW.json [--rate-drop F] [--cost-growth F] [--quiet]
+//
+// Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos_diff_core.hpp"
+#include "runtime/json.hpp"
+#include "runtime/report.hpp"
+
+namespace {
+
+using ftmul::Json;
+
+struct Options {
+    std::string old_path;
+    std::string new_path;
+    ftmul::chaos::DiffOptions diff;
+    bool quiet = false;  ///< print regressions only
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s OLD.json NEW.json [--rate-drop F] "
+                 "[--cost-growth F] [--quiet]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options o;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--rate-drop") {
+            o.diff.rate_drop = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--cost-growth") {
+            o.diff.cost_growth = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--quiet") {
+            o.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) usage(argv[0]);
+    o.old_path = positional[0];
+    o.new_path = positional[1];
+    return o;
+}
+
+Json load_report(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "chaos_diff: cannot read %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Json root = Json::parse(buf.str());
+    const Json* schema = root.find("schema");
+    if (!schema || schema->as_string() != ftmul::kChaosReportSchema) {
+        std::fprintf(stderr, "chaos_diff: %s is not a %s report\n",
+                     path.c_str(), ftmul::kChaosReportSchema);
+        std::exit(2);
+    }
+    return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    const Json before = load_report(opt.old_path);
+    const Json after = load_report(opt.new_path);
+
+    const ftmul::chaos::DiffResult result =
+        ftmul::chaos::diff_reports(before, after, opt.diff);
+    for (const std::string& line : result.lines) {
+        const bool regressed = line.rfind("REGRESSION:", 0) == 0;
+        if (opt.quiet && !regressed) continue;
+        std::fprintf(regressed ? stderr : stdout, "%s\n", line.c_str());
+    }
+    std::printf("%d comparisons, %d regressions\n", result.compared,
+                result.regressions);
+    return result.regressions == 0 ? 0 : 1;
+}

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/json.hpp"
+
+namespace ftmul::chaos {
+
+/// Thresholds for cross-campaign comparison. Outcome *counts* that must be
+/// zero (wrong products, errors) regress on any increase; resilience rates
+/// (in-engine absorption, soft detection, coded advantage) tolerate a small
+/// absolute drop, and cost distributions a fractional mean growth, because
+/// two campaigns with different seeds or sizes sample different fault sets.
+struct DiffOptions {
+    double rate_drop = 0.02;    ///< allowed absolute drop in a rate [0,1]
+    double cost_growth = 0.25;  ///< allowed fractional growth of a mean cost
+};
+
+struct DiffResult {
+    int regressions = 0;
+    int compared = 0;
+    std::vector<std::string> lines;  ///< human-readable, one per comparison
+};
+
+namespace detail_diff {
+
+inline const Json* path(const Json& root,
+                        std::initializer_list<const char*> keys) {
+    const Json* cur = &root;
+    for (const char* k : keys) {
+        if (cur == nullptr) return nullptr;
+        cur = cur->find(k);
+    }
+    return cur;
+}
+
+inline double num(const Json* j, double fallback = 0.0) {
+    return j != nullptr && j->is_number() ? j->as_double() : fallback;
+}
+
+inline std::string fmt(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/// Trial-weighted outcome rate: share of an outcome-count map's total held
+/// by the "absorbed without escalation" outcomes.
+inline double absorption_rate(const Json* counts,
+                              std::initializer_list<const char*> good) {
+    if (counts == nullptr) return 0.0;
+    double total = 0.0;
+    for (const auto& [k, v] : counts->members()) {
+        if (v.is_number()) total += v.as_double();
+    }
+    if (total == 0.0) return 1.0;
+    double in = 0.0;
+    for (const char* k : good) in += num(counts->find(k));
+    return in / total;
+}
+
+}  // namespace detail_diff
+
+/// Compare two ftmul.chaos_report documents (the caller validates schema).
+/// Regressions: any increase in wrong products or errors (totals, per
+/// engine, soft, straggler); an in-engine absorption-rate, soft
+/// detection-rate or straggler coded-advantage drop beyond
+/// DiffOptions::rate_drop; recovery/retry mean-cost growth beyond
+/// DiffOptions::cost_growth; an engine present before but missing after.
+inline DiffResult diff_reports(const Json& before, const Json& after,
+                               const DiffOptions& opt = {}) {
+    using detail_diff::absorption_rate;
+    using detail_diff::fmt;
+    using detail_diff::num;
+    using detail_diff::path;
+
+    DiffResult out;
+    auto note = [&](bool regressed, const std::string& what) {
+        ++out.compared;
+        if (regressed) {
+            ++out.regressions;
+            out.lines.push_back("REGRESSION: " + what);
+        } else {
+            out.lines.push_back("ok: " + what);
+        }
+    };
+    auto check_count = [&](const std::string& where, const Json* b,
+                           const Json* a) {
+        const double vb = num(b);
+        const double va = num(a);
+        note(va > vb,
+             where + " " + fmt(vb) + " -> " + fmt(va) +
+                 (va > vb ? " (must not increase)" : ""));
+    };
+    auto check_rate = [&](const std::string& where, double rb, double ra) {
+        note(ra < rb - opt.rate_drop,
+             where + " " + fmt(rb) + " -> " + fmt(ra));
+    };
+    // A mean with no baseline samples (or zero mean) has nothing to grow
+    // from; campaigns that never escalated simply skip the comparison.
+    auto check_cost = [&](const std::string& where, const Json* b,
+                          const Json* a) {
+        const double mb = num(b == nullptr ? nullptr : b->find("mean"));
+        const double ma = num(a == nullptr ? nullptr : a->find("mean"));
+        if (mb <= 0.0) return;
+        note(ma > mb * (1.0 + opt.cost_growth),
+             where + " mean " + fmt(mb) + " -> " + fmt(ma));
+    };
+
+    check_count("totals.wrong_product", path(before, {"totals", "wrong_product"}),
+                path(after, {"totals", "wrong_product"}));
+    check_count("totals.errors", path(before, {"totals", "errors"}),
+                path(after, {"totals", "errors"}));
+
+    // Engines are matched by name; order in the array is already canonical
+    // but a diff must not depend on it.
+    std::map<std::string, const Json*> after_engines;
+    if (const Json* engines = after.find("engines")) {
+        for (const Json& e : engines->items()) {
+            if (const Json* name = e.find("engine")) {
+                after_engines[name->as_string()] = &e;
+            }
+        }
+    }
+    if (const Json* engines = before.find("engines")) {
+        for (const Json& e : engines->items()) {
+            const Json* name = e.find("engine");
+            if (name == nullptr) continue;
+            const std::string id = name->as_string();
+            auto it = after_engines.find(id);
+            if (it == after_engines.end()) {
+                note(true, "engine " + id + " missing from the after report");
+                continue;
+            }
+            const Json& a = *it->second;
+            check_count(id + ".wrong_product",
+                        path(e, {"counts", "wrong_product"}),
+                        path(a, {"counts", "wrong_product"}));
+            check_count(id + ".errors", path(e, {"counts", "errors"}),
+                        path(a, {"counts", "errors"}));
+            check_rate(
+                id + ".in_engine_rate",
+                absorption_rate(e.find("counts"), {"clean", "recovered"}),
+                absorption_rate(a.find("counts"), {"clean", "recovered"}));
+            check_cost(id + ".recovery_cost.flops",
+                       path(e, {"recovery_cost", "flops"}),
+                       path(a, {"recovery_cost", "flops"}));
+            check_cost(id + ".retry_cost_flops", e.find("retry_cost_flops"),
+                       a.find("retry_cost_flops"));
+        }
+    }
+
+    const Json* sb = before.find("soft");
+    const Json* sa = after.find("soft");
+    if (sb != nullptr && sa == nullptr) {
+        note(true, "soft section missing from the after report");
+    } else if (sb != nullptr && sa != nullptr) {
+        check_count("soft.wrong_product", path(*sb, {"counts", "wrong_product"}),
+                    path(*sa, {"counts", "wrong_product"}));
+        check_count("soft.errors", path(*sb, {"counts", "errors"}),
+                    path(*sa, {"counts", "errors"}));
+        check_count("soft.wrong_interpolations",
+                    path(*sb, {"counts", "wrong_interpolations"}),
+                    path(*sa, {"counts", "wrong_interpolations"}));
+        check_rate("soft.detection_rate", num(sb->find("detection_rate"), 1.0),
+                   num(sa->find("detection_rate"), 1.0));
+        check_rate("soft.in_code_rate",
+                   absorption_rate(sb->find("counts"), {"clean", "corrected"}),
+                   absorption_rate(sa->find("counts"), {"clean", "corrected"}));
+    }
+
+    const Json* gb = before.find("straggler");
+    const Json* ga = after.find("straggler");
+    if (gb != nullptr && ga == nullptr) {
+        note(true, "straggler section missing from the after report");
+    } else if (gb != nullptr && ga != nullptr) {
+        check_count("straggler.wrong_product",
+                    path(*gb, {"counts", "wrong_product"}),
+                    path(*ga, {"counts", "wrong_product"}));
+        check_count("straggler.errors", path(*gb, {"counts", "errors"}),
+                    path(*ga, {"counts", "errors"}));
+        check_rate("straggler.advantage_rate",
+                   num(path(*gb, {"advantage", "rate"}), 1.0),
+                   num(path(*ga, {"advantage", "rate"}), 1.0));
+        check_rate("straggler.mitigation_rate",
+                   absorption_rate(gb->find("counts"), {"clean", "mitigated"}),
+                   absorption_rate(ga->find("counts"), {"clean", "mitigated"}));
+    }
+
+    return out;
+}
+
+}  // namespace ftmul::chaos

@@ -21,30 +21,45 @@
 // report JSON is byte-identical for --jobs 1 and --jobs N.
 //
 // Usage:
-//   ftmul_chaos [--trials N] [--seed S] [--bits B] [--out FILE]
+//   ftmul_chaos [--trials N | --max-trials N] [--time-budget-s S]
+//               [--seed S] [--bits B] [--out FILE]
 //               [--engines a,b,...] [--rates r1,r2,...]
 //               [--categories hard,soft,straggler] [--straggler-rounds R]
-//               [--jobs N] [--smoke] [--quiet]
+//               [--jobs N] [--progress] [--progress-interval-s S]
+//               [--metrics] [--metrics-out FILE] [--metrics-format prom|json]
+//               [--smoke] [--quiet]
 //
 // --smoke shrinks the campaign (~8 trials/combination, smaller operands)
-// for CI.
+// for CI. --time-budget-s bounds the campaign's wall clock: trial admission
+// stops when the budget or the trial cap trips, whichever comes first, and
+// the report's "trials_completed" records how far it got. --progress streams
+// a heartbeat line (per-category outcome tallies + throughput) to stderr;
+// it never touches the report bytes. --metrics embeds an ftmul.metrics v1
+// section as the report's last key; the non-metrics sections stay
+// byte-identical to a metrics-off run.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bigint/random.hpp"
+#include "campaign_budget.hpp"
 #include "core/ft_poly.hpp"
 #include "core/ft_soft.hpp"
 #include "core/parallel.hpp"
 #include "core/resilient.hpp"
 #include "runtime/fault_injector.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/report.hpp"
 #include "runtime/thread_pool.hpp"
 #include "toom/sequential.hpp"
@@ -78,6 +93,12 @@ struct Options {
                                         Category::Straggler};
     std::uint64_t straggler_rounds = 65536;
     std::size_t jobs = 1;
+    double time_budget_s = 0.0;  ///< 0 = unbounded wall clock
+    bool progress = false;
+    double progress_interval_s = 2.0;
+    bool metrics = false;
+    std::string metrics_out;
+    std::string metrics_format = "prom";
     bool smoke = false;
     bool quiet = false;
 };
@@ -85,11 +106,15 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(
         stderr,
-        "usage: %s [--trials N] [--seed S] [--bits B] [--out FILE]\n"
+        "usage: %s [--trials N | --max-trials N] [--time-budget-s S]\n"
+        "          [--seed S] [--bits B] [--out FILE]\n"
         "          [--engines a,b,...] [--rates r1,r2,...]\n"
         "          [--categories hard,soft,straggler] "
         "[--straggler-rounds R]\n"
-        "          [--jobs N] [--smoke] [--quiet]\n",
+        "          [--jobs N] [--progress] [--progress-interval-s S]\n"
+        "          [--metrics] [--metrics-out FILE] "
+        "[--metrics-format prom|json]\n"
+        "          [--smoke] [--quiet]\n",
         argv0);
     std::exit(2);
 }
@@ -115,9 +140,12 @@ Options parse_args(int argc, char** argv) {
             if (i + 1 >= argc) usage(argv[0]);
             return argv[++i];
         };
-        if (arg == "--trials") {
+        if (arg == "--trials" || arg == "--max-trials") {
             o.trials = std::strtoull(value().c_str(), nullptr, 10);
             o.trials_set = true;
+        } else if (arg == "--time-budget-s") {
+            o.time_budget_s = std::strtod(value().c_str(), nullptr);
+            if (o.time_budget_s < 0.0) usage(argv[0]);
         } else if (arg == "--seed") {
             o.seed = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--bits") {
@@ -150,6 +178,24 @@ Options parse_args(int argc, char** argv) {
         } else if (arg == "--jobs") {
             o.jobs = std::strtoull(value().c_str(), nullptr, 10);
             if (o.jobs == 0) o.jobs = 1;
+        } else if (arg == "--progress") {
+            o.progress = true;
+        } else if (arg == "--progress-interval-s") {
+            o.progress_interval_s = std::strtod(value().c_str(), nullptr);
+            if (o.progress_interval_s <= 0.0) usage(argv[0]);
+            o.progress = true;
+        } else if (arg == "--metrics") {
+            o.metrics = true;
+        } else if (arg == "--metrics-out") {
+            o.metrics_out = value();
+            o.metrics = true;
+        } else if (arg == "--metrics-format") {
+            o.metrics_format = value();
+            if (o.metrics_format != "prom" && o.metrics_format != "json") {
+                std::fprintf(stderr, "unknown metrics format: %s\n",
+                             o.metrics_format.c_str());
+                usage(argv[0]);
+            }
         } else if (arg == "--smoke") {
             o.smoke = true;
         } else if (arg == "--quiet") {
@@ -199,6 +245,8 @@ struct Dist {
 /// One trial's full outcome, stored per trial index so a parallel campaign
 /// aggregates in deterministic trial order afterwards.
 struct TrialResult {
+    bool ran = false;  ///< false when the time budget stopped the campaign
+                       ///< before this slot was admitted
     Category cat = Category::Hard;
     std::string engine;    ///< hard trials: the FT engine swept
     std::string rate_key;  ///< "%g" of the combo's rate
@@ -306,6 +354,75 @@ std::string rate_key_of(double rate) {
 
 void note_error(std::vector<std::string>& samples, const std::string& what) {
     if (samples.size() < 3) samples.push_back(what);
+}
+
+constexpr int kCategories = 3;
+constexpr int kOutcomes = 5;
+
+const char* outcome_name(TrialResult::Outcome o) {
+    switch (o) {
+        case TrialResult::Outcome::Clean: return "clean";
+        case TrialResult::Outcome::Recovered: return "recovered";
+        case TrialResult::Outcome::Retried: return "retried";
+        case TrialResult::Outcome::WrongProduct: return "wrong_product";
+        case TrialResult::Outcome::Error: return "error";
+    }
+    return "unknown";
+}
+
+/// Worker-maintained running tallies feeding the --progress heartbeat and
+/// nothing else: the report is aggregated from the per-trial slots, so these
+/// relaxed counters cannot perturb its bytes.
+struct LiveTally {
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> counts[kCategories][kOutcomes]{};
+
+    void note(Category c, TrialResult::Outcome o) {
+        counts[static_cast<int>(c)][static_cast<int>(o)].fetch_add(
+            1, std::memory_order_relaxed);
+        done.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+/// One heartbeat line on stderr:
+///   chaos: <elapsed>s <done>/<target> trials (<rate>/s) | <category>
+///   clean=N recovered=N retried=N wrong=N errors=N | ...
+/// with one segment per campaign category, in hard,soft,straggler order.
+void print_progress(const Options& opt, const LiveTally& live,
+                    std::chrono::steady_clock::time_point start) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::uint64_t done = live.done.load(std::memory_order_relaxed);
+    char head[128];
+    std::snprintf(head, sizeof(head), "chaos: %.1fs %llu/%llu trials (%.1f/s)",
+                  elapsed, static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(opt.trials),
+                  elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0);
+    std::string line = head;
+    for (Category c :
+         {Category::Hard, Category::Soft, Category::Straggler}) {
+        if (std::find(opt.categories.begin(), opt.categories.end(), c) ==
+            opt.categories.end()) {
+            continue;
+        }
+        const auto& row = live.counts[static_cast<int>(c)];
+        auto n = [&](TrialResult::Outcome o) {
+            return static_cast<unsigned long long>(
+                row[static_cast<int>(o)].load(std::memory_order_relaxed));
+        };
+        char seg[160];
+        std::snprintf(seg, sizeof(seg),
+                      " | %s clean=%llu recovered=%llu retried=%llu "
+                      "wrong=%llu errors=%llu",
+                      to_string(c), n(TrialResult::Outcome::Clean),
+                      n(TrialResult::Outcome::Recovered),
+                      n(TrialResult::Outcome::Retried),
+                      n(TrialResult::Outcome::WrongProduct),
+                      n(TrialResult::Outcome::Error));
+        line += seg;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -544,6 +661,7 @@ void run_straggler_trial(TrialResult& tr, const BigInt& a, const BigInt& b,
 
 int main(int argc, char** argv) {
     Options opt = parse_args(argc, argv);
+    if (opt.metrics) MetricsRegistry::global().set_enabled(true);
 
     ResilientConfig proto;
     proto.base.k = 2;
@@ -576,15 +694,37 @@ int main(int argc, char** argv) {
     }
     if (opt.trials == 0) usage(argv[0]);
 
+    // Trial-completion counters, one per (category, outcome). Registered
+    // up front — with a fixed label set regardless of which combos run —
+    // so workers only touch pre-resolved handles.
+    Counter trial_counters[kCategories][kOutcomes];
+    for (int c = 0; c < kCategories; ++c) {
+        for (int o = 0; o < kOutcomes; ++o) {
+            trial_counters[c][o] = metrics::counter(
+                "ftmul_chaos_trials_total",
+                {{"category", to_string(static_cast<Category>(c))},
+                 {"outcome",
+                  outcome_name(static_cast<TrialResult::Outcome>(o))}},
+                "campaign trials completed, by category and outcome");
+        }
+    }
+
     // Run every trial, in parallel when --jobs > 1. Results land in a
     // per-trial slot; all aggregation below walks them serially in trial
     // order, which is what makes the report bytes independent of the job
-    // count and the scheduling.
+    // count and the scheduling. The budget gate runs between trials: a
+    // campaign over its wall-clock budget stops admitting new trials and
+    // reports whatever completed.
+    const auto campaign_start = std::chrono::steady_clock::now();
+    const chaos::CampaignBudget budget = chaos::CampaignBudget::make(
+        opt.trials, opt.time_budget_s, campaign_start);
     std::vector<TrialResult> results(opt.trials);
     std::atomic<std::uint64_t> next{0};
+    LiveTally live;
     auto worker = [&]() {
         for (std::uint64_t t = next.fetch_add(1); t < opt.trials;
              t = next.fetch_add(1)) {
+            if (!budget.admits(t, std::chrono::steady_clock::now())) break;
             const Combo& combo = combos[t % combos.size()];
             TrialResult& tr = results[t];
             tr.cat = combo.cat;
@@ -622,13 +762,46 @@ int main(int argc, char** argv) {
                 tr.outcome = TrialResult::Outcome::Error;
                 tr.error = "unknown exception";
             }
+            tr.ran = true;
+            live.note(tr.cat, tr.outcome);
+            trial_counters[static_cast<int>(tr.cat)]
+                          [static_cast<int>(tr.outcome)]
+                              .inc();
         }
     };
+
+    // The heartbeat rides on a condition variable so the final line prints
+    // the moment workers drain rather than an interval later.
+    std::mutex progress_mu;
+    std::condition_variable progress_cv;
+    bool campaign_over = false;
+    std::thread heartbeat;
+    if (opt.progress) {
+        heartbeat = std::thread([&]() {
+            std::unique_lock<std::mutex> lock(progress_mu);
+            while (!progress_cv.wait_for(
+                lock, std::chrono::duration<double>(opt.progress_interval_s),
+                [&]() { return campaign_over; })) {
+                print_progress(opt, live, campaign_start);
+            }
+            print_progress(opt, live, campaign_start);
+        });
+    }
+
     if (opt.jobs <= 1) {
         worker();
     } else {
         ThreadPool pool(opt.jobs);
         pool.run([&](std::size_t) { worker(); });
+    }
+
+    if (heartbeat.joinable()) {
+        {
+            const std::lock_guard<std::mutex> lock(progress_mu);
+            campaign_over = true;
+        }
+        progress_cv.notify_all();
+        heartbeat.join();
     }
 
     // ---- deterministic aggregation, in trial order --------------------
@@ -637,8 +810,11 @@ int main(int argc, char** argv) {
     std::map<std::string, std::map<std::string, RateTally>> rate_tallies;
     SoftTally soft;
     StragglerTally straggler;
+    std::uint64_t trials_completed = 0;
 
     for (const TrialResult& tr : results) {
+        if (!tr.ran) continue;  // budget stopped the campaign before this slot
+        ++trials_completed;
         const bool in_engine =
             tr.outcome == Outcome::Clean || tr.outcome == Outcome::Recovered;
         if (tr.cat == Category::Hard) {
@@ -734,6 +910,8 @@ int main(int argc, char** argv) {
     Json root = report_header(kChaosReportSchema, kChaosReportVersion);
     root.set("seed", opt.seed);
     root.set("trials", opt.trials);
+    root.set("trials_completed", trials_completed);
+    if (opt.time_budget_s > 0.0) root.set("time_budget_s", opt.time_budget_s);
     root.set("bits", static_cast<std::uint64_t>(opt.bits));
     {
         Json cfg = Json::object();
@@ -962,11 +1140,29 @@ int main(int argc, char** argv) {
         root.set("totals", std::move(totals));
     }
 
+    // The metrics section is the report's LAST key: stripping it (or running
+    // metrics-off) leaves the v2 report byte-identical up to that point.
+    if (metrics::enabled()) {
+        root.set("metrics", MetricsRegistry::global().snapshot().to_json());
+    }
+
     if (!write_text_file(opt.out, root.dump(2) + "\n")) {
         std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
         return 2;
     }
     if (!opt.quiet) std::printf("wrote %s\n", opt.out.c_str());
+
+    if (!opt.metrics_out.empty()) {
+        const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+        const std::string text = opt.metrics_format == "json"
+                                     ? snap.to_json().dump(2) + "\n"
+                                     : snap.to_prometheus();
+        if (!write_text_file(opt.metrics_out, text)) {
+            std::fprintf(stderr, "cannot write %s\n", opt.metrics_out.c_str());
+            return 2;
+        }
+        if (!opt.quiet) std::printf("wrote %s\n", opt.metrics_out.c_str());
+    }
 
     if (total_wrong != 0 || total_errors != 0) {
         std::fprintf(stderr,
