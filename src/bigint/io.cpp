@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "bigint/bigint.hpp"
+#include "bigint/limb_arena.hpp"
+#include "bigint/ops_counter.hpp"
 
 namespace ftmul {
 
@@ -32,6 +34,11 @@ BigInt BigInt::from_decimal(std::string_view s) {
     if (s.empty()) throw std::invalid_argument("BigInt::from_decimal: empty input");
 
     BigInt value;
+    // ~19 decimal digits per limb; reserve once so the magnitude grows
+    // without reallocating per chunk. The value is built in place —
+    // value = value * scale + chunk — with the same OpsCounter charges as
+    // the former mul_small/operator+= sequence.
+    value.mag_.reserve(s.size() / 19 + 2);
     std::size_t i = 0;
     while (i < s.size()) {
         const std::size_t len = std::min<std::size_t>(kDecChunkDigits, s.size() - i);
@@ -45,8 +52,27 @@ BigInt BigInt::from_decimal(std::string_view s) {
             chunk = chunk * 10 + static_cast<std::uint64_t>(c - '0');
             scale *= 10;
         }
-        value = from_parts(1, detail::mul_small(value.mag_, scale));
-        value += from_parts(1, detail::Limbs{chunk});
+        if (!value.mag_.empty()) {
+            const std::size_t n0 = value.mag_.size();
+            std::uint64_t carry = 0;
+            for (std::size_t w = 0; w < n0; ++w) {
+                const auto t = static_cast<unsigned __int128>(value.mag_[w]) *
+                                   scale +
+                               carry;
+                value.mag_[w] = static_cast<std::uint64_t>(t);
+                carry = static_cast<std::uint64_t>(t >> 64);
+            }
+            if (carry != 0) value.mag_.push_back(carry);
+            OpsCounter::add(n0);  // matches the former mul_small
+        }
+        if (chunk != 0) {
+            if (value.mag_.empty()) {
+                value.mag_.push_back(chunk);
+                value.sign_ = 1;
+            } else {
+                detail::add_into(value.mag_, &chunk, 1);
+            }
+        }
         i += len;
     }
     if (negative && !value.is_zero()) value.sign_ = -1;
@@ -73,15 +99,37 @@ BigInt BigInt::from_hex(std::string_view s) {
 
 std::string BigInt::to_decimal() const {
     if (is_zero()) return "0";
-    detail::Limbs work = mag_;
-    std::vector<std::uint64_t> chunks;  // least-significant first
-    while (!work.empty()) {
-        chunks.push_back(detail::divmod_small(work, kDecChunk));
+    // Working copy and the chunk list are arena scratch: repeated
+    // to_decimal calls (tracing, logging, test assertions) allocate no
+    // heap after warmup. Charges replicate divmod_small exactly —
+    // add(size-after-normalize + 1) per division pass.
+    const std::size_t nw = mag_.size();
+    detail::ArenaScope scope;
+    std::uint64_t* work = scope.alloc(nw);
+    std::copy(mag_.begin(), mag_.end(), work);
+    // Each 64-bit limb carries ~19.27 decimal digits, each chunk exactly
+    // 19, so nw + nw/32 + 2 over-covers the chunk count.
+    std::uint64_t* chunks = scope.alloc(nw + nw / 32 + 2);
+    std::size_t nchunks = 0;
+    std::size_t wn = nw;
+    while (wn != 0) {
+        std::uint64_t rem = 0;
+        for (std::size_t i = wn; i-- > 0;) {
+            const auto cur =
+                (static_cast<unsigned __int128>(rem) << 64) | work[i];
+            work[i] = static_cast<std::uint64_t>(cur / kDecChunk);
+            rem = static_cast<std::uint64_t>(cur % kDecChunk);
+        }
+        while (wn != 0 && work[wn - 1] == 0) --wn;
+        OpsCounter::add(wn + 1);  // matches divmod_small
+        chunks[nchunks++] = rem;
     }
     std::string out;
+    out.reserve((sign_ < 0 ? 1 : 0) +
+                nchunks * static_cast<std::size_t>(kDecChunkDigits));
     if (sign_ < 0) out.push_back('-');
-    out += std::to_string(chunks.back());
-    for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    out += std::to_string(chunks[nchunks - 1]);
+    for (std::size_t i = nchunks - 1; i-- > 0;) {
         std::string chunk = std::to_string(chunks[i]);
         out.append(static_cast<std::size_t>(kDecChunkDigits) - chunk.size(), '0');
         out += chunk;

@@ -1,13 +1,66 @@
 #include "bigint/limb_ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstring>
 
+#include "bigint/limb_arena.hpp"
 #include "bigint/ops_counter.hpp"
 
 namespace ftmul::detail {
+
+namespace {
+
+// Kernel batch-size histograms (see kernel_stats in the header). Plain
+// process-wide relaxed atomics so the bigint layer stays free of any
+// runtime/metrics dependency; the registry pulls these via a collector.
+std::atomic<bool> g_kernel_stats_enabled{false};
+using KernelHist = std::array<std::atomic<std::uint64_t>, kernel_stats::kBuckets>;
+KernelHist g_mul_rows{};
+KernelHist g_addmul_rows{};
+KernelHist g_add_rows{};
+
+inline void record_row(KernelHist& h, std::size_t len) noexcept {
+    if (!g_kernel_stats_enabled.load(std::memory_order_relaxed)) [[likely]] {
+        return;
+    }
+    if (len == 0) return;
+    std::size_t b = static_cast<std::size_t>(std::bit_width(len)) - 1;
+    if (b >= kernel_stats::kBuckets) b = kernel_stats::kBuckets - 1;
+    h[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace kernel_stats {
+
+void set_enabled(bool on) noexcept {
+    g_kernel_stats_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept {
+    return g_kernel_stats_enabled.load(std::memory_order_relaxed);
+}
+
+void reset() noexcept {
+    for (auto* h : {&g_mul_rows, &g_addmul_rows, &g_add_rows}) {
+        for (auto& c : *h) c.store(0, std::memory_order_relaxed);
+    }
+}
+
+Snapshot snapshot() noexcept {
+    Snapshot s{};
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        s.mul_rows[i] = g_mul_rows[i].load(std::memory_order_relaxed);
+        s.addmul_rows[i] = g_addmul_rows[i].load(std::memory_order_relaxed);
+        s.add_rows[i] = g_add_rows[i].load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+}  // namespace kernel_stats
 
 namespace {
 using u64 = std::uint64_t;
@@ -366,6 +419,7 @@ void mul_to(u64* out, const u64* a, std::size_t an, const u64* b,
         std::swap(a, b);
         std::swap(an, bn);
     }
+    record_row(g_mul_rows, bn);
     std::memset(out, 0, (an + bn) * sizeof(u64));
     OpsCounter::add(an * bn);
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -429,6 +483,7 @@ Limbs mul_small(const Limbs& a, u64 m) {
 
 void addmul_small(Limbs& acc, const Limbs& x, u64 m) {
     if (x.empty() || m == 0) return;
+    record_row(g_addmul_rows, x.size());
     if (acc.size() < x.size() + 1) acc.resize(x.size() + 1, 0);
     u64 carry = 0;
     std::size_t i = 0;
@@ -448,6 +503,7 @@ void addmul_small(Limbs& acc, const Limbs& x, u64 m) {
 }
 
 void add_into(Limbs& acc, const Limbs& b) {
+    record_row(g_add_rows, b.size());
     OpsCounter::add(std::max(acc.size(), b.size()));
     // Self-addition (doubling) is safe: sizes are equal so no resize happens,
     // and add_n reads each limb pair before storing.
@@ -464,6 +520,7 @@ void add_into(Limbs& acc, const Limbs& b) {
 
 void add_into(Limbs& acc, const u64* b, std::size_t bn) {
     assert(bn == 0 || b + bn <= acc.data() || b >= acc.data() + acc.size());
+    record_row(g_add_rows, bn);
     OpsCounter::add(std::max(acc.size(), bn));
     if (acc.size() < bn) acc.resize(bn, 0);
     u64 carry = add_n(acc.data(), acc.data(), b, bn);
@@ -617,14 +674,38 @@ void divmod(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r) {
     }
 
     // Knuth TAOCP vol.2 Algorithm D with the usual normalization so the
-    // divisor's top limb has its high bit set.
+    // divisor's top limb has its high bit set. The normalized copies vn/un
+    // are scratch that dies with the call — arena words, not vectors, so
+    // repeated divisions (radix conversion, recovery-path rationals)
+    // allocate nothing after warmup. Charges replicate the old
+    // shl/shl/shr-based path exactly.
     const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
-    Limbs vn = shl(b, s);
-    Limbs un = shl(a, s);
-    const std::size_t n = vn.size();
+    const std::size_t n = b.size();
     const std::size_t usize = a.size();
-    un.resize(usize + 1, 0);
     const std::size_t m = usize - n;
+    ArenaScope scope;
+    u64* vn = scope.alloc(n);
+    u64* un = scope.alloc(usize + 1);
+    if (s == 0) {
+        std::copy(b.begin(), b.end(), vn);
+        std::copy(a.begin(), a.end(), un);
+        un[usize] = 0;
+    } else {
+        u64 carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            vn[i] = (b[i] << s) | carry;
+            carry = b[i] >> (64 - s);
+        }
+        assert(carry == 0);  // s = clz(b.back()) leaves no spill
+        carry = 0;
+        for (std::size_t i = 0; i < usize; ++i) {
+            un[i] = (a[i] << s) | carry;
+            carry = a[i] >> (64 - s);
+        }
+        un[usize] = carry;
+    }
+    OpsCounter::add(n);      // matches the former shl(b, s)
+    OpsCounter::add(usize);  // matches the former shl(a, s)
 
     q.assign(m + 1, 0);
     for (std::size_t j = m + 1; j-- > 0;) {
@@ -677,8 +758,19 @@ void divmod(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r) {
         q[j] = qh;
     }
 
-    un.resize(n);
-    r = shr(un, s);
+    // r = un[0..n) >> s, written straight into the caller's vector with the
+    // former shr()'s charge (its post-normalize size).
+    r.resize(n);
+    if (s == 0) {
+        std::copy(un, un + n, r.begin());
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            const u64 hi = i + 1 < n ? un[i + 1] : 0;
+            r[i] = (un[i] >> s) | (hi << (64 - s));
+        }
+    }
+    normalize(r);
+    OpsCounter::add(r.size());
     normalize(q);
     OpsCounter::add((m + 1) * n);
 }
@@ -755,6 +847,82 @@ Limbs mul_reference(const Limbs& a, const Limbs& b) {
     normalize(out);
     OpsCounter::add(a.size() * b.size());
     return out;
+}
+
+void divmod_reference(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r) {
+    assert(!b.empty());
+    if (cmp(a, b) < 0) {
+        q.clear();
+        r = a;
+        return;
+    }
+    if (b.size() == 1) {
+        q = a;
+        const u64 rem = divmod_small(q, b[0]);
+        r = rem ? Limbs{rem} : Limbs{};
+        return;
+    }
+    const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
+    Limbs vn = shl(b, s);
+    Limbs un = shl(a, s);
+    const std::size_t n = vn.size();
+    const std::size_t usize = a.size();
+    un.resize(usize + 1, 0);
+    const std::size_t m = usize - n;
+
+    q.assign(m + 1, 0);
+    for (std::size_t j = m + 1; j-- > 0;) {
+        const u64 u2 = un[j + n];
+        const u64 u1 = un[j + n - 1];
+        const u64 u0 = un[j + n - 2];
+        const u128 num = (static_cast<u128>(u2) << 64) | u1;
+
+        u128 qhat = num / vn[n - 1];
+        u128 rhat = num % vn[n - 1];
+        while (qhat >= (static_cast<u128>(1) << 64) ||
+               qhat * vn[n - 2] > ((rhat << 64) | u0)) {
+            --qhat;
+            rhat += vn[n - 1];
+            if (rhat >= (static_cast<u128>(1) << 64)) break;
+        }
+        u64 qh = static_cast<u64>(qhat);
+
+        u64 mul_carry = 0;
+        u64 borrow = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const u128 p = static_cast<u128>(qh) * vn[i] + mul_carry;
+            mul_carry = static_cast<u64>(p >> 64);
+            const u64 plo = static_cast<u64>(p);
+            const u64 ui = un[j + i];
+            const u64 t = ui - plo;
+            const u64 b1 = t > ui;
+            const u64 t2 = t - borrow;
+            const u64 b2 = t2 > t;
+            un[j + i] = t2;
+            borrow = b1 + b2;
+        }
+        const u64 top = un[j + n];
+        const u128 need = static_cast<u128>(mul_carry) + borrow;
+        if (static_cast<u128>(top) < need) {
+            un[j + n] = top - static_cast<u64>(need);
+            --qh;
+            u64 c = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const u128 ssum = static_cast<u128>(un[j + i]) + vn[i] + c;
+                un[j + i] = static_cast<u64>(ssum);
+                c = static_cast<u64>(ssum >> 64);
+            }
+            un[j + n] += c;
+        } else {
+            un[j + n] = top - static_cast<u64>(need);
+        }
+        q[j] = qh;
+    }
+
+    un.resize(n);
+    r = shr(un, s);
+    normalize(q);
+    OpsCounter::add((m + 1) * n);
 }
 
 Limbs shl_reference(const Limbs& a, std::size_t bits) {

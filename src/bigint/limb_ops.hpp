@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -108,5 +109,36 @@ Limbs add_reference(const Limbs& a, const Limbs& b);
 Limbs sub_reference(const Limbs& a, const Limbs& b);
 Limbs mul_reference(const Limbs& a, const Limbs& b);
 Limbs shl_reference(const Limbs& a, std::size_t bits);
+void divmod_reference(const Limbs& a, const Limbs& b, Limbs& q, Limbs& r);
+
+// ---------------------------------------------------------------------------
+// Kernel batch-size statistics.
+//
+// When enabled, the batched kernels record the length of each streamed row
+// (the inner-loop trip count) into power-of-two histograms — the data that
+// tells whether a workload's kernel calls are long enough to amortize the
+// 4-way unrolled / ADX paths. Disabled by default: the only cost on the hot
+// path is one relaxed atomic load and a predicted-untaken branch per kernel
+// call. The MetricsRegistry collector publishes nonzero buckets as
+// ftmul_kernel_rows{kernel=...,ge=...} gauges when metrics are on.
+// ---------------------------------------------------------------------------
+namespace kernel_stats {
+
+/// Bucket k counts rows of length in [2^k, 2^(k+1)); the last bucket
+/// absorbs everything longer.
+inline constexpr std::size_t kBuckets = 24;
+
+void set_enabled(bool on) noexcept;
+bool enabled() noexcept;
+void reset() noexcept;
+
+struct Snapshot {
+    std::array<std::uint64_t, kBuckets> mul_rows;     ///< mul_to inner rows
+    std::array<std::uint64_t, kBuckets> addmul_rows;  ///< addmul_small rows
+    std::array<std::uint64_t, kBuckets> add_rows;     ///< add_into rows
+};
+Snapshot snapshot() noexcept;
+
+}  // namespace kernel_stats
 
 }  // namespace ftmul::detail

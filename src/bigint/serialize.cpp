@@ -35,6 +35,19 @@ std::vector<std::uint64_t> serialize_vec(std::span<const BigInt> values) {
     return out;
 }
 
+std::size_t serialized_words(std::span<const BigInt> values) {
+    std::size_t total = 1;  // count word
+    for (const BigInt& v : values) total += 2 + v.limb_count();
+    return total;
+}
+
+void serialize_vec_into(std::span<const BigInt> values,
+                        std::vector<std::uint64_t>& out) {
+    out.reserve(out.size() + serialized_words(values));
+    out.push_back(values.size());
+    for (const BigInt& v : values) serialize_bigint(v, out);
+}
+
 std::vector<BigInt> deserialize_vec(std::span<const std::uint64_t> words) {
     std::size_t pos = 0;
     if (words.empty()) throw std::runtime_error("deserialize_vec: empty buffer");
@@ -45,6 +58,24 @@ std::vector<BigInt> deserialize_vec(std::span<const std::uint64_t> words) {
         out.push_back(deserialize_bigint(words, pos));
     }
     return out;
+}
+
+bool adoptable_frame(std::span<const std::uint64_t> words) {
+    return words.size() >= 3 && words[0] == 1 && words[2] >= kAdoptMinWords &&
+           words[2] == words.size() - 3;
+}
+
+std::vector<BigInt> deserialize_vec_adopt(std::vector<std::uint64_t>&& words) {
+    if (adoptable_frame(words)) {
+        // Single large value: shift the 3-word header ([count, sign, limbs])
+        // out of the way and hand the storage itself to the BigInt.
+        const int sign = static_cast<int>(static_cast<std::int64_t>(words[1]));
+        words.erase(words.begin(), words.begin() + 3);
+        std::vector<BigInt> out;
+        out.push_back(BigInt::from_parts(sign, std::move(words)));
+        return out;
+    }
+    return deserialize_vec(words);
 }
 
 }  // namespace ftmul

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "core/layout.hpp"
 #include "toom/digits.hpp"
@@ -187,10 +188,9 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
             tplan.evaluate_blocks(a_loc, ea, s);
             tplan.evaluate_blocks(b_loc, eb, s);
             rank.phase("xfwd-L" + lvl);
-            a_loc = exchange_forward(rank, g, unpts, bs, std::move(ea),
-                                     100 + lv * 8);
-            b_loc = exchange_forward(rank, g, unpts, bs, std::move(eb),
-                                     101 + lv * 8);
+            std::tie(a_loc, b_loc) = exchange_forward_pair(
+                rank, g, unpts, bs, std::move(ea), std::move(eb),
+                100 + lv * 8, 101 + lv * 8);
             levels.push_back({g, bs, len});
             g = column_subgroup(g, unpts, g.index_of(me) % unpts);
             bs *= unpts;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "core/layout.hpp"
 #include "linalg/exact_solve.hpp"
@@ -395,10 +396,9 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
             rank.note_memory((a_loc.size() + b_loc.size() + 2 * unpts * s) *
                              ((shape.digit_bits + 63) / 64 + 2));
             rank.phase("xfwd-L" + std::to_string(lv));
-            a_loc = exchange_forward(rank, g, unpts, bs, std::move(ea),
-                                     100 + lv * 8);
-            b_loc = exchange_forward(rank, g, unpts, bs, std::move(eb),
-                                     101 + lv * 8);
+            std::tie(a_loc, b_loc) = exchange_forward_pair(
+                rank, g, unpts, bs, std::move(ea), std::move(eb),
+                100 + lv * 8, 101 + lv * 8);
             levels.push_back({g, bs, len});
             g = column_subgroup(g, unpts, g.index_of(rank.id()) % unpts);
             bs *= unpts;

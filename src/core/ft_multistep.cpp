@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <set>
+#include <span>
 #include <stdexcept>
 
 #include "coding/redundant_points.hpp"
@@ -167,10 +169,8 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
         b_loc.clear();
 
         rank.phase("xfwd-fused");
-        std::vector<BigInt> a_new =
-            exchange_forward(rank, g, uwide, 1, std::move(ea), 50);
-        std::vector<BigInt> b_new =
-            exchange_forward(rank, g, uwide, 1, std::move(eb), 51);
+        auto [a_new, b_new] = exchange_forward_pair(
+            rank, g, uwide, 1, std::move(ea), std::move(eb), 50, 51);
 
         const bool i_fail = rank.phase("mul");
         if (i_fail || col_doomed) return;  // data lost / column halted
@@ -194,13 +194,21 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
                 pieces[c2].push_back(std::move(child[q * uwide + c2]));
             }
         }
+        // Coalesce pieces sharing a destination (substituted roles) into
+        // one batched delivery; each piece is still charged as its own
+        // message.
+        std::map<int, std::vector<std::pair<int, std::span<const BigInt>>>>
+            outbound;
         for (std::size_t c2 = 0; c2 < uwide; ++c2) {
             if (c2 == col) continue;
             const std::size_t dst_col =
                 doomed.count(static_cast<int>(c2)) ? sub_col : c2;
             if (dst_col == col) continue;  // substitute keeps it locally
-            rank.send_bigints(static_cast<int>(row * uwide + dst_col),
-                              60 + static_cast<int>(c2), pieces[c2]);
+            outbound[static_cast<int>(row * uwide + dst_col)].emplace_back(
+                60 + static_cast<int>(c2), std::span<const BigInt>(pieces[c2]));
+        }
+        for (const auto& [dst, items] : outbound) {
+            rank.send_bigints_batch(dst, items);
         }
         rank.add_latency(uwide - 1);
 

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <set>
+#include <span>
 #include <stdexcept>
 
 #include "core/layout.hpp"
@@ -129,10 +131,8 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
         b_loc.clear();
 
         rank.phase("xfwd-L0");
-        std::vector<BigInt> a_new =
-            exchange_forward(rank, g, uwide, 1, std::move(ea), 50);
-        std::vector<BigInt> b_new =
-            exchange_forward(rank, g, uwide, 1, std::move(eb), 51);
+        auto [a_new, b_new] = exchange_forward_pair(
+            rank, g, uwide, 1, std::move(ea), std::move(eb), 50, 51);
 
         // Multiplication phase: a fault kills this rank; its column halts.
         const bool i_fail = rank.phase("mul");
@@ -160,6 +160,12 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
                 pieces[c2].push_back(std::move(child[q * uwide + c2]));
             }
         }
+        // Substituted roles can alias several pieces onto one destination
+        // (the substitute column); coalesce everything bound for the same
+        // peer into one batched delivery. Each piece is still charged as
+        // its own message.
+        std::map<int, std::vector<std::pair<int, std::span<const BigInt>>>>
+            outbound;
         for (std::size_t c2 = 0; c2 < uwide; ++c2) {
             if (c2 == col) continue;
             const std::size_t dst_col = doomed.count(static_cast<int>(c2))
@@ -169,9 +175,11 @@ FtRunResult ft_poly_multiply(const BigInt& a, const BigInt& b,
                 // I am the substitute for role c2: keep my own piece locally.
                 continue;
             }
-            rank.send_bigints(
-                static_cast<int>(row * uwide + dst_col),
-                60 + static_cast<int>(c2), pieces[c2]);
+            outbound[static_cast<int>(row * uwide + dst_col)].emplace_back(
+                60 + static_cast<int>(c2), std::span<const BigInt>(pieces[c2]));
+        }
+        for (const auto& [dst, items] : outbound) {
+            rank.send_bigints_batch(dst, items);
         }
         rank.add_latency(uwide - 1);
 

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "bigint/random.hpp"
 #include "core/layout.hpp"
@@ -321,10 +322,9 @@ FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
             std::vector<BigInt> ea(unpts * s), eb(unpts * s);
             tplan.evaluate_blocks(a_loc, ea, s);
             tplan.evaluate_blocks(b_loc, eb, s);
-            a_loc = exchange_forward(rank, g, unpts, bs, std::move(ea),
-                                     100 + lv * 8);
-            b_loc = exchange_forward(rank, g, unpts, bs, std::move(eb),
-                                     101 + lv * 8);
+            std::tie(a_loc, b_loc) = exchange_forward_pair(
+                rank, g, unpts, bs, std::move(ea), std::move(eb),
+                100 + lv * 8, 101 + lv * 8);
             levels.push_back({g, bs, len});
             g = column_subgroup(g, unpts, g.index_of(rank.id()) % unpts);
             bs *= unpts;

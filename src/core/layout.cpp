@@ -1,6 +1,8 @@
 #include "core/layout.hpp"
 
 #include <cassert>
+#include <iterator>
+#include <span>
 #include <stdexcept>
 
 namespace ftmul {
@@ -48,6 +50,35 @@ Group column_subgroup(const Group& g, std::size_t npts, std::size_t col) {
     return out;
 }
 
+namespace {
+
+/// This rank's slice of block @p i: a view straight into the evaluation
+/// buffer — slices are serialized from here, never staged into a copy.
+std::span<const BigInt> block_slice(const std::vector<BigInt>& eval_local,
+                                    std::size_t i, std::size_t s) {
+    return {eval_local.data() + i * s, s};
+}
+
+/// Interleave the npts received row pieces into the new block-cyclic
+/// layout: ascending global positions alternate bs-chunks by source column.
+std::vector<BigInt> interleave(std::vector<std::vector<BigInt>>& pieces,
+                               std::size_t npts, std::size_t bs,
+                               std::size_t s) {
+    std::vector<BigInt> out;
+    out.reserve(npts * s);
+    const std::size_t chunks = s / bs;
+    for (std::size_t q = 0; q < chunks; ++q) {
+        for (std::size_t c2 = 0; c2 < npts; ++c2) {
+            for (std::size_t t = 0; t < bs; ++t) {
+                out.push_back(std::move(pieces[c2][q * bs + t]));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
 std::vector<BigInt> exchange_forward(Rank& rank, const Group& g,
                                      std::size_t npts, std::size_t bs,
                                      std::vector<BigInt> eval_local, int tag) {
@@ -63,18 +94,19 @@ std::vector<BigInt> exchange_forward(Rank& rank, const Group& g,
     const std::size_t row = me / npts;
     const std::size_t col = me % npts;
 
-    // Ship my slice of block i to the row peer owning column i.
-    std::vector<std::vector<BigInt>> mine(npts);
-    for (std::size_t i = 0; i < npts; ++i) {
-        mine[i].assign(eval_local.begin() + static_cast<std::ptrdiff_t>(i * s),
-                       eval_local.begin() + static_cast<std::ptrdiff_t>((i + 1) * s));
-    }
+    // Ship my slice of block i to the row peer owning column i, serialized
+    // directly out of the evaluation buffer.
     for (std::size_t i = 0; i < npts; ++i) {
         if (i == col) continue;
-        rank.send_bigints(g.members[row * npts + i], tag, mine[i]);
+        rank.send_bigints(g.members[row * npts + i], tag,
+                          block_slice(eval_local, i, s));
     }
     std::vector<std::vector<BigInt>> pieces(npts);
-    pieces[col] = std::move(mine[col]);
+    pieces[col].assign(
+        std::make_move_iterator(eval_local.begin() +
+                                static_cast<std::ptrdiff_t>(col * s)),
+        std::make_move_iterator(eval_local.begin() +
+                                static_cast<std::ptrdiff_t>((col + 1) * s)));
     for (std::size_t c2 = 0; c2 < npts; ++c2) {
         if (c2 == col) continue;
         pieces[c2] = rank.recv_bigints(g.members[row * npts + c2], tag);
@@ -83,20 +115,60 @@ std::vector<BigInt> exchange_forward(Rank& rank, const Group& g,
         }
     }
     rank.add_latency(npts - 1);
+    return interleave(pieces, npts, bs, s);
+}
 
-    // Interleave: ascending global positions alternate bs-chunks by source
-    // column (owner indices row*npts + c2 are consecutive within the cycle).
-    std::vector<BigInt> out;
-    out.reserve(npts * s);
-    const std::size_t chunks = s / bs;
-    for (std::size_t q = 0; q < chunks; ++q) {
-        for (std::size_t c2 = 0; c2 < npts; ++c2) {
-            for (std::size_t t = 0; t < bs; ++t) {
-                out.push_back(std::move(pieces[c2][q * bs + t]));
-            }
+std::pair<std::vector<BigInt>, std::vector<BigInt>> exchange_forward_pair(
+    Rank& rank, const Group& g, std::size_t npts, std::size_t bs,
+    std::vector<BigInt> a_local, std::vector<BigInt> b_local, int tag_a,
+    int tag_b) {
+    const std::size_t m = g.size();
+    assert(m % npts == 0);
+    if (a_local.size() % npts != 0 || b_local.size() % npts != 0) {
+        throw std::invalid_argument("exchange_forward_pair: bad local size");
+    }
+    const std::size_t sa = a_local.size() / npts;
+    const std::size_t sb = b_local.size() / npts;
+    assert(sa % bs == 0 && sb % bs == 0);
+
+    const std::size_t me = g.index_of(rank.id());
+    const std::size_t row = me / npts;
+    const std::size_t col = me % npts;
+
+    // One batched delivery per row peer carrying both operands' slices.
+    for (std::size_t i = 0; i < npts; ++i) {
+        if (i == col) continue;
+        const std::pair<int, std::span<const BigInt>> items[] = {
+            {tag_a, block_slice(a_local, i, sa)},
+            {tag_b, block_slice(b_local, i, sb)},
+        };
+        rank.send_bigints_batch(g.members[row * npts + i], items);
+    }
+    std::vector<std::vector<BigInt>> pieces_a(npts);
+    std::vector<std::vector<BigInt>> pieces_b(npts);
+    pieces_a[col].assign(
+        std::make_move_iterator(a_local.begin() +
+                                static_cast<std::ptrdiff_t>(col * sa)),
+        std::make_move_iterator(a_local.begin() +
+                                static_cast<std::ptrdiff_t>((col + 1) * sa)));
+    pieces_b[col].assign(
+        std::make_move_iterator(b_local.begin() +
+                                static_cast<std::ptrdiff_t>(col * sb)),
+        std::make_move_iterator(b_local.begin() +
+                                static_cast<std::ptrdiff_t>((col + 1) * sb)));
+    for (std::size_t c2 = 0; c2 < npts; ++c2) {
+        if (c2 == col) continue;
+        const int peer = g.members[row * npts + c2];
+        pieces_a[c2] = rank.recv_bigints(peer, tag_a);
+        pieces_b[c2] = rank.recv_bigints(peer, tag_b);
+        if (pieces_a[c2].size() != sa || pieces_b[c2].size() != sb) {
+            throw std::runtime_error(
+                "exchange_forward_pair: piece size mismatch");
         }
     }
-    return out;
+    rank.add_latency(2 * (npts - 1));
+    return {interleave(pieces_a, npts, bs, sa),
+            interleave(pieces_b, npts, bs, sb)};
 }
 
 std::vector<BigInt> exchange_backward(Rank& rank, const Group& g,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "bigint/bigint.hpp"
@@ -46,6 +47,16 @@ std::vector<BigInt> unslice(const std::vector<std::vector<BigInt>>& slices,
 std::vector<BigInt> exchange_forward(Rank& rank, const Group& g,
                                      std::size_t npts, std::size_t bs,
                                      std::vector<BigInt> eval_local, int tag);
+
+/// Both operands' forward exchanges fused at the transport: the a- and
+/// b-slices for each row peer travel in one batched mailbox delivery
+/// (distinct tags keep them separable). Cost charges are exactly those of
+/// exchange_forward(a, tag_a) followed by exchange_forward(b, tag_b) — one
+/// message per slice per peer and 2*(npts-1) latency rounds.
+std::pair<std::vector<BigInt>, std::vector<BigInt>> exchange_forward_pair(
+    Rank& rank, const Group& g, std::size_t npts, std::size_t bs,
+    std::vector<BigInt> a_local, std::vector<BigInt> b_local, int tag_a,
+    int tag_b);
 
 /// Inverse of exchange_forward for the way back up: @p child_local is this
 /// rank's new-layout slice of its column's child result (length sc, a

@@ -170,10 +170,9 @@ std::vector<BigInt> dist_convolve_steps(Rank& rank, const ToomPlan& plan,
 
     const int tag_base = 100 + level * 8;
     rank.phase("xfwd-L" + lvl);
-    std::vector<BigInt> a_new =
-        exchange_forward(rank, g, npts, bs, std::move(ea), tag_base);
-    std::vector<BigInt> b_new =
-        exchange_forward(rank, g, npts, bs, std::move(eb), tag_base + 1);
+    auto [a_new, b_new] = exchange_forward_pair(
+        rank, g, npts, bs, std::move(ea), std::move(eb), tag_base,
+        tag_base + 1);
 
     assert(step == 'B');
     const std::size_t col = g.index_of(rank.id()) % npts;

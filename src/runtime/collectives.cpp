@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "bigint/serialize.hpp"
 #include "runtime/metrics.hpp"
 
 namespace ftmul {
@@ -64,19 +65,111 @@ void add_elementwise(std::vector<BigInt>& acc, const std::vector<BigInt>& v) {
 
 }  // namespace
 
+namespace {
+
+/// A pooled copy of @p frame's words, for fanning one frame out to several
+/// children without re-serializing.
+PayloadBuf copy_frame(const PayloadBuf& frame) {
+    PayloadBuf copy = MsgPool::instance().acquire(frame.size());
+    copy.append(frame.data(), frame.size());
+    return copy;
+}
+
+}  // namespace
+
 void bcast(Rank& self, const Group& g, int root, std::vector<BigInt>& data,
            int tag) {
     assert(g.contains(self.id()));
     static const Counter calls = collective_counter("bcast");
     calls.inc();
     const Tree tree(g, root, self.id());
-    if (tree.has_parent()) {
-        data = self.recv_bigints(unrotate(g, root, tree.parent()), tag);
+    if (self.data_plane() == DataPlane::Legacy) {
+        // Seed path: decode at every hop, re-serialize per child.
+        if (tree.has_parent()) {
+            data = self.recv_bigints(unrotate(g, root, tree.parent()), tag);
+        }
+        for (std::size_t child : tree.children()) {
+            self.send_bigints(unrotate(g, root, child), tag, data);
+        }
+        self.add_latency(tree.depth());
+        return;
     }
-    for (std::size_t child : tree.children()) {
-        self.send_bigints(unrotate(g, root, child), tag, data);
+    // Frame-level forwarding: the wire frame is produced once at the root
+    // and flows down the tree as raw words; interior nodes memcpy it to all
+    // children but the last, which takes the buffer itself. Every edge
+    // still carries one message of the same word count as the seed path, so
+    // BW/L charges are unchanged — only the per-hop decode/re-encode and
+    // its allocations disappear.
+    const std::vector<std::size_t> children = tree.children();
+    PayloadBuf frame;
+    if (tree.has_parent()) {
+        frame = self.recv_buf(unrotate(g, root, tree.parent()), tag);
+        if (children.empty() && adoptable_frame(frame.words())) {
+            data = deserialize_vec_adopt(frame.release());
+        } else {
+            data = deserialize_vec(frame.words());
+        }
+    } else if (!children.empty()) {
+        frame = self.frame_bigints(data);
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        const int dst = unrotate(g, root, children[i]);
+        if (i + 1 == children.size()) {
+            self.send_buf(dst, tag, std::move(frame));
+        } else {
+            self.send_buf(dst, tag, copy_frame(frame));
+        }
     }
     self.add_latency(tree.depth());
+}
+
+void bcast_pair(Rank& self, const Group& g, int root, std::vector<BigInt>& a,
+                std::vector<BigInt>& b, int tag) {
+    assert(g.contains(self.id()));
+    static const Counter calls = collective_counter("bcast_pair");
+    calls.inc();
+    if (self.data_plane() == DataPlane::Legacy) {
+        bcast(self, g, root, a, tag);
+        bcast(self, g, root, b, tag);
+        return;
+    }
+    // Two broadcasts from the same root with the same tag, fused at the
+    // transport: both frames ride one batched mailbox delivery per child
+    // (FIFO per (src, tag) keeps them ordered). Charges are those of the
+    // two seed bcasts — one message per frame per edge, 2x tree depth in
+    // latency.
+    const Tree tree(g, root, self.id());
+    const std::vector<std::size_t> children = tree.children();
+    PayloadBuf frame_a;
+    PayloadBuf frame_b;
+    if (tree.has_parent()) {
+        const int parent = unrotate(g, root, tree.parent());
+        frame_a = self.recv_buf(parent, tag);
+        frame_b = self.recv_buf(parent, tag);
+        a = deserialize_vec(frame_a.words());
+        if (children.empty() && adoptable_frame(frame_b.words())) {
+            b = deserialize_vec_adopt(frame_b.release());
+        } else {
+            b = deserialize_vec(frame_b.words());
+        }
+    } else if (!children.empty()) {
+        frame_a = self.frame_bigints(a);
+        frame_b = self.frame_bigints(b);
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        const int dst = unrotate(g, root, children[i]);
+        std::vector<TaggedPayload> msgs;
+        msgs.reserve(2);
+        if (i + 1 == children.size()) {
+            msgs.push_back(TaggedPayload{tag, std::move(frame_a)});
+            msgs.push_back(TaggedPayload{tag, std::move(frame_b)});
+        } else {
+            msgs.push_back(TaggedPayload{tag, copy_frame(frame_a)});
+            msgs.push_back(TaggedPayload{tag, copy_frame(frame_b)});
+        }
+        self.send_batch(dst, std::move(msgs));
+    }
+    self.add_latency(2 * tree.depth());
 }
 
 std::vector<BigInt> reduce_sum(Rank& self, const Group& g, int root,
@@ -142,8 +235,7 @@ std::vector<std::vector<BigInt>> allgather(Rank& self, const Group& g,
             flat.insert(flat.end(), v.begin(), v.end());
         }
     }
-    bcast(self, g, root, lengths, tag);
-    bcast(self, g, root, flat, tag);
+    bcast_pair(self, g, root, lengths, flat, tag);
     std::vector<std::vector<BigInt>> out(g.size());
     std::size_t pos = 0;
     for (std::size_t i = 0; i < g.size(); ++i) {

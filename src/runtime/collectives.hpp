@@ -18,6 +18,13 @@ namespace ftmul {
 void bcast(Rank& self, const Group& g, int root, std::vector<BigInt>& data,
            int tag);
 
+/// Two broadcasts from the same root on the same tag, fused at the
+/// transport layer (both frames travel in one batched mailbox delivery per
+/// tree edge). Charges exactly what the two separate bcast calls would:
+/// one message per frame per edge and 2x the tree depth in latency.
+void bcast_pair(Rank& self, const Group& g, int root, std::vector<BigInt>& a,
+                std::vector<BigInt>& b, int tag);
+
 /// Element-wise sum-reduce of equal-length vectors to @p root. Returns the
 /// sum at root, an empty vector elsewhere.
 std::vector<BigInt> reduce_sum(Rank& self, const Group& g, int root,

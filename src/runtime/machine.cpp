@@ -122,13 +122,15 @@ void Rank::end_recovery() {
     recovery_dead_.clear();
 }
 
+DataPlane Rank::data_plane() const noexcept { return machine_.data_plane_; }
+
 bool Rank::fails_at(std::string_view name) const {
     return machine_.plan_.fails_at(name, id_);
 }
 
 const FaultPlan& Rank::fault_plan() const { return machine_.plan_; }
 
-void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
+void Rank::send_buf(int dst, int tag, PayloadBuf payload) {
     assert(dst >= 0 && dst < size_);
     flush_flops();
     current_.words += payload.size();
@@ -148,18 +150,47 @@ void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
         e.words = payload.size();
         emit(std::move(e));
     }
-    machine_.mailboxes_[static_cast<std::size_t>(dst)]->push(id_, tag,
-                                                             std::move(payload));
+    machine_.mailbox(dst).push(id_, tag, std::move(payload));
 }
 
-std::vector<std::uint64_t> Rank::recv(int src, int tag) {
+void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
+    send_buf(dst, tag, PayloadBuf::adopt(std::move(payload)));
+}
+
+void Rank::send_batch(int dst, std::vector<TaggedPayload> msgs) {
+    assert(dst >= 0 && dst < size_);
+    flush_flops();
+    // Charge and log each element as its own message, in order — identical
+    // to the equivalent send loop; only the mailbox delivery is fused.
+    for (const TaggedPayload& m : msgs) {
+        current_.words += m.buf.size();
+        current_.msgs += 1;
+        machine_.metric_msgs_.inc();
+        machine_.metric_msg_words_.inc(m.buf.size());
+        if (machine_.tracer_) {
+            machine_.tracer_->record_send(id_, dst, m.tag, m.buf.size(),
+                                          current_phase_);
+        }
+        if (machine_.events_) {
+            Event e;
+            e.kind = EventKind::MessageSend;
+            e.phase = current_phase_;
+            e.peer = dst;
+            e.tag = m.tag;
+            e.words = m.buf.size();
+            emit(std::move(e));
+        }
+    }
+    machine_.mailbox(dst).push_batch(id_, std::move(msgs));
+}
+
+PayloadBuf Rank::recv_buf(int src, int tag) {
     assert(src >= 0 && src < size_);
     machine_.note_blocked(id_, src, tag, current_phase_);
-    std::vector<std::uint64_t> payload;
+    PayloadBuf payload;
     try {
         ProfileScope blocked(machine_.metric_blocked_us_);
-        payload = machine_.mailboxes_[static_cast<std::size_t>(id_)]->pop(
-            src, tag, machine_.timeout_);
+        payload = machine_.mailbox(id_).pop(src, tag, machine_.timeout_);
     } catch (const RecvTimeout&) {
         // Turn the bare timeout into a structured deadlock diagnostic:
         // every rank still parked in a receive, with its (src, tag, phase).
@@ -198,12 +229,45 @@ std::vector<std::uint64_t> Rank::recv(int src, int tag) {
     return payload;
 }
 
+std::vector<std::uint64_t> Rank::recv(int src, int tag) {
+    return recv_buf(src, tag).release();
+}
+
+PayloadBuf Rank::frame_bigints(std::span<const BigInt> values) {
+    if (machine_.data_plane_ == DataPlane::Legacy) {
+        return PayloadBuf::adopt(serialize_vec(values));
+    }
+    PayloadBuf buf = MsgPool::instance().acquire(serialized_words(values));
+    serialize_vec_into(values, buf.storage());
+    return buf;
+}
+
 void Rank::send_bigints(int dst, int tag, std::span<const BigInt> values) {
-    send(dst, tag, serialize_vec(values));
+    send_buf(dst, tag, frame_bigints(values));
+}
+
+void Rank::send_bigints_batch(
+    int dst, std::span<const std::pair<int, std::span<const BigInt>>> items) {
+    std::vector<TaggedPayload> msgs;
+    msgs.reserve(items.size());
+    for (const auto& [tag, values] : items) {
+        msgs.push_back(TaggedPayload{tag, frame_bigints(values)});
+    }
+    send_batch(dst, std::move(msgs));
 }
 
 std::vector<BigInt> Rank::recv_bigints(int src, int tag) {
-    return deserialize_vec(recv(src, tag));
+    PayloadBuf buf = recv_buf(src, tag);
+    if (machine_.data_plane_ == DataPlane::Legacy) {
+        return deserialize_vec(buf.words());
+    }
+    // Single large frame: adopt the buffer's storage as the BigInt's limbs
+    // (worth losing the pooled buffer); otherwise decode by copy and let
+    // the buffer recycle.
+    if (adoptable_frame(buf.words())) {
+        return deserialize_vec_adopt(buf.release());
+    }
+    return deserialize_vec(buf.words());
 }
 
 void Rank::note_memory(std::uint64_t words) {
@@ -248,9 +312,26 @@ Machine::Machine(int world_size, FaultPlan plan)
         "per-rank words moved inside a recovery bracket");
     mailboxes_.reserve(static_cast<std::size_t>(world_size));
     for (int i = 0; i < world_size; ++i) {
-        mailboxes_.push_back(std::make_unique<Mailbox>());
+        mailboxes_.push_back(make_mailbox());
     }
     blocked_.resize(static_cast<std::size_t>(world_size));
+}
+
+std::unique_ptr<MailboxBase> Machine::make_mailbox() const {
+    if (data_plane_ == DataPlane::Legacy) {
+        return std::make_unique<LegacyMailbox>();
+    }
+    return std::make_unique<Mailbox>(size_);
+}
+
+void Machine::set_data_plane(DataPlane dp) {
+    if (dp == data_plane_) return;
+    data_plane_ = dp;
+    for (auto& mb : mailboxes_) mb = make_mailbox();
+}
+
+std::size_t Machine::mailbox_live_slots(int rank) const {
+    return mailboxes_[static_cast<std::size_t>(rank)]->live_slots();
 }
 
 void Machine::note_blocked(int rank, int src, int tag,
@@ -311,7 +392,7 @@ void Machine::run(const std::function<void(Rank&)>& body) {
     if (tracer_) tracer_->clear();
     if (events_) events_->clear();
     // Fresh mailboxes per run so stale messages never leak across runs.
-    for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+    for (auto& mb : mailboxes_) mb = make_mailbox();
     {
         std::lock_guard<std::mutex> lock(blocked_mu_);
         for (auto& b : blocked_) b.blocked = false;

@@ -7,6 +7,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bigint/bigint.hpp"
@@ -15,12 +16,21 @@
 #include "runtime/fault.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/msg_pool.hpp"
 #include "runtime/trace.hpp"
 
 namespace ftmul {
 
 class Machine;
 class ThreadPool;
+
+/// Which transport implementation the machine routes messages through.
+/// Pooled is the zero-copy data plane (recycled PayloadBufs, per-source
+/// mailbox shards, direct-to-buffer BigInt framing); Legacy is the seed
+/// implementation (fresh vector per message, single-mutex std::map mailbox,
+/// intermediate serialize() vector), kept live as the A/B baseline for
+/// bench_collectives. Cost-model charges are identical in both.
+enum class DataPlane { Pooled, Legacy };
 
 /// Per-processor execution context handed to the SPMD body: identity,
 /// point-to-point messaging, phase/cost bookkeeping and fault queries.
@@ -34,6 +44,10 @@ class Rank {
 public:
     int id() const noexcept { return id_; }
     int size() const noexcept { return size_; }
+
+    /// Which transport the owning machine routes through (collectives pick
+    /// frame-forwarding vs. the seed's re-serializing path off this).
+    DataPlane data_plane() const noexcept;
 
     /// Begin a new cost phase. Also the fault trigger point: returns true
     /// when the fault plan kills this rank *here* — the caller must then act
@@ -49,9 +63,32 @@ public:
     void send(int dst, int tag, std::vector<std::uint64_t> payload);
     std::vector<std::uint64_t> recv(int src, int tag);
 
+    /// Zero-copy core of send/recv: payloads travel as pooled PayloadBufs
+    /// end to end. The vector overloads above wrap these for compatibility
+    /// (they adopt/release the storage, bypassing the pool).
+    void send_buf(int dst, int tag, PayloadBuf payload);
+    PayloadBuf recv_buf(int src, int tag);
+
+    /// Deliver several messages to one destination under a single mailbox
+    /// lock acquisition and wakeup. Each element is charged and logged as
+    /// its own message, in order — the cost model sees the exact same
+    /// msgs/words/events as the equivalent send loop; only the transport
+    /// is fused.
+    void send_batch(int dst, std::vector<TaggedPayload> msgs);
+
     /// Typed conveniences over the word-level wire format.
     void send_bigints(int dst, int tag, std::span<const BigInt> values);
     std::vector<BigInt> recv_bigints(int src, int tag);
+
+    /// Frame @p values into a (pooled) payload without sending — for
+    /// assembling send_batch message lists. Charges nothing.
+    PayloadBuf frame_bigints(std::span<const BigInt> values);
+
+    /// send_batch over BigInt spans: one batched delivery to @p dst, one
+    /// logical (charged) message per (tag, values) item.
+    void send_bigints_batch(
+        int dst,
+        std::span<const std::pair<int, std::span<const BigInt>>> items);
 
     /// Record a local working-set high-water mark, in words.
     void note_memory(std::uint64_t words);
@@ -130,6 +167,17 @@ public:
     /// the live A/B baseline for the kernels microbench.
     void set_thread_reuse(bool enabled);
 
+    /// Select the message transport for subsequent runs (default Pooled).
+    /// DataPlane::Legacy restores the seed behavior end to end — the live
+    /// A/B baseline for bench_collectives, like set_thread_reuse(false) is
+    /// for the kernels microbench.
+    void set_data_plane(DataPlane dp);
+    DataPlane data_plane() const noexcept { return data_plane_; }
+
+    /// Live (src, tag) queue slots in @p rank's mailbox — regression hook
+    /// for the seed's slot-leak bug (drained slots must be reclaimed).
+    std::size_t mailbox_live_slots(int rank) const;
+
     /// Turn on message/phase tracing for subsequent runs; returns the
     /// tracer (owned by the machine, cleared at each run start).
     Tracer& enable_tracing();
@@ -162,9 +210,15 @@ private:
     /// per rank; fills @p blocked_ranks with their ids (ascending).
     std::string deadlock_diagnostic(std::vector<int>& blocked_ranks) const;
 
+    MailboxBase& mailbox(int r) {
+        return *mailboxes_[static_cast<std::size_t>(r)];
+    }
+    std::unique_ptr<MailboxBase> make_mailbox() const;
+
     int size_;
     FaultPlan plan_;
-    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::vector<std::unique_ptr<MailboxBase>> mailboxes_;
+    DataPlane data_plane_ = DataPlane::Pooled;
     mutable std::mutex blocked_mu_;
     std::vector<BlockedRecv> blocked_;
     RunStats stats_;

@@ -1,14 +1,19 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "runtime/msg_pool.hpp"
 
 namespace ftmul {
 
@@ -26,22 +31,90 @@ public:
     RunAborted() : std::runtime_error("run aborted by another rank") {}
 };
 
+/// One logical message queued for delivery: the matching tag plus its
+/// payload buffer.
+struct TaggedPayload {
+    int tag = 0;
+    PayloadBuf buf;
+};
+
 /// One rank's incoming-message queue. Messages are matched by (source, tag)
 /// and delivered FIFO per matching pair, like an MPI receive queue.
-class Mailbox {
+/// push_batch delivers several messages from one sender under a single lock
+/// acquisition and wakeup — the transport under the fused collectives.
+class MailboxBase {
 public:
-    using Payload = std::vector<std::uint64_t>;
+    virtual ~MailboxBase() = default;
 
-    void push(int src, int tag, Payload payload) {
+    virtual void push(int src, int tag, PayloadBuf payload) = 0;
+    virtual void push_batch(int src, std::vector<TaggedPayload> items) = 0;
+
+    /// Wake any blocked pop and make it throw RunAborted.
+    virtual void abort() = 0;
+
+    virtual PayloadBuf pop(int src, int tag,
+                           std::chrono::milliseconds timeout) = 0;
+
+    /// Live (src, tag) queue slots currently held — drained slots must be
+    /// reclaimed, so this stays bounded by the number of in-flight
+    /// (src, tag) pairs no matter how many send/recv cycles have run.
+    virtual std::size_t live_slots() const = 0;
+};
+
+/// The zero-copy data plane's mailbox: sharded per source rank (sends are
+/// single-producer per (src, dst) in this machine), each shard guarding a
+/// small flat open-addressed tag table with its own mutex. Compared to the
+/// seed's single-mutex std::map<(src,tag)> design this removes the global
+/// lock, the per-pop O(log n) lookup and the red-black-tree node churn, and
+/// it reclaims drained queue slots instead of leaking them for the life of
+/// the run.
+class Mailbox final : public MailboxBase {
+public:
+    explicit Mailbox(int world_size);
+    ~Mailbox() override;
+
+    void push(int src, int tag, PayloadBuf payload) override;
+    void push_batch(int src, std::vector<TaggedPayload> items) override;
+    void abort() override;
+    PayloadBuf pop(int src, int tag,
+                   std::chrono::milliseconds timeout) override;
+    std::size_t live_slots() const override;
+
+private:
+    struct Shard;
+    struct Slot;
+
+    Slot* find_slot(Shard& s, int tag) const;
+    Slot& find_or_insert(Shard& s, int tag);
+    void erase_slot(Shard& s, std::size_t idx);
+    static void grow_table(Shard& s);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> aborted_{false};
+};
+
+/// The seed implementation, preserved verbatim in behavior: one mutex and
+/// condition variable over a std::map keyed by (src, tag), payloads as
+/// plain vectors, drained entries never reclaimed. Kept as the live A/B
+/// baseline for bench_collectives' pooled-vs-legacy mode (selected with
+/// Machine::set_data_plane(DataPlane::Legacy)).
+class LegacyMailbox final : public MailboxBase {
+public:
+    void push(int src, int tag, PayloadBuf payload) override {
         {
             std::lock_guard<std::mutex> lock(mu_);
-            queues_[{src, tag}].push_back(std::move(payload));
+            queues_[{src, tag}].push_back(std::move(payload).release());
         }
         cv_.notify_all();
     }
 
-    /// Wake any blocked pop and make it throw RunAborted.
-    void abort() {
+    void push_batch(int src, std::vector<TaggedPayload> items) override {
+        for (TaggedPayload& it : items) {
+            push(src, it.tag, std::move(it.buf));
+        }
+    }
+
+    void abort() override {
         {
             std::lock_guard<std::mutex> lock(mu_);
             aborted_ = true;
@@ -49,7 +122,8 @@ public:
         cv_.notify_all();
     }
 
-    Payload pop(int src, int tag, std::chrono::milliseconds timeout) {
+    PayloadBuf pop(int src, int tag,
+                   std::chrono::milliseconds timeout) override {
         std::unique_lock<std::mutex> lock(mu_);
         const auto key = std::make_pair(src, tag);
         if (!cv_.wait_for(lock, timeout, [&] {
@@ -63,15 +137,21 @@ public:
         }
         if (aborted_) throw RunAborted{};
         auto& q = queues_[key];
-        Payload out = std::move(q.front());
+        PayloadBuf out = PayloadBuf::adopt(std::move(q.front()));
         q.pop_front();
         return out;
     }
 
+    std::size_t live_slots() const override {
+        std::lock_guard<std::mutex> lock(mu_);
+        return queues_.size();
+    }
+
 private:
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
-    std::map<std::pair<int, int>, std::deque<Payload>> queues_;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::uint64_t>>>
+        queues_;
     bool aborted_ = false;
 };
 

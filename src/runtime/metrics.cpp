@@ -13,6 +13,8 @@
 #include <stdexcept>
 
 #include "bigint/limb_arena.hpp"
+#include "bigint/limb_ops.hpp"
+#include "runtime/msg_pool.hpp"
 
 namespace ftmul {
 
@@ -301,6 +303,41 @@ MetricsRegistry& MetricsRegistry::global() {
                 .set(static_cast<std::int64_t>(
                     detail::LimbArena::process_grow_count()));
         });
+        r->add_collector([r] {
+            const auto s = MsgPool::stats();
+            const std::pair<const char*, std::uint64_t> rows[] = {
+                {"acquires", s.acquires},       {"local_hits", s.local_hits},
+                {"global_hits", s.global_hits}, {"fresh_allocs", s.fresh_allocs},
+                {"returns", s.returns},         {"dropped", s.dropped},
+                {"poison_failures", s.poison_failures},
+            };
+            for (const auto& [event, n] : rows) {
+                r->gauge("ftmul_msgpool_events", {{"event", event}},
+                         "MsgPool payload-buffer lifecycle counters")
+                    .set(static_cast<std::int64_t>(n));
+            }
+        });
+        r->add_collector([r] {
+            if (!detail::kernel_stats::enabled()) return;
+            const auto s = detail::kernel_stats::snapshot();
+            const std::pair<const char*,
+                            const std::array<std::uint64_t,
+                                             detail::kernel_stats::kBuckets>*>
+                kernels[] = {{"mul", &s.mul_rows},
+                             {"addmul", &s.addmul_rows},
+                             {"add", &s.add_rows}};
+            for (const auto& [kernel, rows] : kernels) {
+                for (std::size_t b = 0; b < rows->size(); ++b) {
+                    if ((*rows)[b] == 0) continue;
+                    r->gauge("ftmul_kernel_rows",
+                             {{"ge", std::to_string(std::size_t{1} << b)},
+                              {"kernel", kernel}},
+                             "limb-kernel streamed rows by power-of-two "
+                             "length bucket")
+                        .set(static_cast<std::int64_t>((*rows)[b]));
+                }
+            }
+        });
         return r;
     }();
     return *reg;
@@ -308,6 +345,9 @@ MetricsRegistry& MetricsRegistry::global() {
 
 void MetricsRegistry::set_enabled(bool on) noexcept {
     impl_->enabled.store(on, std::memory_order_relaxed);
+    // The limb-kernel row histograms ride the same switch: bigint cannot
+    // see the registry (layering), so the registry pushes the flag down.
+    if (this == &global()) detail::kernel_stats::set_enabled(on);
 }
 bool MetricsRegistry::enabled() const noexcept {
     return impl_->enabled.load(std::memory_order_relaxed);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "bigint/bigint.hpp"
+#include "bigint/random.hpp"
 
 namespace ftmul {
 namespace {
@@ -60,6 +62,41 @@ TEST(BigIntIo, NegativeRoundTrip) {
     BigInt v = BigInt::from_decimal("-123456789012345678901234567890");
     EXPECT_EQ(v.to_decimal(), "-123456789012345678901234567890");
     EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+}
+
+// Differential check for the arena-scratch radix loops: decimal and hex
+// round-trips over structured random values (dense, sparse, power-of-two
+// edges, chunk-boundary digit counts) must be the identity, and the
+// decimal path must agree with the hex path on the same value.
+TEST(BigIntIo, RadixRoundTripFuzz) {
+    Rng rng{20240808};
+    for (int iter = 0; iter < 300; ++iter) {
+        const std::size_t bits = 1 + rng.next_below(4000);
+        BigInt v;
+        switch (rng.next_below(5)) {
+            case 0: v = random_bits(rng, bits); break;
+            case 1: v = BigInt::power_of_two(bits) - BigInt{1}; break;
+            case 2: v = BigInt::power_of_two(bits); break;
+            case 3: {
+                // Digit counts straddling the 19-digit chunk boundary.
+                std::string s(19 * (1 + rng.next_below(6)) +
+                                  rng.next_below(3),
+                              '9');
+                s[0] = '1' + static_cast<char>(rng.next_below(9));
+                v = BigInt::from_decimal(s);
+                break;
+            }
+            default:
+                v = BigInt{static_cast<std::int64_t>(rng.next_u64() >> 1)};
+                break;
+        }
+        if (rng.next_below(2)) v = -v;
+        const std::string dec = v.to_decimal();
+        const std::string hex = v.to_hex();
+        ASSERT_EQ(BigInt::from_decimal(dec), v) << iter << " " << dec;
+        ASSERT_EQ(BigInt::from_hex(hex), v) << iter << " " << hex;
+        ASSERT_EQ(BigInt::from_hex(hex).to_decimal(), dec) << iter;
+    }
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bigint/limb_ops.hpp"
+#include "bigint/ops_counter.hpp"
 #include "bigint/random.hpp"
 #include "core/parallel.hpp"
 #include "toom/lazy.hpp"
@@ -177,6 +179,47 @@ TEST_P(DifferentialFuzz, ArenaBackedToomAgreesWithOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
                          ::testing::Range<std::uint64_t>(1, 11));
+
+// Arena-scratch Knuth-D division against the preserved vector-based
+// implementation: identical quotient, remainder AND OpsCounter charge on
+// random shapes — normalized and unnormalized divisors, a < b, single-limb
+// divisors, exact divisions.
+TEST(DivmodDifferential, ArenaPathMatchesReferenceAndCharges) {
+    Rng rng{987654321};
+    auto gen_limbs = [&](std::size_t max_limbs) {
+        detail::Limbs v(1 + rng.next_below(max_limbs));
+        for (auto& w : v) w = rng.next_u64();
+        switch (rng.next_below(4)) {
+            case 0: v.back() |= std::uint64_t{1} << 63; break;  // s == 0 path
+            case 1: v.back() = 1; break;                        // tiny top limb
+            case 2: if (v.size() > 1) v[0] = 0; break;          // trailing zero limb
+            default: break;
+        }
+        detail::normalize(v);
+        return v;
+    };
+    for (int iter = 0; iter < 500; ++iter) {
+        detail::Limbs a = gen_limbs(24);
+        detail::Limbs b = gen_limbs(8);
+        if (b.empty()) b = {rng.next_u64() | 1};
+        if (rng.next_below(8) == 0) a = detail::mul(b, gen_limbs(4));  // exact
+        detail::Limbs q1, r1, q2, r2;
+        OpsCounter::reset();
+        detail::divmod(a, b, q1, r1);
+        const std::uint64_t charge_arena = OpsCounter::get();
+        OpsCounter::reset();
+        detail::divmod_reference(a, b, q2, r2);
+        const std::uint64_t charge_reference = OpsCounter::get();
+        ASSERT_EQ(q1, q2) << iter;
+        ASSERT_EQ(r1, r2) << iter;
+        ASSERT_EQ(charge_arena, charge_reference) << iter;
+        // a = q*b + r and r < b: both paths must satisfy the contract.
+        detail::Limbs check = detail::mul(q1, b);
+        detail::add_into(check, r1);
+        ASSERT_EQ(check, a) << iter;
+        if (!b.empty()) ASSERT_LT(detail::cmp(r1, b), 0) << iter;
+    }
+}
 
 }  // namespace
 }  // namespace ftmul

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bigint/limb_ops.hpp"
 #include "bigint/random.hpp"
 #include "core/parallel.hpp"
 #include "runtime/metrics.hpp"
@@ -322,6 +323,40 @@ TEST(Metrics, GlobalWiringCountsAParallelRun) {
     EXPECT_EQ(runs.value(), runs_before + 1);
     EXPECT_GT(msgs.value(), msgs_before);
 
+    reg.set_enabled(was_enabled);
+}
+
+TEST(Metrics, KernelRowHistogramsFollowTheRegistrySwitch) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    const bool was_enabled = reg.enabled();
+
+    // Disabled by default: kernels record nothing.
+    reg.set_enabled(false);
+    EXPECT_FALSE(detail::kernel_stats::enabled());
+    detail::kernel_stats::reset();
+    (void)detail::mul(detail::Limbs(100, 7), detail::Limbs(200, 9));
+    auto snap = detail::kernel_stats::snapshot();
+    std::uint64_t total = 0;
+    for (const auto c : snap.mul_rows) total += c;
+    EXPECT_EQ(total, 0u);
+
+    // Enabling the registry flips the kernel flag; a 100x200 schoolbook
+    // product streams its rows at length 200 → bucket 7 ([128, 256)).
+    reg.set_enabled(true);
+    EXPECT_TRUE(detail::kernel_stats::enabled());
+    (void)detail::mul(detail::Limbs(100, 7), detail::Limbs(200, 9));
+    snap = detail::kernel_stats::snapshot();
+    EXPECT_GE(snap.mul_rows[7], 1u);
+
+    // The collector publishes nonzero buckets as labeled gauges.
+    const MetricsSnapshot ms = reg.snapshot();
+    const bool found = std::any_of(
+        ms.samples.begin(), ms.samples.end(), [](const auto& m) {
+            return m.name == "ftmul_kernel_rows";
+        });
+    EXPECT_TRUE(found);
+
+    detail::kernel_stats::reset();
     reg.set_enabled(was_enabled);
 }
 
