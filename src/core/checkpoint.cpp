@@ -102,6 +102,7 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(P, plan);
     if (cfg.base.events) machine.enable_event_log();
+    core_detail::arm_transport(machine, cfg.base);
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
     const auto unpts = static_cast<std::size_t>(npts);
     const std::size_t N = shape.total_digits;
@@ -238,6 +239,7 @@ FtRunResult checkpoint_toom_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(me)] = std::move(child);
     });
     result.stats = machine.stats();
+    result.transport = machine.transport_stats();
     result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/transport.hpp"
+
 namespace ftmul {
 
 /// Configuration of the parallel Toom-Cook algorithms (Section 3).
@@ -60,6 +62,17 @@ struct ParallelConfig {
     /// critical path; the polynomial-coded algorithm can discard the slow
     /// column instead (see bench_stragglers).
     std::vector<std::pair<int, std::uint64_t>> straggler_delays;
+
+    /// Arm the frame-integrity transport guard (checksummed, sequenced,
+    /// retained frames with NACK/retransmit recovery — see
+    /// runtime/transport.hpp). Off by default: the data plane then behaves
+    /// and charges exactly as before.
+    bool transport_guard = false;
+
+    /// Data-plane fault injection model (message corruption / drop / dup /
+    /// reorder). An active model implies the guard. Filled by
+    /// FaultInjector::draw for chaos campaigns.
+    TransportFaultModel transport_faults;
 };
 
 /// The geometry actually executed, resolved from a config and an input size.

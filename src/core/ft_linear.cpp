@@ -279,6 +279,7 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(world, plan);
     if (cfg.base.events) machine.enable_event_log();
+    core_detail::arm_transport(machine, cfg.base);
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
 
     const std::size_t N = shape.total_digits;
@@ -444,6 +445,7 @@ FtRunResult ft_linear_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(rank.id())] = std::move(child);
     });
     result.stats = machine.stats();
+    result.transport = machine.transport_stats();
     result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);

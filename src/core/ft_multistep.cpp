@@ -140,6 +140,7 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(world, plan);
     if (cfg.base.events) machine.enable_event_log();
+    core_detail::arm_transport(machine, cfg.base);
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(world));
 
     const std::size_t N = shape.total_digits;
@@ -293,6 +294,7 @@ FtRunResult ft_multistep_multiply(const BigInt& a, const BigInt& b,
         }
     });
     result.stats = machine.stats();
+    result.transport = machine.transport_stats();
     result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);

@@ -27,6 +27,10 @@ struct FtRunResult {
     /// Typed event log of the run, when ParallelConfig::events was set;
     /// carries per-rank fault and recovery-cost attribution.
     std::shared_ptr<EventLog> events;
+
+    /// Transport-guard accounting of the run (all zeros when the guard and
+    /// the data-plane fault model were off).
+    TransportStats transport;
 };
 
 /// Fault-tolerant parallel Toom-Cook with polynomial coding: the redundant

@@ -113,6 +113,7 @@ FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
 
     const ToomPlan tplan = ToomPlan::make(k);
     Machine machine(world);
+    core_detail::arm_transport(machine, cfg.base);
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
     std::atomic<int> detected{0};
     std::atomic<int> corrected{0};
@@ -379,6 +380,7 @@ FtSoftResult ft_soft_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(rank.id())] = std::move(child);
     });
     result.stats = machine.stats();
+    result.transport = machine.transport_stats();
     result.corruptions_detected = detected.load();
     result.corruptions_corrected = corrected.load();
 

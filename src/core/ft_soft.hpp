@@ -28,6 +28,10 @@ struct FtSoftResult {
     int corruptions_injected = 0;
     int corruptions_detected = 0;
     int corruptions_corrected = 0;
+
+    /// Transport-guard accounting of the run (all zeros when the guard and
+    /// the data-plane fault model were off).
+    TransportStats transport;
 };
 
 /// Fault-tolerant parallel Toom-Cook against soft faults: the Section 4.1

@@ -15,6 +15,15 @@ namespace ftmul {
 
 namespace core_detail {
 
+void arm_transport(Machine& machine, const ParallelConfig& cfg) {
+    if (cfg.transport_guard || cfg.transport_faults.active()) {
+        machine.set_transport_guard(true);
+    }
+    if (cfg.transport_faults.active()) {
+        machine.set_transport_faults(cfg.transport_faults);
+    }
+}
+
 namespace {
 
 std::vector<std::size_t> base_rows(const ToomPlan& plan) {
@@ -241,6 +250,7 @@ ParallelRunResult parallel_toom_multiply(const BigInt& a, const BigInt& b,
     Machine machine(shape.processors);
     if (cfg.trace) machine.enable_tracing();
     if (cfg.events) machine.enable_event_log();
+    core_detail::arm_transport(machine, cfg);
     std::vector<std::vector<BigInt>> slices(
         static_cast<std::size_t>(shape.processors));
 
@@ -266,6 +276,7 @@ ParallelRunResult parallel_toom_multiply(const BigInt& a, const BigInt& b,
         slices[static_cast<std::size_t>(rank.id())] = std::move(out);
     });
     result.stats = machine.stats();
+    result.transport = machine.transport_stats();
     result.events = machine.event_log();
     if (cfg.trace && machine.tracer() != nullptr) {
         auto t = std::make_shared<Tracer>();

@@ -26,6 +26,10 @@ struct ParallelRunResult {
 
     /// Typed event log of the run, when ParallelConfig::events was set.
     std::shared_ptr<EventLog> events;
+
+    /// Transport-guard accounting of the run (all zeros when
+    /// ParallelConfig::transport_guard / transport_faults were off).
+    TransportStats transport;
 };
 
 /// Parallel Toom-Cook-k (paper Section 3): BFS-DFS traversal of the
@@ -42,6 +46,12 @@ ParallelRunResult parallel_toom_multiply(const BigInt& a, const BigInt& b,
 namespace core_detail {
 
 /// Internals shared by the FT variants.
+
+/// Arm the transport guard / fault-injection shim on a freshly constructed
+/// machine per cfg (no-op when neither is requested). Every engine calls
+/// this right after building its Machine so the whole family honors the
+/// same transport configuration.
+void arm_transport(Machine& machine, const ParallelConfig& cfg);
 
 /// This rank's slice of the split digits of |v| (layout bs=1 over P ranks).
 std::vector<BigInt> local_input_digits(const BigInt& v,

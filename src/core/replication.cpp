@@ -60,6 +60,7 @@ FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
     const ToomPlan tplan = ToomPlan::make(cfg.base.k);
     Machine machine(world, plan);
     if (cfg.base.events) machine.enable_event_log();
+    core_detail::arm_transport(machine, cfg.base);
     std::vector<std::vector<BigInt>> slices(static_cast<std::size_t>(P));
 
     std::set<int> scheduled;
@@ -93,6 +94,7 @@ FtRunResult replicated_toom_multiply(const BigInt& a, const BigInt& b,
         }
     });
     result.stats = machine.stats();
+    result.transport = machine.transport_stats();
     result.events = machine.event_log();
 
     const std::vector<BigInt> full = unslice(slices, 1);

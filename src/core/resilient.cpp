@@ -266,19 +266,30 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     ResilientResult result;
     std::exception_ptr last_error;
 
+    // Escalation rungs run on a fresh interconnect: the data-plane fault
+    // model is cleared so a flaky transport cannot sink every retry — the
+    // analogue of hard-fault retries running on fresh processors. The
+    // frame-integrity guard itself stays as configured.
+    ResilientConfig retry_cfg = cfg;
+    retry_cfg.base.transport_faults = TransportFaultModel{};
+
     // Run one rung; record its outcome and fold its cost in. A failed rung
     // contributes whatever the run charged before the engine refused (plan
     // validation refuses up front, so typically nothing — but the audit
-    // trail still names the rung and the fault set that sank it).
-    auto attempt = [&](const std::string& strategy, const char* rung,
-                       const FaultPlan& plan) -> bool {
+    // trail still names the rung and the fault set that sank it). A
+    // TransportFault — the guard's NACK/retransmit protocol out of budget —
+    // escalates exactly like an UnrecoverableFault.
+    auto attempt = [&](const ResilientConfig& c, const std::string& strategy,
+                       const char* rung, const FaultPlan& plan) -> bool {
         ResilientAttempt att;
         att.strategy = strategy;
         att.faults_injected = static_cast<int>(plan.total_faults());
         try {
-            FtRunResult r = run_ft_engine(a, b, cfg, plan);
+            FtRunResult r = run_ft_engine(a, b, c, plan);
             att.success = true;
             att.stats = r.stats;
+            att.transport = r.transport;
+            result.transport += r.transport;
             note_rung("hard", rung, true, &r.stats);
             accumulate(result.stats, r.stats);
             result.product = std::move(r.product);
@@ -286,6 +297,12 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             result.events = std::move(r.events);
             result.attempts.push_back(std::move(att));
             return true;
+        } catch (const TransportFault& tf) {
+            att.error = tf.what();
+            note_rung("hard", rung, false, nullptr);
+            result.attempts.push_back(std::move(att));
+            last_error = std::current_exception();
+            return false;
         } catch (const UnrecoverableFault& uf) {
             att.error = uf.what();
             note_rung("hard", rung, false, nullptr);
@@ -296,7 +313,9 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     };
 
     // Rung 1: the configured engine under the trial's fault plan.
-    if (attempt(to_string(cfg.engine), "engine", first_plan)) return result;
+    if (attempt(cfg, to_string(cfg.engine), "engine", first_plan)) {
+        return result;
+    }
 
     // Rung 2: bounded re-runs on fresh processors. Without a PlanSource the
     // re-run is fault-free (the faulty processors were replaced).
@@ -305,7 +324,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             std::string(to_string(cfg.engine)) + "-retry-" + std::to_string(i);
         FaultPlan plan;
         if (retry_plans) plan = retry_plans(strategy, i);
-        if (attempt(strategy, "engine-retry", plan)) return result;
+        if (attempt(retry_cfg, strategy, "engine-retry", plan)) return result;
     }
 
     // Rung 3: rollback recovery via the buddy-checkpoint engine (skipped
@@ -318,9 +337,11 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
         att.faults_injected = static_cast<int>(plan.total_faults());
         try {
             FtRunResult r = checkpoint_toom_multiply(
-                a, b, CheckpointConfig{cfg.base}, plan);
+                a, b, CheckpointConfig{retry_cfg.base}, plan);
             att.success = true;
             att.stats = r.stats;
+            att.transport = r.transport;
+            result.transport += r.transport;
             note_rung("hard", "checkpoint-fallback", true, &r.stats);
             accumulate(result.stats, r.stats);
             result.product = std::move(r.product);
@@ -328,6 +349,11 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
             result.events = std::move(r.events);
             result.attempts.push_back(std::move(att));
             return result;
+        } catch (const TransportFault& tf) {
+            att.error = tf.what();
+            note_rung("hard", "checkpoint-fallback", false, nullptr);
+            result.attempts.push_back(std::move(att));
+            last_error = std::current_exception();
         } catch (const UnrecoverableFault& uf) {
             att.error = uf.what();
             note_rung("hard", "checkpoint-fallback", false, nullptr);
@@ -374,6 +400,8 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
             FtSoftResult r = ft_soft_multiply(a, b, scfg, p);
             accumulate(result.stats, r.stats);
             att.stats = r.stats;
+            att.transport = r.transport;
+            result.transport += r.transport;
             if (verify && !verify(r.product)) {
                 att.error =
                     "ft_soft: wrong interpolation (verifier rejected the "
@@ -392,6 +420,12 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
             result.shape = r.shape;
             result.attempts.push_back(std::move(att));
             return true;
+        } catch (const TransportFault& tf) {
+            att.error = tf.what();
+            note_rung("soft", rung, false, nullptr);
+            result.attempts.push_back(std::move(att));
+            last_error = std::current_exception();
+            return false;
         } catch (const UnrecoverableFault& uf) {
             att.error = uf.what();
             note_rung("soft", rung, false, nullptr);
@@ -403,6 +437,9 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
 
     // Rung 1: the soft engine under the trial's corruption plan.
     if (attempt("ft_soft", "engine", plan)) return result;
+
+    // Retries run on a fresh interconnect (see resilient_multiply).
+    scfg.base.transport_faults = TransportFaultModel{};
 
     // Rung 2: bounded fault-free re-runs on fresh processors. (There is no
     // checkpoint rung: a miscalculating rank corrupts its checkpoint too,

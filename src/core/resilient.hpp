@@ -90,9 +90,15 @@ struct ResilientAttempt {
     std::string strategy;    ///< "ft_poly", "ft_poly-retry-1",
                              ///< "checkpoint-fallback", "sequential-fallback"
     bool success = false;
-    std::string error;       ///< UnrecoverableFault message when !success
+    std::string error;       ///< UnrecoverableFault / TransportFault message
+                             ///< when !success
     int faults_injected = 0;
     RunStats stats;          ///< this attempt's own costs
+
+    /// This attempt's transport-guard accounting (frames sealed, data-plane
+    /// faults detected, retransmissions charged). All zeros when the guard
+    /// was off, or when the attempt died mid-run on a TransportFault.
+    TransportStats transport;
 };
 
 /// Outcome of resilient_multiply: the product, costs accumulated over every
@@ -103,6 +109,10 @@ struct ResilientResult {
     ResolvedShape shape;
     RunStats stats;
     std::vector<ResilientAttempt> attempts;
+
+    /// Transport-guard accounting summed over every completed attempt
+    /// (failed ladder rungs that still ran to completion included).
+    TransportStats transport;
 
     /// Event log of the successful attempt (when cfg.base.events is set).
     std::shared_ptr<EventLog> events;
@@ -116,10 +126,15 @@ using PlanSource = std::function<FaultPlan(const std::string& strategy,
                                            int attempt)>;
 
 /// Multiply with graceful degradation: run the configured engine under
-/// first_plan; on UnrecoverableFault escalate through re-runs, the
-/// checkpoint engine and finally a sequential recompute, charging every
-/// rung's cost. Throws the last UnrecoverableFault when every enabled rung
-/// fails (never returns a wrong product).
+/// first_plan; on UnrecoverableFault — or a TransportFault the bounded
+/// NACK/retransmit protocol could not absorb (retry budget exhausted,
+/// retained frame evicted) — escalate through re-runs, the checkpoint
+/// engine and finally a sequential recompute, charging every rung's cost.
+/// Escalation rungs run with the data-plane fault model cleared ("fresh
+/// interconnect"), mirroring how hard-fault retries run on fresh
+/// processors; the frame-integrity guard itself stays as configured.
+/// Throws the last UnrecoverableFault when every enabled rung fails (never
+/// returns a wrong product).
 ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
                                    const ResilientConfig& cfg,
                                    const FaultPlan& first_plan,

@@ -15,6 +15,7 @@ const char* to_string(EventKind kind) {
         case EventKind::RecoveryEnd: return "recovery-end";
         case EventKind::Memory: return "memory";
         case EventKind::Deadlock: return "deadlock";
+        case EventKind::Transport: return "transport";
     }
     return "unknown";
 }

@@ -23,6 +23,7 @@ enum class EventKind {
     RecoveryEnd,    ///< recovery finished; counters = its F/BW/L cost
     Memory,         ///< new local working-set high-water mark (words)
     Deadlock,       ///< a receive timed out; ranks = every blocked rank
+    Transport,      ///< frame defect detected / retransmit (note = what)
 };
 
 /// Stable lower-case name ("phase-begin", "fault", ...) used in exports.
@@ -48,6 +49,11 @@ struct Event {
 
     /// RecoveryBegin/End: the dead ranks this recovery rebuilds.
     std::vector<int> ranks;
+
+    /// Transport: what the guard observed ("corrupt-detected",
+    /// "drop-detected", "dedup", "reorder-stash", "retransmit", ...); empty
+    /// for every other kind.
+    std::string note;
 };
 
 /// Thread-safe, append-only event log of one Machine run. Ranks emit

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -168,6 +169,57 @@ private:
     std::string engine_;
     std::string phase_;
     std::vector<int> dead_ranks_;
+};
+
+/// Why the transport layer gave up on a frame (see runtime/transport.hpp
+/// for the detection machinery). Corrupt/Truncated/Dropped name the defect
+/// that started the recovery; RetainMiss and RetryExhausted are the two
+/// ways the bounded NACK/retransmit protocol can fail.
+enum class TransportFaultKind {
+    Corrupt,         ///< checksum mismatch on an otherwise well-formed frame
+    Truncated,       ///< malformed trailer (short frame, bad magic/route)
+    Dropped,         ///< a drop tombstone named a lost sequence number
+    RetainMiss,      ///< the sender's retention window no longer holds it
+    RetryExhausted,  ///< the per-receive retransmit budget ran out
+};
+
+const char* to_string(TransportFaultKind kind);
+
+/// Thrown by Machine::recv when a frame defect survives the bounded
+/// NACK/retransmit protocol: the needed frame aged out of the sender's
+/// retention window, or the per-receive retry budget ran out. The sibling
+/// of UnrecoverableFault one layer down the stack — it carries the full
+/// route (src/dst/tag/seq) and the defect kind so the resilient ladder and
+/// the chaos runner can attribute and escalate. The payload handed to the
+/// algorithm is *never* silently wrong: every frame is either verified
+/// intact or surfaces here.
+class TransportFault : public std::runtime_error {
+public:
+    TransportFault(TransportFaultKind kind, int src, int dst, int tag,
+                   std::uint64_t seq, const std::string& detail)
+        : std::runtime_error(format(kind, src, dst, tag, seq, detail)),
+          kind_(kind),
+          src_(src),
+          dst_(dst),
+          tag_(tag),
+          seq_(seq) {}
+
+    TransportFaultKind kind() const noexcept { return kind_; }
+    int src() const noexcept { return src_; }
+    int dst() const noexcept { return dst_; }
+    int tag() const noexcept { return tag_; }
+    std::uint64_t seq() const noexcept { return seq_; }
+
+private:
+    static std::string format(TransportFaultKind kind, int src, int dst,
+                              int tag, std::uint64_t seq,
+                              const std::string& detail);
+
+    TransportFaultKind kind_;
+    int src_;
+    int dst_;
+    int tag_;
+    std::uint64_t seq_;
 };
 
 }  // namespace ftmul

@@ -97,6 +97,16 @@ InjectedFaults FaultInjector::draw(const FaultInjectorConfig& cfg,
     check_weights("rank", cfg.ranks.size(), cfg.rank_weights);
 
     InjectedFaults out;
+    // The transport model stays probabilistic (the shim draws per frame),
+    // but it is fully determined here: (seed, trial) plus the rates make
+    // every frame's fate replayable like the materialized plans above.
+    out.transport.seed = seed_;
+    out.transport.trial = trial_index;
+    out.transport.corrupt_rate = cfg.msg_corrupt_rate;
+    out.transport.drop_rate = cfg.msg_drop_rate;
+    out.transport.dup_rate = cfg.msg_dup_rate;
+    out.transport.reorder_rate = cfg.msg_reorder_rate;
+    out.transport.validate();
     // Hard candidates are collected first so the max_hard_faults cap can be
     // applied by deterministic hash order over the *fired* sites: which
     // faults survive the cap is a pure function of (seed, trial, site

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/fault.hpp"
+#include "runtime/transport.hpp"
 
 namespace ftmul {
 
@@ -21,6 +22,13 @@ struct InjectedFaults {
     /// (rank, extra critical-path rounds) pairs, the ParallelConfig
     /// straggler_delays wire format.
     std::vector<std::pair<int, std::uint64_t>> stragglers;
+
+    /// Data-plane fault model (message corruption / drops / dups /
+    /// reorders), armed on the Machine through ParallelConfig. Unlike the
+    /// other categories it is not pre-materialized — each frame's fate is
+    /// still a pure function of (seed, trial, src, dst, link index), drawn
+    /// by the injection shim as traffic flows.
+    TransportFaultModel transport;
 
     std::size_t total() const {
         return hard.total_faults() + soft.total() + stragglers.size();
@@ -47,6 +55,15 @@ struct FaultInjectorConfig {
     /// Per-rank probability of being a straggler, and the delay charged.
     double straggler_rate = 0.0;
     std::uint64_t straggler_rounds = 8;
+
+    /// Transport taxonomy: per-frame probabilities the data-plane injection
+    /// shim applies on every link (see TransportFaultModel). Probabilities
+    /// like the rates above; draw() validates and forwards them into
+    /// InjectedFaults::transport together with (seed, trial).
+    double msg_corrupt_rate = 0.0;
+    double msg_drop_rate = 0.0;
+    double msg_dup_rate = 0.0;
+    double msg_reorder_rate = 0.0;
 
     /// Optional targeting weights, parallel to `phases` / `ranks`; empty =
     /// uniform (weight 1.0). A site's fault probability is

@@ -10,7 +10,56 @@
 #include "bigint/serialize.hpp"
 #include "runtime/thread_pool.hpp"
 
+#include <atomic>
+
 namespace ftmul {
+
+/// Transport accounting, one relaxed increment per observation; reset at
+/// every run start and snapshot by transport_stats(). Heap-allocated (the
+/// header only forward-declares it) so machine.hpp stays <atomic>-free.
+struct Machine::TransportCounterBlock {
+    std::atomic<std::uint64_t> sent_frames{0};
+    std::atomic<std::uint64_t> header_words{0};
+    std::atomic<std::uint64_t> injected_corrupt{0};
+    std::atomic<std::uint64_t> injected_drop{0};
+    std::atomic<std::uint64_t> injected_dup{0};
+    std::atomic<std::uint64_t> injected_reorder{0};
+    std::atomic<std::uint64_t> corrupt_detected{0};
+    std::atomic<std::uint64_t> malformed_detected{0};
+    std::atomic<std::uint64_t> drop_detected{0};
+    std::atomic<std::uint64_t> dedup_hits{0};
+    std::atomic<std::uint64_t> reorder_stashed{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> retransmit_words{0};
+
+    void reset() noexcept {
+        sent_frames = 0;
+        header_words = 0;
+        injected_corrupt = 0;
+        injected_drop = 0;
+        injected_dup = 0;
+        injected_reorder = 0;
+        corrupt_detected = 0;
+        malformed_detected = 0;
+        drop_detected = 0;
+        dedup_hits = 0;
+        reorder_stashed = 0;
+        retransmits = 0;
+        retransmit_words = 0;
+    }
+};
+
+namespace {
+
+void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) noexcept {
+    c.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t peek(const std::atomic<std::uint64_t>& c) noexcept {
+    return c.load(std::memory_order_relaxed);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Rank
@@ -133,6 +182,21 @@ const FaultPlan& Rank::fault_plan() const { return machine_.plan_; }
 void Rank::send_buf(int dst, int tag, PayloadBuf payload) {
     assert(dst >= 0 && dst < size_);
     flush_flops();
+    const bool guarded = machine_.transport_guard_;
+    if (guarded) {
+        const std::uint64_t seq = send_seq_[{dst, tag}]++;
+        seal_frame(payload.storage(), id_, dst, tag, seq);
+        machine_.retain_frame(id_, dst, tag, seq, payload.words());
+        bump(machine_.tcounters_->sent_frames);
+        bump(machine_.tcounters_->header_words, kFrameTrailerWords);
+        static const Counter frames = metrics::counter(
+            "ftmul_transport_frames_total", {},
+            "frames sealed by the transport guard");
+        frames.inc();
+    }
+    // Under the guard the charged words include the sealed trailer — the
+    // integrity header rides the frame, deterministically, in every charge,
+    // trace line and event below.
     current_.words += payload.size();
     current_.msgs += 1;
     machine_.metric_msgs_.inc();
@@ -150,7 +214,94 @@ void Rank::send_buf(int dst, int tag, PayloadBuf payload) {
         e.words = payload.size();
         emit(std::move(e));
     }
+    if (guarded) {
+        deliver_frame(dst, tag, std::move(payload));
+        return;
+    }
     machine_.mailbox(dst).push(id_, tag, std::move(payload));
+}
+
+void Rank::deliver_frame(int dst, int tag, PayloadBuf frame) {
+    Machine::TransportCounterBlock& tc = *machine_.tcounters_;
+    const TransportFaultModel& model = machine_.transport_model_;
+    if (model.active()) {
+        const std::uint64_t idx = link_msg_[dst]++;
+        switch (model.draw(id_, dst, idx)) {
+            case TransportAction::None:
+                break;
+            case TransportAction::Corrupt: {
+                bump(tc.injected_corrupt);
+                static const Counter injected = metrics::counter(
+                    "ftmul_transport_injected_total", {{"kind", "corrupt"}},
+                    "transport faults injected by the shim, by kind");
+                injected.inc();
+                corrupt_frame(frame.storage(),
+                              model.corruption_bits(id_, dst, idx));
+                break;
+            }
+            case TransportAction::Drop: {
+                bump(tc.injected_drop);
+                static const Counter injected = metrics::counter(
+                    "ftmul_transport_injected_total", {{"kind", "drop"}});
+                injected.inc();
+                // The loss is made deterministic: a payload-free tombstone
+                // carrying the dropped frame's seq still travels, so the
+                // receiver detects the gap without a timeout race.
+                const std::span<const std::uint64_t> w = frame.words();
+                const std::uint64_t seq = w[w.size() - 2];
+                std::vector<std::uint64_t> stone;
+                seal_tombstone(stone, id_, dst, tag, seq);
+                frame = PayloadBuf::adopt(std::move(stone));
+                break;
+            }
+            case TransportAction::Dup: {
+                bump(tc.injected_dup);
+                static const Counter injected = metrics::counter(
+                    "ftmul_transport_injected_total", {{"kind", "dup"}});
+                injected.inc();
+                std::vector<std::uint64_t> copy(frame.words().begin(),
+                                                frame.words().end());
+                machine_.mailbox(dst).push(id_, tag,
+                                           PayloadBuf::adopt(std::move(copy)));
+                break;
+            }
+            case TransportAction::Reorder: {
+                bump(tc.injected_reorder);
+                static const Counter injected = metrics::counter(
+                    "ftmul_transport_injected_total", {{"kind", "reorder"}});
+                injected.inc();
+                // Defer this frame past the sender's next send on the same
+                // link; flush_reorder_stash() at every blocking point keeps
+                // the deferral from ever wedging a receiver.
+                reorder_stash_.emplace_back(std::make_pair(dst, tag),
+                                            std::move(frame));
+                return;
+            }
+        }
+    }
+    machine_.mailbox(dst).push(id_, tag, std::move(frame));
+    // Release frames the Reorder action deferred on this link *after* the
+    // frame that just shipped — that delayed release is the reorder.
+    if (!reorder_stash_.empty()) {
+        auto it = reorder_stash_.begin();
+        while (it != reorder_stash_.end()) {
+            if (it->first.first != dst) {
+                ++it;
+                continue;
+            }
+            machine_.mailbox(dst).push(id_, it->first.second,
+                                       std::move(it->second));
+            it = reorder_stash_.erase(it);
+        }
+    }
+}
+
+void Rank::flush_reorder_stash() {
+    if (reorder_stash_.empty()) return;
+    for (auto& [key, buf] : reorder_stash_) {
+        machine_.mailbox(key.first).push(id_, key.second, std::move(buf));
+    }
+    reorder_stash_.clear();
 }
 
 void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
@@ -159,6 +310,15 @@ void Rank::send(int dst, int tag, std::vector<std::uint64_t> payload) {
 
 void Rank::send_batch(int dst, std::vector<TaggedPayload> msgs) {
     assert(dst >= 0 && dst < size_);
+    if (machine_.transport_guard_) {
+        // Each frame needs its own seal/retention/injection draw, so the
+        // guard unfuses the delivery; charges and events are per message
+        // either way, identical to the equivalent send loop.
+        for (TaggedPayload& m : msgs) {
+            send_buf(dst, m.tag, std::move(m.buf));
+        }
+        return;
+    }
     flush_flops();
     // Charge and log each element as its own message, in order — identical
     // to the equivalent send loop; only the mailbox delivery is fused.
@@ -186,6 +346,14 @@ void Rank::send_batch(int dst, std::vector<TaggedPayload> msgs) {
 
 PayloadBuf Rank::recv_buf(int src, int tag) {
     assert(src >= 0 && src < size_);
+    if (!machine_.transport_guard_) return recv_frame(src, tag);
+    // About to block: release any frame the shim deferred, so a reorder can
+    // never leave a peer waiting on a frame this rank is still sitting on.
+    flush_reorder_stash();
+    return recv_buf_guarded(src, tag);
+}
+
+PayloadBuf Rank::recv_frame(int src, int tag) {
     machine_.note_blocked(id_, src, tag, current_phase_);
     PayloadBuf payload;
     try {
@@ -231,6 +399,159 @@ PayloadBuf Rank::recv_buf(int src, int tag) {
 
 std::vector<std::uint64_t> Rank::recv(int src, int tag) {
     return recv_buf(src, tag).release();
+}
+
+void Rank::emit_transport(const char* note, int peer, int tag,
+                          std::uint64_t words) {
+    if (!machine_.events_) return;
+    Event e;
+    e.kind = EventKind::Transport;
+    e.phase = current_phase_;
+    e.peer = peer;
+    e.tag = tag;
+    e.words = words;
+    e.note = note;
+    emit(std::move(e));
+}
+
+PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
+    Machine::TransportCounterBlock& tc = *machine_.tcounters_;
+    std::uint64_t& expected = recv_seq_[{src, tag}];
+    int attempts = 0;
+    for (;;) {
+        // The stream's next frame may already be parked from an earlier
+        // out-of-order arrival (verified and stripped at stash time).
+        if (auto it = recv_stash_.find(std::make_tuple(src, tag, expected));
+            it != recv_stash_.end()) {
+            PayloadBuf ready = std::move(it->second);
+            recv_stash_.erase(it);
+            ++expected;
+            return ready;
+        }
+        PayloadBuf frame = recv_frame(src, tag);
+        const FrameVerdict v = inspect_frame(frame.words(), src, id_, tag);
+        switch (v.state) {
+            case FrameState::Intact: {
+                strip_trailer(frame.storage());
+                if (v.seq < expected) {  // duplicate of a delivered frame
+                    bump(tc.dedup_hits);
+                    static const Counter dedup = metrics::counter(
+                        "ftmul_transport_dedup_hits_total", {},
+                        "duplicate frames discarded by the seq window");
+                    dedup.inc();
+                    emit_transport("dedup", src, tag, v.seq);
+                    continue;
+                }
+                if (v.seq > expected) {  // ahead of stream order: park it
+                    bump(tc.reorder_stashed);
+                    emit_transport("reorder-stash", src, tag, v.seq);
+                    recv_stash_.emplace(std::make_tuple(src, tag, v.seq),
+                                        std::move(frame));
+                    continue;
+                }
+                ++expected;
+                return frame;
+            }
+            case FrameState::Tombstone: {
+                bump(tc.drop_detected);
+                static const Counter drops = metrics::counter(
+                    "ftmul_transport_drops_detected_total", {},
+                    "drop tombstones observed by receivers");
+                drops.inc();
+                emit_transport("drop-detected", src, tag, v.seq);
+                if (v.seq < expected) continue;  // lost duplicate: absorbed
+                PayloadBuf rec = fetch_retransmit(src, tag, v.seq, attempts,
+                                                  TransportFaultKind::Dropped);
+                if (v.seq > expected) {
+                    recv_stash_.emplace(std::make_tuple(src, tag, v.seq),
+                                        std::move(rec));
+                    continue;
+                }
+                ++expected;
+                return rec;
+            }
+            case FrameState::PayloadCorrupt: {
+                bump(tc.corrupt_detected);
+                static const Counter fails = metrics::counter(
+                    "ftmul_transport_checksum_failures_total", {},
+                    "frames failing content-checksum verification");
+                fails.inc();
+                emit_transport("corrupt-detected", src, tag, v.seq);
+                if (v.seq < expected) continue;  // corrupt dup: absorbed
+                PayloadBuf rec = fetch_retransmit(src, tag, v.seq, attempts,
+                                                  TransportFaultKind::Corrupt);
+                if (v.seq > expected) {
+                    recv_stash_.emplace(std::make_tuple(src, tag, v.seq),
+                                        std::move(rec));
+                    continue;
+                }
+                ++expected;
+                return rec;
+            }
+            case FrameState::Malformed: {
+                // Truncated frame or mangled trailer: the seq field is
+                // untrustworthy, so recover the stream's next expected frame
+                // — if the damaged frame was really a later one, its healthy
+                // original still arrives and the dedup window absorbs the
+                // recovery's overlap.
+                bump(tc.malformed_detected);
+                static const Counter fails = metrics::counter(
+                    "ftmul_transport_checksum_failures_total", {});
+                fails.inc();
+                emit_transport("malformed-detected", src, tag, expected);
+                PayloadBuf rec =
+                    fetch_retransmit(src, tag, expected, attempts,
+                                     TransportFaultKind::Truncated);
+                ++expected;
+                return rec;
+            }
+        }
+    }
+}
+
+PayloadBuf Rank::fetch_retransmit(int src, int tag, std::uint64_t seq,
+                                  int& attempts, TransportFaultKind why) {
+    if (++attempts > machine_.transport_retry_limit_) {
+        throw TransportFault(TransportFaultKind::RetryExhausted, src, id_,
+                             tag, seq,
+                             "retransmit budget exhausted after " +
+                                 std::to_string(attempts - 1) +
+                                 " recoveries in one receive (trigger: " +
+                                 std::string(to_string(why)) + ")");
+    }
+    std::optional<std::vector<std::uint64_t>> sealed =
+        machine_.retained_copy(src, id_, tag, seq);
+    if (!sealed) {
+        throw TransportFault(
+            TransportFaultKind::RetainMiss, src, id_, tag, seq,
+            "frame aged out of the sender's retention window (trigger: " +
+                std::string(to_string(why)) + ")");
+    }
+    // Model the NACK round trip, charged to the receiving rank: one
+    // single-word NACK out, the retained frame back, two latency rounds on
+    // the critical path. Retries are not free — same doctrine as the
+    // resilient ladder's rungs.
+    current_.msgs += 2;
+    current_.words += 1 + sealed->size();
+    current_.latency += 2;
+    Machine::TransportCounterBlock& tc = *machine_.tcounters_;
+    bump(tc.retransmits);
+    bump(tc.retransmit_words, sealed->size());
+    static const Counter retr = metrics::counter(
+        "ftmul_transport_retransmits_total", {},
+        "frames recovered from sender-side retention");
+    retr.inc();
+    emit_transport("retransmit", src, tag, seq);
+    const FrameVerdict v = inspect_frame(*sealed, src, id_, tag);
+    if (v.state != FrameState::Intact || v.seq != seq) {
+        // Retention holds pre-injection seals; a mismatch here is memory
+        // corruption, not an injected fault — surface it, never deliver.
+        throw TransportFault(why, src, id_, tag, seq,
+                             "retained frame failed verification");
+    }
+    std::vector<std::uint64_t> words = std::move(*sealed);
+    strip_trailer(words);
+    return PayloadBuf::adopt(std::move(words));
 }
 
 PayloadBuf Rank::frame_bigints(std::span<const BigInt> values) {
@@ -315,6 +636,61 @@ Machine::Machine(int world_size, FaultPlan plan)
         mailboxes_.push_back(make_mailbox());
     }
     blocked_.resize(static_cast<std::size_t>(world_size));
+    retain_.reserve(static_cast<std::size_t>(world_size));
+    for (int i = 0; i < world_size; ++i) {
+        retain_.push_back(std::make_unique<RetainShard>());
+    }
+    tcounters_ = std::make_unique<TransportCounterBlock>();
+    // Adaptive spill-pool sizing: a P-rank all-to-all keeps O(P^2) payloads
+    // in flight, so tell the pool the largest world it must absorb.
+    MsgPool::instance().note_world_size(world_size);
+}
+
+void Machine::set_transport_faults(const TransportFaultModel& model) {
+    model.validate();
+    transport_model_ = model;
+    if (model.active()) transport_guard_ = true;
+}
+
+TransportStats Machine::transport_stats() const noexcept {
+    const TransportCounterBlock& tc = *tcounters_;
+    TransportStats s;
+    s.sent_frames = peek(tc.sent_frames);
+    s.header_words = peek(tc.header_words);
+    s.injected_corrupt = peek(tc.injected_corrupt);
+    s.injected_drop = peek(tc.injected_drop);
+    s.injected_dup = peek(tc.injected_dup);
+    s.injected_reorder = peek(tc.injected_reorder);
+    s.corrupt_detected = peek(tc.corrupt_detected);
+    s.malformed_detected = peek(tc.malformed_detected);
+    s.drop_detected = peek(tc.drop_detected);
+    s.dedup_hits = peek(tc.dedup_hits);
+    s.reorder_stashed = peek(tc.reorder_stashed);
+    s.retransmits = peek(tc.retransmits);
+    s.retransmit_words = peek(tc.retransmit_words);
+    return s;
+}
+
+void Machine::retain_frame(int src, int dst, int tag, std::uint64_t seq,
+                           std::span<const std::uint64_t> words) {
+    if (retain_depth_ == 0) return;
+    RetainShard* shard = retain_[static_cast<std::size_t>(dst)].get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    std::deque<RetainedFrame>& stream = shard->streams[{src, tag}];
+    stream.push_back({seq, {words.begin(), words.end()}});
+    while (stream.size() > retain_depth_) stream.pop_front();
+}
+
+std::optional<std::vector<std::uint64_t>> Machine::retained_copy(
+    int src, int dst, int tag, std::uint64_t seq) {
+    RetainShard* shard = retain_[static_cast<std::size_t>(dst)].get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->streams.find({src, tag});
+    if (it == shard->streams.end()) return std::nullopt;
+    for (const RetainedFrame& f : it->second) {
+        if (f.seq == seq) return f.words;
+    }
+    return std::nullopt;
 }
 
 std::unique_ptr<MailboxBase> Machine::make_mailbox() const {
@@ -393,6 +769,12 @@ void Machine::run(const std::function<void(Rank&)>& body) {
     if (events_) events_->clear();
     // Fresh mailboxes per run so stale messages never leak across runs.
     for (auto& mb : mailboxes_) mb = make_mailbox();
+    // Likewise the transport state: retention and accounting are per run.
+    tcounters_->reset();
+    for (auto& shard : retain_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->streams.clear();
+    }
     {
         std::lock_guard<std::mutex> lock(blocked_mu_);
         for (auto& b : blocked_) b.blocked = false;
@@ -415,6 +797,9 @@ void Machine::run(const std::function<void(Rank&)>& body) {
         }
         try {
             body(rank);
+            // Frames the injection shim deferred past the body's last send
+            // are released here; receivers still parked on them wake now.
+            if (transport_guard_) rank.flush_reorder_stash();
         } catch (const RunAborted&) {
             // Secondary casualty of another rank's abort; keep only the
             // original error.
@@ -447,6 +832,42 @@ void Machine::run(const std::function<void(Rank&)>& body) {
         for (auto& t : threads) t.join();
     }
     if (first_error) std::rethrow_exception(first_error);
+
+    // Post-run residue sweep: frames nobody popped — duplicates of
+    // single-message streams, fire-and-forget traffic (e.g. checkpoint
+    // shares read only on recovery) — still get inspected, so the detection
+    // ledger balances: every injected corruption and drop is attributed
+    // even when its slot was never on a receive path. Serial, after the
+    // join, so it cannot race the rank threads; intact residue is simply
+    // reclaimed (an unread healthy frame is not a fault).
+    if (transport_guard_) {
+        TransportCounterBlock& tc = *tcounters_;
+        static const Counter residue_fails = metrics::counter(
+            "ftmul_transport_checksum_failures_total", {});
+        static const Counter residue_drops = metrics::counter(
+            "ftmul_transport_drops_detected_total", {});
+        for (int r = 0; r < size_; ++r) {
+            for (ResidueFrame& f : mailbox(r).drain_residue()) {
+                const FrameVerdict v =
+                    inspect_frame(f.buf.words(), f.src, r, f.tag);
+                switch (v.state) {
+                    case FrameState::Intact: break;
+                    case FrameState::Tombstone:
+                        bump(tc.drop_detected);
+                        residue_drops.inc();
+                        break;
+                    case FrameState::PayloadCorrupt:
+                        bump(tc.corrupt_detected);
+                        residue_fails.inc();
+                        break;
+                    case FrameState::Malformed:
+                        bump(tc.malformed_detected);
+                        residue_fails.inc();
+                        break;
+                }
+            }
+        }
+    }
 
     // Combine: per-phase max across ranks (critical path), plus aggregates.
     for (int r = 0; r < size_; ++r) {

@@ -1,12 +1,16 @@
 #pragma once
 
 #include <chrono>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -18,6 +22,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/msg_pool.hpp"
 #include "runtime/trace.hpp"
+#include "runtime/transport.hpp"
 
 namespace ftmul {
 
@@ -121,6 +126,34 @@ private:
     void close_phase();
     void emit(Event e);
 
+    /// The ungated blocking receive (mailbox pop + deadlock diagnostic +
+    /// MessageRecv event) — one *frame*, which under the transport guard may
+    /// be a duplicate, out of order, corrupt or a drop tombstone.
+    PayloadBuf recv_frame(int src, int tag);
+
+    /// Guarded receive: verify / dedup / reorder-stash frames and drive the
+    /// NACK/retransmit protocol until the in-order intact payload for the
+    /// (src, tag) stream is in hand. Throws TransportFault when the bounded
+    /// recovery fails.
+    PayloadBuf recv_buf_guarded(int src, int tag);
+
+    /// Recover sealed frame (src -> this, tag, seq) from the sender-side
+    /// retention store, charging the NACK round trip; verified + stripped.
+    PayloadBuf fetch_retransmit(int src, int tag, std::uint64_t seq,
+                                int& attempts, TransportFaultKind why);
+
+    /// The injection shim between send and Mailbox::push: applies the
+    /// armed TransportFaultModel's action for this frame, then delivers.
+    void deliver_frame(int dst, int tag, PayloadBuf frame);
+
+    /// Release reorder-stashed frames (in program order). Runs before any
+    /// blocking operation and at body end, so a deferred frame can never
+    /// deadlock its receiver.
+    void flush_reorder_stash();
+
+    void emit_transport(const char* note, int peer, int tag,
+                        std::uint64_t words);
+
     Machine& machine_;
     int id_;
     int size_;
@@ -132,6 +165,16 @@ private:
     bool in_recovery_ = false;
     CostCounters recovery_base_{};
     std::vector<int> recovery_dead_;
+
+    // Transport-guard state, touched only by this rank's thread.
+    std::map<std::pair<int, int>, std::uint64_t> send_seq_;  ///< (dst,tag)
+    std::map<std::pair<int, int>, std::uint64_t> recv_seq_;  ///< (src,tag)
+    std::map<int, std::uint64_t> link_msg_;  ///< frames shimmed, per dst
+    /// Verified in-order-pending payloads that arrived ahead of their
+    /// stream position, keyed (src, tag, seq); already stripped.
+    std::map<std::tuple<int, int, std::uint64_t>, PayloadBuf> recv_stash_;
+    /// Frames the shim's Reorder action deferred, in program order.
+    std::vector<std::pair<std::pair<int, int>, PayloadBuf>> reorder_stash_;
 };
 
 /// A simulated P-processor distributed-memory machine: each rank runs the
@@ -178,6 +221,41 @@ public:
     /// for the seed's slot-leak bug (drained slots must be reclaimed).
     std::size_t mailbox_live_slots(int rank) const;
 
+    /// Arm (or disarm) the frame-integrity transport guard for subsequent
+    /// runs (default off — the exact seed data plane, byte-identical
+    /// charges). When on, every frame is sealed with the four-word
+    /// checksum/seq/route trailer (runtime/transport.hpp), retained on the
+    /// sender side for retransmission, verified + deduplicated + reordered
+    /// back into stream order on receive, and the trailer words are charged
+    /// to the cost model deterministically.
+    void set_transport_guard(bool on) noexcept { transport_guard_ = on; }
+    bool transport_guard() const noexcept { return transport_guard_; }
+
+    /// Arm the transport-fault injection shim (between send and
+    /// Mailbox::push) for subsequent runs; implies the guard. Pass an
+    /// inactive model to disarm injection but keep the guard.
+    void set_transport_faults(const TransportFaultModel& model);
+    const TransportFaultModel& transport_faults() const noexcept {
+        return transport_model_;
+    }
+
+    /// Frames retained per (src, dst, tag) stream for retransmission
+    /// (default 64); older frames are evicted, and recovering an evicted
+    /// frame raises TransportFault(RetainMiss).
+    void set_transport_retain_depth(std::size_t depth) noexcept {
+        retain_depth_ = depth;
+    }
+
+    /// Retransmit attempts allowed per logical receive before the guard
+    /// raises TransportFault(RetryExhausted) (default 8).
+    void set_transport_retry_limit(int limit) noexcept {
+        transport_retry_limit_ = limit;
+    }
+
+    /// Transport accounting of the last (or running) run; zeroed at every
+    /// run start, all zeros when the guard is off.
+    TransportStats transport_stats() const noexcept;
+
     /// Turn on message/phase tracing for subsequent runs; returns the
     /// tracer (owned by the machine, cleared at each run start).
     Tracer& enable_tracing();
@@ -215,6 +293,26 @@ private:
     }
     std::unique_ptr<MailboxBase> make_mailbox() const;
 
+    /// Sender-side retention for the NACK/retransmit protocol: one shard
+    /// per destination rank, holding the last retain_depth_ sealed frames
+    /// of every (src, tag) stream into that destination. Senders append
+    /// under the shard mutex; a recovering receiver copies out by seq.
+    struct RetainedFrame {
+        std::uint64_t seq;
+        std::vector<std::uint64_t> words;  ///< sealed (trailer included)
+    };
+    struct RetainShard {
+        std::mutex mu;
+        std::map<std::pair<int, int>, std::deque<RetainedFrame>> streams;
+    };
+    void retain_frame(int src, int dst, int tag, std::uint64_t seq,
+                      std::span<const std::uint64_t> words);
+    std::optional<std::vector<std::uint64_t>> retained_copy(
+        int src, int dst, int tag, std::uint64_t seq);
+
+    /// Relaxed counters behind transport_stats(); reset per run.
+    struct TransportCounterBlock;
+
     int size_;
     FaultPlan plan_;
     std::vector<std::unique_ptr<MailboxBase>> mailboxes_;
@@ -227,6 +325,13 @@ private:
     std::shared_ptr<EventLog> events_;
     std::unique_ptr<ThreadPool> pool_;  ///< lazily created on first run()
     bool thread_reuse_ = true;
+
+    bool transport_guard_ = false;
+    TransportFaultModel transport_model_{};
+    std::size_t retain_depth_ = 64;
+    int transport_retry_limit_ = 8;
+    std::vector<std::unique_ptr<RetainShard>> retain_;  ///< per destination
+    std::unique_ptr<TransportCounterBlock> tcounters_;
 
     // Process-wide instruments, resolved once per machine so the
     // per-message hot path is a relaxed load plus a sharded fetch_add.

@@ -1,5 +1,6 @@
 #include "runtime/mailbox.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -184,6 +185,34 @@ std::size_t Mailbox::live_slots() const {
         total += s->used;
     }
     return total;
+}
+
+std::vector<ResidueFrame> Mailbox::drain_residue() {
+    std::vector<ResidueFrame> out;
+    for (std::size_t src = 0; src < shards_.size(); ++src) {
+        Shard& s = *shards_[src];
+        std::lock_guard<std::mutex> lock(s.mu);
+        // The open-addressed table's slot order depends on hashing; collect
+        // per shard and sort by tag so the sweep order is deterministic.
+        std::vector<ResidueFrame> local;
+        for (Slot& slot : s.table) {
+            if (!slot.used) continue;
+            for (std::size_t i = slot.head; i < slot.q.size(); ++i) {
+                local.push_back({static_cast<int>(src), slot.tag,
+                                 std::move(slot.q[i])});
+            }
+            slot.q.clear();
+            slot.head = 0;
+            slot.used = false;
+        }
+        s.used = 0;
+        std::stable_sort(local.begin(), local.end(),
+                         [](const ResidueFrame& a, const ResidueFrame& b) {
+                             return a.tag < b.tag;
+                         });
+        for (ResidueFrame& f : local) out.push_back(std::move(f));
+    }
+    return out;
 }
 
 }  // namespace ftmul

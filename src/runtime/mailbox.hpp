@@ -38,6 +38,14 @@ struct TaggedPayload {
     PayloadBuf buf;
 };
 
+/// One frame still queued after a run finished, with its (src, tag)
+/// routing — the unit of the transport guard's post-run residue sweep.
+struct ResidueFrame {
+    int src = 0;
+    int tag = 0;
+    PayloadBuf buf;
+};
+
 /// One rank's incoming-message queue. Messages are matched by (source, tag)
 /// and delivered FIFO per matching pair, like an MPI receive queue.
 /// push_batch delivers several messages from one sender under a single lock
@@ -59,6 +67,13 @@ public:
     /// reclaimed, so this stays bounded by the number of in-flight
     /// (src, tag) pairs no matter how many send/recv cycles have run.
     virtual std::size_t live_slots() const = 0;
+
+    /// Remove and return every frame still queued, in deterministic
+    /// (src, tag, FIFO) order. The transport guard sweeps this residue
+    /// after the rank threads joined: duplicate frames of single-message
+    /// streams and fire-and-forget traffic no recv consumed land here and
+    /// still get inspected and attributed.
+    virtual std::vector<ResidueFrame> drain_residue() = 0;
 };
 
 /// The zero-copy data plane's mailbox: sharded per source rank (sends are
@@ -79,6 +94,7 @@ public:
     PayloadBuf pop(int src, int tag,
                    std::chrono::milliseconds timeout) override;
     std::size_t live_slots() const override;
+    std::vector<ResidueFrame> drain_residue() override;
 
 private:
     struct Shard;
@@ -145,6 +161,20 @@ public:
     std::size_t live_slots() const override {
         std::lock_guard<std::mutex> lock(mu_);
         return queues_.size();
+    }
+
+    std::vector<ResidueFrame> drain_residue() override {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<ResidueFrame> out;
+        // The map is ordered by (src, tag) already.
+        for (auto& [key, q] : queues_) {
+            for (auto& words : q) {
+                out.push_back({key.first, key.second,
+                               PayloadBuf::adopt(std::move(words))});
+            }
+        }
+        queues_.clear();
+        return out;
     }
 
 private:

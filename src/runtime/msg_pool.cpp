@@ -1,8 +1,10 @@
 #include "runtime/msg_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <mutex>
 
 namespace ftmul {
@@ -30,9 +32,23 @@ constexpr std::size_t kLocalDepth = 4;  ///< buffers cached per thread/class
 /// never gets its buffers back directly (consumers return them), so the
 /// spill pool is the recycling path that keeps steady-state allocations at
 /// zero. Large classes stay shallow to bound worst-case hoarding (class 12
-/// = 4096 words = 32 KiB; 512 of those is 16 MiB).
-constexpr std::size_t global_depth(std::size_t c) {
-    return c <= 12 ? 512 : 64;
+/// = 4096 words = 32 KiB; 512 of those is 16 MiB). The depths start at the
+/// historical fixed 512/64 split and grow adaptively as Machines report
+/// their world sizes (note_world_size), or are pinned by FTMUL_POOL_DEPTH.
+std::atomic<std::size_t> g_depth_small{512};
+std::atomic<std::size_t> g_depth_large{64};
+
+std::size_t global_depth(std::size_t c) {
+    return c <= MsgPool::kSmallDepthClassMax
+               ? g_depth_small.load(std::memory_order_relaxed)
+               : g_depth_large.load(std::memory_order_relaxed);
+}
+
+void raise_to(std::atomic<std::size_t>& depth, std::size_t v) noexcept {
+    std::size_t cur = depth.load(std::memory_order_relaxed);
+    while (cur < v && !depth.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
 }
 
 /// Generation counter: trim() bumps it, and thread caches from an older
@@ -206,6 +222,35 @@ void MsgPool::give_back(std::vector<std::uint64_t>&& v) noexcept {
         }
     }
     g_stats.dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MsgPool::note_world_size(int world) noexcept {
+    if (const char* env = std::getenv("FTMUL_POOL_DEPTH")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0) {
+            // A/B override: pin both depths exactly (no monotonic growth),
+            // so bench_collectives_ab can sweep shallow and deep pools.
+            g_depth_small.store(static_cast<std::size_t>(v),
+                                std::memory_order_relaxed);
+            g_depth_large.store(static_cast<std::size_t>(v),
+                                std::memory_order_relaxed);
+            return;
+        }
+    }
+    if (world <= 0) return;
+    const auto w = static_cast<std::size_t>(world);
+    // 2*P^2 small buffers covers a full all-to-all's in-flight frames with
+    // slack for the return path; 4*P bounds large-buffer hoarding. Growth
+    // is monotonic and floored at the historical 512/64, so small worlds
+    // keep the exact pre-adaptive behavior.
+    raise_to(g_depth_small, std::min<std::size_t>(2 * w * w, 8192));
+    raise_to(g_depth_large, std::min<std::size_t>(4 * w, 512));
+}
+
+std::pair<std::size_t, std::size_t> MsgPool::spill_depths() noexcept {
+    return {g_depth_small.load(std::memory_order_relaxed),
+            g_depth_large.load(std::memory_order_relaxed)};
 }
 
 MsgPool::Stats MsgPool::stats() noexcept {

@@ -119,6 +119,18 @@ public:
     /// threads next touch the pool; the shared spill pool empties now).
     void trim();
 
+    /// Adaptive spill-depth sizing: a P-rank all-to-all keeps O(P^2) small
+    /// frames in flight, so Machine construction reports its world size and
+    /// the per-class spill depths grow monotonically to cover the largest
+    /// machine seen — small classes toward 2*P^2 (capped), large classes
+    /// toward 4*P — never below the fixed 512/64 the pool started with.
+    /// The FTMUL_POOL_DEPTH environment variable overrides both depths with
+    /// a fixed value for A/B runs (re-read on every call, takes precedence).
+    void note_world_size(int world) noexcept;
+
+    /// Current (small-class, large-class) spill depths.
+    static std::pair<std::size_t, std::size_t> spill_depths() noexcept;
+
     struct Stats {
         std::uint64_t acquires = 0;      ///< pooled acquire() calls
         std::uint64_t local_hits = 0;    ///< served by the thread free list
@@ -135,6 +147,9 @@ public:
     // buffers are allocated exactly and never cached.
     static constexpr std::size_t kMinClass = 5;   // 32 words = 256 B
     static constexpr std::size_t kMaxClass = 22;  // 4 Mi words = 32 MiB
+    /// Largest class counted as "small" for spill-depth purposes (4096
+    /// words = 32 KiB; deep pools of larger buffers would hoard memory).
+    static constexpr std::size_t kSmallDepthClassMax = 12;
     static constexpr std::uint64_t kPoisonWord = 0xDEADBEEFDEADBEEFull;
     static constexpr std::size_t kPoisonPrefixWords = 16;
 

@@ -334,6 +334,20 @@ Json build_chrome_trace(const EventLog& events) {
                 out.push_back(std::move(i));
                 break;
             }
+            case EventKind::Transport: {
+                Json i = trace_event(
+                    "i", e.rank, e.ts_us,
+                    "transport " + (e.note.empty() ? "event" : e.note));
+                i.set("cat", "transport");
+                i.set("s", "t");  // thread-scoped instant
+                Json args = Json::object();
+                args.set("peer", e.peer);
+                args.set("tag", e.tag);
+                args.set("words", e.words);
+                i.set("args", std::move(args));
+                out.push_back(std::move(i));
+                break;
+            }
         }
     }
 

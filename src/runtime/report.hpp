@@ -22,8 +22,13 @@ inline constexpr int kBenchRowsVersion = 1;
 /// v2: full fault taxonomy (hard + soft + straggler categories, per-category
 /// outcome counts, soft detection/miss rates, straggler latency
 /// distributions); emitted deterministically regardless of --jobs.
+/// v3: optional "transport" section (data-plane fault campaigns: injected /
+/// detected counts by kind, dedup and reorder absorption, retransmit cost
+/// distributions, detection rate) — present only when the campaign ran the
+/// transport category, so v2 consumers of the other sections read
+/// unchanged bytes.
 inline constexpr const char* kChaosReportSchema = "ftmul.chaos_report";
-inline constexpr int kChaosReportVersion = 2;
+inline constexpr int kChaosReportVersion = 3;
 
 /// Context a RunStats cannot know about itself: which algorithm ran, the
 /// machine geometry, the inputs, and whether the product was verified.

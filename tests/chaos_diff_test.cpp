@@ -79,6 +79,17 @@ Json make_report() {
     straggler.set("advantage", std::move(adv));
     root.set("straggler", std::move(straggler));
 
+    Json transport = Json::object();
+    transport.set("counts", counts(15, 80, 5, 0, 0, "recovered", "retried"));
+    transport.set("undetected", 0);
+    transport.set("detection_rate", 1.0);
+    Json rtx = Json::object();
+    rtx.set("retransmits", 120);
+    rtx.set("retransmit_words", 4000);
+    rtx.set("per_trial", dist(1.2));
+    transport.set("retransmit", std::move(rtx));
+    root.set("transport", std::move(transport));
+
     Json totals = Json::object();
     totals.set("wrong_product", 0);
     totals.set("errors", 0);
@@ -138,6 +149,65 @@ TEST(ChaosDiff, AdvantageRateDropRegresses) {
     adv.set("rate", 0.8);
     straggler->set("advantage", std::move(adv));
     EXPECT_EQ(diff_reports(before, after).regressions, 1);
+}
+
+TEST(ChaosDiff, TransportUndetectedLossIncreaseRegresses) {
+    // Undetected transport losses are a zero-tolerance count like wrong
+    // products: any increase regresses, no threshold.
+    const Json before = make_report();
+    Json after = make_report();
+    const_cast<Json*>(after.find("transport"))->set("undetected", 1);
+    EXPECT_EQ(diff_reports(before, after).regressions, 1);
+}
+
+TEST(ChaosDiff, TransportDetectionRateDropRegressesBeyondThreshold) {
+    const Json before = make_report();
+    Json within = make_report();
+    const_cast<Json*>(within.find("transport"))->set("detection_rate", 0.99);
+    EXPECT_EQ(diff_reports(before, within).regressions, 0);
+
+    Json beyond = make_report();
+    const_cast<Json*>(beyond.find("transport"))->set("detection_rate", 0.9);
+    EXPECT_EQ(diff_reports(before, beyond).regressions, 1);
+}
+
+TEST(ChaosDiff, TransportSectionMissingRegresses) {
+    const Json before = make_report();
+    Json after = Json::object();
+    after.set("schema", "ftmul.chaos_report");
+    after.set("version", 2);
+    // Rebuild everything except the transport section.
+    Json full = make_report();
+    for (const char* key : {"engines", "soft", "straggler", "totals"}) {
+        after.set(key, Json(*full.find(key)));
+    }
+    const DiffResult d = diff_reports(before, after);
+    EXPECT_EQ(d.regressions, 1);
+
+    // And the other direction — a campaign that never ran the transport
+    // category before gaining one — is not a regression.
+    EXPECT_EQ(diff_reports(after, before).regressions, 0);
+}
+
+TEST(ChaosDiff, TransportRetransmitCostGrowthRegressesBeyondThreshold) {
+    const Json before = make_report();
+    Json within = make_report();
+    Json* t = const_cast<Json*>(within.find("transport"));
+    Json rtx = Json::object();
+    rtx.set("retransmits", 130);
+    rtx.set("retransmit_words", 4300);
+    rtx.set("per_trial", dist(1.4));  // +17% < default 25% allowance
+    t->set("retransmit", std::move(rtx));
+    EXPECT_EQ(diff_reports(before, within).regressions, 0);
+
+    Json beyond = make_report();
+    t = const_cast<Json*>(beyond.find("transport"));
+    Json rtx2 = Json::object();
+    rtx2.set("retransmits", 400);
+    rtx2.set("retransmit_words", 16000);
+    rtx2.set("per_trial", dist(4.0));
+    t->set("retransmit", std::move(rtx2));
+    EXPECT_EQ(diff_reports(before, beyond).regressions, 1);
 }
 
 TEST(ChaosDiff, RecoveryCostGrowthRegressesBeyondThreshold) {

@@ -234,6 +234,49 @@ TEST(FaultInjector, RejectsRatesAboveOne) {
     }
 }
 
+TEST(FaultInjector, RejectsTransportRatesOutsideUnitInterval) {
+    const FaultInjector inj(1);
+    for (auto set :
+         {+[](FaultInjectorConfig& c) { c.msg_corrupt_rate = 1.5; },
+          +[](FaultInjectorConfig& c) { c.msg_drop_rate = -0.5; },
+          +[](FaultInjectorConfig& c) { c.msg_dup_rate = 2.0; },
+          +[](FaultInjectorConfig& c) { c.msg_reorder_rate = 1.0001; }}) {
+        auto bad = site_grid();
+        set(bad);
+        EXPECT_THROW(inj.draw(bad, 0), std::invalid_argument);
+    }
+}
+
+TEST(FaultInjector, ForwardsTransportModelWithSeedAndTrial) {
+    // The transport taxonomy stays probabilistic (the shim draws per
+    // frame), but the drawn model must pin (seed, trial) and the rates so
+    // a trial's data-plane schedule is replayable like the hard plans.
+    auto cfg = site_grid();
+    cfg.msg_corrupt_rate = 0.01;
+    cfg.msg_drop_rate = 0.02;
+    cfg.msg_dup_rate = 0.03;
+    cfg.msg_reorder_rate = 0.04;
+
+    const FaultInjector inj(42);
+    const InjectedFaults f = inj.draw(cfg, 731);
+    EXPECT_EQ(f.transport.seed, 42u);
+    EXPECT_EQ(f.transport.trial, 731u);
+    EXPECT_DOUBLE_EQ(f.transport.corrupt_rate, 0.01);
+    EXPECT_DOUBLE_EQ(f.transport.drop_rate, 0.02);
+    EXPECT_DOUBLE_EQ(f.transport.dup_rate, 0.03);
+    EXPECT_DOUBLE_EQ(f.transport.reorder_rate, 0.04);
+    EXPECT_TRUE(f.transport.active());
+
+    // And the redraw is byte-identical: same (seed, trial) -> same model,
+    // whose per-frame draws are themselves pure (see transport tests).
+    const InjectedFaults g = inj.draw(cfg, 731);
+    EXPECT_EQ(g.transport.seed, f.transport.seed);
+    EXPECT_EQ(g.transport.trial, f.transport.trial);
+    for (std::uint64_t idx = 0; idx < 32; ++idx) {
+        EXPECT_EQ(f.transport.draw(0, 1, idx), g.transport.draw(0, 1, idx));
+    }
+}
+
 TEST(FaultInjector, WeightedProbabilityClampsAtOne) {
     // rate x weight > 1 clamps to probability 1: the boosted site fires at
     // every trial (it cannot overflow into neighboring streams).

@@ -155,5 +155,46 @@ TEST(MsgPool, ReturnedBuffersArePoisoned) {
 #endif
 }
 
+TEST(MsgPool, AdaptiveSpillDepthsGrowMonotonicallyWithWorldSize) {
+    unsetenv("FTMUL_POOL_DEPTH");
+    const auto [small0, large0] = MsgPool::spill_depths();
+
+    // Nonsense worlds change nothing.
+    MsgPool::instance().note_world_size(0);
+    MsgPool::instance().note_world_size(-3);
+    EXPECT_EQ(MsgPool::spill_depths(), std::make_pair(small0, large0));
+
+    // A big machine raises both depths (2*P^2 small / 4*P large, capped);
+    // a smaller one afterwards never lowers them again.
+    MsgPool::instance().note_world_size(27);
+    const auto [small1, large1] = MsgPool::spill_depths();
+    EXPECT_GE(small1, std::min<std::size_t>(2 * 27 * 27, 8192));
+    EXPECT_GE(large1, std::min<std::size_t>(4 * 27, 512));
+    EXPECT_GE(small1, small0);
+    EXPECT_GE(large1, large0);
+
+    MsgPool::instance().note_world_size(3);
+    EXPECT_EQ(MsgPool::spill_depths(), std::make_pair(small1, large1));
+}
+
+TEST(MsgPool, PoolDepthEnvOverridePinsBothDepths) {
+    // FTMUL_POOL_DEPTH pins both depths exactly — including *lowering*
+    // them, which monotonic growth never does — so A/B runs can sweep
+    // shallow pools. Malformed values are ignored.
+    setenv("FTMUL_POOL_DEPTH", "123", 1);
+    MsgPool::instance().note_world_size(64);
+    EXPECT_EQ(MsgPool::spill_depths(),
+              std::make_pair(std::size_t{123}, std::size_t{123}));
+
+    const auto pinned = MsgPool::spill_depths();
+    setenv("FTMUL_POOL_DEPTH", "not-a-number", 1);
+    MsgPool::instance().note_world_size(64);  // env ignored, growth resumes
+    EXPECT_GE(MsgPool::spill_depths().first, pinned.first);
+
+    unsetenv("FTMUL_POOL_DEPTH");
+    MsgPool::instance().note_world_size(64);  // restore sane depths
+    EXPECT_GE(MsgPool::spill_depths().first, std::size_t{512});
+}
+
 }  // namespace
 }  // namespace ftmul

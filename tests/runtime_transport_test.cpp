@@ -1,0 +1,412 @@
+// Frame-integrity transport layer: trailer round-trips, corruption /
+// truncation / drop detection, the seeded transport-fault model's purity,
+// the machine-level NACK/retransmit protocol (including the post-run
+// residue sweep that keeps the detection ledger exact), and the six FT
+// engines multiplying correctly under data-plane fault injection.
+
+#include "runtime/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bigint/random.hpp"
+#include "core/resilient.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/machine.hpp"
+
+namespace ftmul {
+namespace {
+
+std::vector<std::uint64_t> sealed(std::vector<std::uint64_t> payload,
+                                  int src, int dst, int tag,
+                                  std::uint64_t seq) {
+    seal_frame(payload, src, dst, tag, seq);
+    return payload;
+}
+
+TEST(Frame, TrailerRoundTrip) {
+    const std::vector<std::uint64_t> payload{1, 2, 3, 0xFFFFFFFFFFFFFFFFull};
+    std::vector<std::uint64_t> frame = sealed(payload, 3, 5, 42, 7);
+    ASSERT_EQ(frame.size(), payload.size() + kFrameTrailerWords);
+
+    const FrameVerdict v = inspect_frame(frame, 3, 5, 42);
+    EXPECT_EQ(v.state, FrameState::Intact);
+    EXPECT_EQ(v.seq, 7u);
+    EXPECT_EQ(v.payload_words, payload.size());
+
+    strip_trailer(frame);
+    EXPECT_EQ(frame, payload);
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+    std::vector<std::uint64_t> frame = sealed({}, 0, 1, 0, 0);
+    ASSERT_EQ(frame.size(), kFrameTrailerWords);
+    const FrameVerdict v = inspect_frame(frame, 0, 1, 0);
+    EXPECT_EQ(v.state, FrameState::Intact);
+    EXPECT_EQ(v.payload_words, 0u);
+}
+
+TEST(Frame, TombstoneNamesTheLostSequence) {
+    std::vector<std::uint64_t> frame;
+    seal_tombstone(frame, 2, 6, 9, 31);
+    const FrameVerdict v = inspect_frame(frame, 2, 6, 9);
+    EXPECT_EQ(v.state, FrameState::Tombstone);
+    EXPECT_EQ(v.seq, 31u);
+}
+
+TEST(Frame, PayloadCorruptionKeepsSeqTrusted) {
+    // Flipping any payload bit must be detected, and because the trailer is
+    // untouched the verdict still carries a usable sequence number.
+    const std::vector<std::uint64_t> payload{10, 20, 30};
+    for (std::size_t word = 0; word < payload.size(); ++word) {
+        std::vector<std::uint64_t> frame = sealed(payload, 1, 2, 3, 12);
+        frame[word] ^= 1ull << (word * 17);
+        const FrameVerdict v = inspect_frame(frame, 1, 2, 3);
+        EXPECT_EQ(v.state, FrameState::PayloadCorrupt) << "word " << word;
+        EXPECT_EQ(v.seq, 12u);
+    }
+}
+
+TEST(Frame, CorruptFrameHelperHitsPayloadOnly) {
+    std::vector<std::uint64_t> frame = sealed({5, 6, 7}, 0, 1, 2, 4);
+    corrupt_frame(frame, /*bits=*/0);
+    const FrameVerdict v = inspect_frame(frame, 0, 1, 2);
+    EXPECT_EQ(v.state, FrameState::PayloadCorrupt);
+    EXPECT_EQ(v.seq, 4u);
+
+    // An empty payload has no bits to flip; the stored checksum is hit
+    // instead and detection still fires.
+    std::vector<std::uint64_t> empty = sealed({}, 0, 1, 2, 4);
+    corrupt_frame(empty, 0);
+    EXPECT_EQ(inspect_frame(empty, 0, 1, 2).state, FrameState::PayloadCorrupt);
+}
+
+TEST(Frame, TruncationIsMalformed) {
+    std::vector<std::uint64_t> frame = sealed({8, 9}, 0, 1, 2, 0);
+    frame.pop_back();  // short trailer
+    EXPECT_EQ(inspect_frame(frame, 0, 1, 2).state, FrameState::Malformed);
+
+    // Shorter than any trailer at all.
+    std::vector<std::uint64_t> tiny{1, 2};
+    EXPECT_EQ(inspect_frame(tiny, 0, 1, 2).state, FrameState::Malformed);
+}
+
+TEST(Frame, WrongRouteIsMalformed) {
+    const std::vector<std::uint64_t> frame = sealed({1}, 3, 4, 5, 0);
+    EXPECT_EQ(inspect_frame(frame, 3, 4, 5).state, FrameState::Intact);
+    EXPECT_EQ(inspect_frame(frame, 2, 4, 5).state, FrameState::Malformed);
+    EXPECT_EQ(inspect_frame(frame, 3, 7, 5).state, FrameState::Malformed);
+    EXPECT_EQ(inspect_frame(frame, 3, 4, 6).state, FrameState::Malformed);
+}
+
+TEST(Frame, ChecksumCoversEveryPayloadWord) {
+    // FNV-1a must differ when any single word changes — a smoke test that
+    // the checksum actually reads the whole payload.
+    std::vector<std::uint64_t> payload(64, 0);
+    const std::uint64_t base = fnv1a_words(payload);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = 1;
+        EXPECT_NE(fnv1a_words(payload), base) << "word " << i;
+        payload[i] = 0;
+    }
+    EXPECT_EQ(fnv1a_words(payload), base);
+}
+
+TEST(TransportModel, ValidatesRates) {
+    TransportFaultModel m;
+    m.corrupt_rate = 1.5;
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+    m.corrupt_rate = 0.0;
+    m.drop_rate = -0.1;
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+    m.drop_rate = 1.0;
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(TransportModel, InactiveModelDrawsNothing) {
+    const TransportFaultModel m;  // all rates zero
+    EXPECT_FALSE(m.active());
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(m.draw(0, 1, i), TransportAction::None);
+    }
+}
+
+TEST(TransportModel, DrawIsPureFunctionOfSeedTrialAndSite) {
+    TransportFaultModel a;
+    a.seed = 42;
+    a.trial = 7;
+    a.corrupt_rate = a.drop_rate = a.dup_rate = a.reorder_rate = 0.1;
+    TransportFaultModel b = a;
+
+    bool trial_differs = false;
+    TransportFaultModel c = a;
+    c.trial = 8;
+    for (int src = 0; src < 4; ++src) {
+        for (int dst = 0; dst < 4; ++dst) {
+            for (std::uint64_t idx = 0; idx < 64; ++idx) {
+                EXPECT_EQ(a.draw(src, dst, idx), b.draw(src, dst, idx));
+                EXPECT_EQ(a.corruption_bits(src, dst, idx),
+                          b.corruption_bits(src, dst, idx));
+                if (a.draw(src, dst, idx) != c.draw(src, dst, idx)) {
+                    trial_differs = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(trial_differs);
+}
+
+TEST(TransportModel, PriorityOrderAtRateOne) {
+    // One action per frame, drawn corrupt > drop > dup > reorder.
+    TransportFaultModel m;
+    m.corrupt_rate = m.drop_rate = m.dup_rate = m.reorder_rate = 1.0;
+    EXPECT_EQ(m.draw(0, 1, 0), TransportAction::Corrupt);
+    m.corrupt_rate = 0.0;
+    EXPECT_EQ(m.draw(0, 1, 0), TransportAction::Drop);
+    m.drop_rate = 0.0;
+    EXPECT_EQ(m.draw(0, 1, 0), TransportAction::Dup);
+    m.dup_rate = 0.0;
+    EXPECT_EQ(m.draw(0, 1, 0), TransportAction::Reorder);
+}
+
+/// Two ranks, rank 0 streams kMsgs tagged messages to rank 1, under the
+/// given fault model. Returns the machine's transport stats; every payload
+/// is verified at the receiver.
+TransportStats ping_run(const TransportFaultModel& model, int msgs) {
+    Machine m(2);
+    m.set_transport_guard(true);
+    if (model.active()) m.set_transport_faults(model);
+    m.run([&](Rank& r) {
+        if (r.id() == 0) {
+            for (int i = 0; i < msgs; ++i) {
+                r.send(1, 5, {static_cast<std::uint64_t>(i), 0xABCDu});
+            }
+        } else {
+            for (int i = 0; i < msgs; ++i) {
+                const auto got = r.recv(0, 5);
+                ASSERT_EQ(got.size(), 2u);
+                EXPECT_EQ(got[0], static_cast<std::uint64_t>(i));
+                EXPECT_EQ(got[1], 0xABCDu);
+            }
+        }
+    });
+    return m.transport_stats();
+}
+
+TEST(MachineTransport, GuardChargesTrailerWords) {
+    const TransportStats s = ping_run(TransportFaultModel{}, 10);
+    EXPECT_EQ(s.sent_frames, 10u);
+    EXPECT_EQ(s.header_words, 10u * kFrameTrailerWords);
+    EXPECT_EQ(s.injected_total(), 0u);
+    EXPECT_EQ(s.detected_losses(), 0u);
+    EXPECT_EQ(s.retransmits, 0u);
+}
+
+TEST(MachineTransport, CorruptionIsDetectedAndRetransmitted) {
+    TransportFaultModel m;
+    m.seed = 7;
+    m.corrupt_rate = 1.0;  // every first transmission corrupt
+    const TransportStats s = ping_run(m, 8);
+    EXPECT_EQ(s.injected_corrupt, 8u);
+    EXPECT_EQ(s.corrupt_detected, 8u);
+    EXPECT_EQ(s.retransmits, 8u);
+    EXPECT_GT(s.retransmit_words, 0u);
+}
+
+TEST(MachineTransport, DropsAreDetectedViaTombstones) {
+    TransportFaultModel m;
+    m.seed = 7;
+    m.drop_rate = 1.0;
+    const TransportStats s = ping_run(m, 8);
+    EXPECT_EQ(s.injected_drop, 8u);
+    EXPECT_EQ(s.drop_detected, 8u);
+    EXPECT_EQ(s.retransmits, 8u);
+}
+
+TEST(MachineTransport, DuplicatesAreAbsorbed) {
+    TransportFaultModel m;
+    m.seed = 7;
+    m.dup_rate = 1.0;
+    const TransportStats s = ping_run(m, 8);
+    EXPECT_EQ(s.injected_dup, 8u);
+    // The receiver pops 8 payloads; duplicates are either discarded by the
+    // seq window mid-stream or reclaimed by the post-run residue sweep.
+    // Either way nothing is lost and nothing needs retransmission.
+    EXPECT_EQ(s.detected_losses(), 0u);
+    EXPECT_EQ(s.retransmits, 0u);
+}
+
+TEST(MachineTransport, ReordersAreAbsorbed) {
+    TransportFaultModel m;
+    m.seed = 7;
+    m.reorder_rate = 1.0;
+    const TransportStats s = ping_run(m, 8);
+    EXPECT_EQ(s.injected_reorder, 8u);
+    EXPECT_EQ(s.detected_losses(), 0u);
+}
+
+TEST(MachineTransport, MixedFaultLedgerBalancesExactly) {
+    // The acceptance property the chaos campaign gates on: every injected
+    // corruption or drop is detected — in-stream or by the residue sweep —
+    // so injected == detected with nothing unaccounted.
+    TransportFaultModel m;
+    m.seed = 42;
+    m.corrupt_rate = m.drop_rate = m.dup_rate = m.reorder_rate = 0.25;
+    const TransportStats s = ping_run(m, 64);
+    EXPECT_GT(s.injected_total(), 0u);
+    EXPECT_EQ(s.injected_corrupt + s.injected_drop, s.detected_losses());
+}
+
+TEST(MachineTransport, StatsAreDeterministic) {
+    TransportFaultModel m;
+    m.seed = 99;
+    m.corrupt_rate = m.drop_rate = m.dup_rate = m.reorder_rate = 0.2;
+    const TransportStats a = ping_run(m, 32);
+    const TransportStats b = ping_run(m, 32);
+    EXPECT_EQ(a.sent_frames, b.sent_frames);
+    EXPECT_EQ(a.injected_corrupt, b.injected_corrupt);
+    EXPECT_EQ(a.injected_drop, b.injected_drop);
+    EXPECT_EQ(a.injected_dup, b.injected_dup);
+    EXPECT_EQ(a.injected_reorder, b.injected_reorder);
+    EXPECT_EQ(a.corrupt_detected, b.corrupt_detected);
+    EXPECT_EQ(a.drop_detected, b.drop_detected);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.retransmit_words, b.retransmit_words);
+}
+
+TEST(MachineTransport, RetentionMissRaisesTransportFault) {
+    // With no sender retention, a detected defect has no frame to recover
+    // from: the typed fault must surface instead of a wrong payload.
+    Machine m(2);
+    m.set_transport_guard(true);
+    TransportFaultModel model;
+    model.seed = 3;
+    model.corrupt_rate = 1.0;
+    m.set_transport_faults(model);
+    m.set_transport_retain_depth(0);
+    try {
+        m.run([&](Rank& r) {
+            if (r.id() == 0) {
+                r.send(1, 5, {1, 2, 3});
+            } else {
+                (void)r.recv(0, 5);
+            }
+        });
+        FAIL() << "expected TransportFault";
+    } catch (const TransportFault& f) {
+        EXPECT_EQ(f.kind(), TransportFaultKind::RetainMiss);
+        EXPECT_EQ(f.src(), 0);
+        EXPECT_EQ(f.dst(), 1);
+        EXPECT_EQ(f.tag(), 5);
+    }
+}
+
+TEST(MachineTransport, RetransmitIsChargedToTheCostModel) {
+    TransportFaultModel m;
+    m.seed = 11;
+    m.corrupt_rate = 1.0;
+
+    Machine clean(2);
+    clean.set_transport_guard(true);
+    Machine faulty(2);
+    faulty.set_transport_guard(true);
+    faulty.set_transport_faults(m);
+    const auto body = [](Rank& r) {
+        if (r.id() == 0) {
+            r.send(1, 5, {1, 2, 3, 4});
+        } else {
+            (void)r.recv(0, 5);
+        }
+    };
+    clean.run(body);
+    faulty.run(body);
+    // The NACK round-trip and re-delivery cost messages, words and latency
+    // beyond the clean run.
+    EXPECT_GT(faulty.stats().aggregate.msgs, clean.stats().aggregate.msgs);
+    EXPECT_GT(faulty.stats().aggregate.words, clean.stats().aggregate.words);
+}
+
+/// End-to-end: every FT engine multiplies correctly with the guard armed
+/// and the injection shim corrupting, dropping, duplicating and reordering
+/// frames. TransportFault escalations are legal (the resilient ladder's
+/// job); silently wrong products are not.
+TEST(EngineTransport, AllEnginesSurviveInjection) {
+    Rng rng{2024};
+    const BigInt a = random_bits(rng, 1500);
+    const BigInt b = random_bits(rng, 1400);
+    const BigInt expected = a * b;
+
+    for (FtEngine engine :
+         {FtEngine::Linear, FtEngine::Poly, FtEngine::Mixed,
+          FtEngine::Multistep, FtEngine::Replication, FtEngine::Checkpoint}) {
+        ResilientConfig cfg;
+        cfg.engine = engine;
+        cfg.base.k = 2;
+        cfg.base.processors = 9;
+        cfg.base.digit_bits = 32;
+        cfg.faults = 1;
+        cfg.fused_steps = 2;
+        cfg.base.transport_faults.seed = 4242;
+        cfg.base.transport_faults.trial = 1;
+        cfg.base.transport_faults.corrupt_rate = 0.05;
+        cfg.base.transport_faults.drop_rate = 0.05;
+        cfg.base.transport_faults.dup_rate = 0.05;
+        cfg.base.transport_faults.reorder_rate = 0.05;
+        try {
+            const FtRunResult r = run_ft_engine(a, b, cfg, FaultPlan{});
+            EXPECT_EQ(r.product, expected) << to_string(engine);
+            EXPECT_GT(r.transport.sent_frames, 0u) << to_string(engine);
+            EXPECT_EQ(r.transport.injected_corrupt +
+                          r.transport.injected_drop,
+                      r.transport.detected_losses())
+                << to_string(engine);
+        } catch (const TransportFault&) {
+            // Escalation path: the ladder retries on a fresh interconnect.
+            const ResilientResult rr =
+                resilient_multiply(a, b, cfg, FaultPlan{});
+            EXPECT_EQ(rr.product, expected) << to_string(engine);
+        }
+    }
+}
+
+TEST(EngineTransport, GuardAloneLeavesProductAndLedgerClean) {
+    Rng rng{77};
+    const BigInt a = random_bits(rng, 1200);
+    const BigInt b = random_bits(rng, 1100);
+    ResilientConfig cfg;
+    cfg.engine = FtEngine::Poly;
+    cfg.base.k = 2;
+    cfg.base.processors = 9;
+    cfg.base.digit_bits = 32;
+    cfg.base.transport_guard = true;
+    const FtRunResult r = run_ft_engine(a, b, cfg, FaultPlan{});
+    EXPECT_EQ(r.product, a * b);
+    EXPECT_GT(r.transport.sent_frames, 0u);
+    EXPECT_EQ(r.transport.injected_total(), 0u);
+    EXPECT_EQ(r.transport.detected_losses(), 0u);
+    EXPECT_EQ(r.transport.retransmits, 0u);
+}
+
+TEST(EngineTransport, ResilientLadderAccumulatesTransportStats) {
+    Rng rng{88};
+    const BigInt a = random_bits(rng, 1000);
+    const BigInt b = random_bits(rng, 900);
+    ResilientConfig cfg;
+    cfg.engine = FtEngine::Poly;
+    cfg.base.k = 2;
+    cfg.base.processors = 9;
+    cfg.base.digit_bits = 32;
+    cfg.base.transport_faults.seed = 5;
+    cfg.base.transport_faults.corrupt_rate = 0.1;
+    const ResilientResult r = resilient_multiply(a, b, cfg, FaultPlan{});
+    EXPECT_EQ(r.product, a * b);
+    EXPECT_GT(r.transport.sent_frames, 0u);
+    ASSERT_FALSE(r.attempts.empty());
+    EXPECT_GT(r.attempts.front().transport.sent_frames, 0u);
+}
+
+}  // namespace
+}  // namespace ftmul

@@ -1,11 +1,13 @@
 // chaos_diff: compare two chaos-campaign reports (schema ftmul.chaos_report)
 // and fail on resilience regressions — the campaign twin of bench_diff.
-// Outcome counts that must stay zero (wrong products, errors) regress on any
-// increase; in-engine absorption, soft detection and coded straggler
-// advantage tolerate a small absolute rate drop (--rate-drop) and recovery /
-// retry cost distributions a fractional mean growth (--cost-growth), because
-// two campaigns sample different fault sets. An engine present in the old
-// report but absent from the new one is always a regression.
+// Outcome counts that must stay zero (wrong products, errors, undetected
+// transport losses) regress on any increase; in-engine absorption, soft /
+// transport detection and coded straggler advantage tolerate a small
+// absolute rate drop (--rate-drop) and recovery / retry / retransmit cost
+// distributions a fractional mean growth (--cost-growth), because two
+// campaigns sample different fault sets. An engine or category section
+// present in the old report but absent from the new one is always a
+// regression.
 //
 // Usage:
 //   chaos_diff OLD.json NEW.json [--rate-drop F] [--cost-growth F] [--quiet]

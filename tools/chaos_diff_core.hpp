@@ -66,10 +66,12 @@ inline double absorption_rate(const Json* counts,
 
 /// Compare two ftmul.chaos_report documents (the caller validates schema).
 /// Regressions: any increase in wrong products or errors (totals, per
-/// engine, soft, straggler); an in-engine absorption-rate, soft
-/// detection-rate or straggler coded-advantage drop beyond
-/// DiffOptions::rate_drop; recovery/retry mean-cost growth beyond
-/// DiffOptions::cost_growth; an engine present before but missing after.
+/// engine, soft, straggler, transport) or in undetected transport losses;
+/// an in-engine absorption-rate, soft detection-rate, straggler
+/// coded-advantage or transport detection-rate drop beyond
+/// DiffOptions::rate_drop; recovery/retry/retransmit mean-cost growth
+/// beyond DiffOptions::cost_growth; an engine or category section present
+/// before but missing after.
 inline DiffResult diff_reports(const Json& before, const Json& after,
                                const DiffOptions& opt = {}) {
     using detail_diff::absorption_rate;
@@ -170,6 +172,29 @@ inline DiffResult diff_reports(const Json& before, const Json& after,
         check_rate("soft.in_code_rate",
                    absorption_rate(sb->find("counts"), {"clean", "corrected"}),
                    absorption_rate(sa->find("counts"), {"clean", "corrected"}));
+    }
+
+    const Json* tb = before.find("transport");
+    const Json* ta = after.find("transport");
+    if (tb != nullptr && ta == nullptr) {
+        note(true, "transport section missing from the after report");
+    } else if (tb != nullptr && ta != nullptr) {
+        check_count("transport.wrong_product",
+                    path(*tb, {"counts", "wrong_product"}),
+                    path(*ta, {"counts", "wrong_product"}));
+        check_count("transport.errors", path(*tb, {"counts", "errors"}),
+                    path(*ta, {"counts", "errors"}));
+        check_count("transport.undetected", tb->find("undetected"),
+                    ta->find("undetected"));
+        check_rate("transport.detection_rate",
+                   num(tb->find("detection_rate"), 1.0),
+                   num(ta->find("detection_rate"), 1.0));
+        check_rate("transport.in_guard_rate",
+                   absorption_rate(tb->find("counts"), {"clean", "recovered"}),
+                   absorption_rate(ta->find("counts"), {"clean", "recovered"}));
+        check_cost("transport.retransmits_per_trial",
+                   path(*tb, {"retransmit", "per_trial"}),
+                   path(*ta, {"retransmit", "per_trial"}));
     }
 
     const Json* gb = before.find("straggler");

@@ -1,20 +1,29 @@
 // ftmul_chaos: randomized fault-injection campaigns over the full fault
 // taxonomy of the paper's Section 1 — hard faults (fail-stop), soft faults
-// (silent miscalculation) and delay faults (stragglers). Every trial draws a
-// seeded, replayable fault plan restricted to the target's fault surface,
-// runs the engine, verifies the product against the sequential reference,
-// and escalates over-budget trials through the resilient driver. The
-// campaign must never produce a wrong product; it writes a schema-versioned
-// JSON report (ftmul.chaos_report v2) with per-category outcome counts,
-// soft-fault detection/miss rates, straggler latency distributions,
-// recovery-cost distributions and survival curves.
+// (silent miscalculation) and delay faults (stragglers) — plus the
+// data-plane transport taxonomy (message corruption / drop / duplication /
+// reorder). Every trial draws a seeded, replayable fault plan restricted to
+// the target's fault surface, runs the engine, verifies the product against
+// the sequential reference, and escalates over-budget trials through the
+// resilient driver. The campaign must never produce a wrong product; it
+// writes a schema-versioned JSON report (ftmul.chaos_report v3) with
+// per-category outcome counts, soft-fault detection/miss rates, straggler
+// latency distributions, recovery-cost distributions, survival curves and —
+// when the transport category ran — frame-level injection/detection
+// accounting with retransmit cost distributions.
 //
 // Hard trials sweep the six FT engines; soft trials route through
 // ft_soft_multiply (the code detects and corrects the corruption, the
 // resilient soft ladder absorbs over-budget draws); straggler trials run
 // the plain parallel algorithm with the drawn delays and assert the coded
 // schedule's critical-path advantage (cf. bench_stragglers): the straggling
-// columns are discarded via ft_poly instead of waited for.
+// columns are discarded via ft_poly instead of waited for. Transport trials
+// (opt-in via --categories transport) sweep the six engines too, with the
+// frame-integrity guard armed and all four transport kinds firing at the
+// combo's per-frame rate: the checksummed, sequenced, retained frames must
+// detect every corruption and drop, absorb dups and reorders, and recover
+// via NACK/retransmit — a trial whose retransmit budget runs out escalates
+// through the resilient ladder on a fresh interconnect.
 //
 // Trials execute in parallel on the runtime ThreadPool (--jobs N). Results
 // are stored per trial and aggregated serially in trial order, so the
@@ -24,9 +33,11 @@
 //   ftmul_chaos [--trials N | --max-trials N] [--time-budget-s S]
 //               [--seed S] [--bits B] [--out FILE]
 //               [--engines a,b,...] [--rates r1,r2,...]
-//               [--categories hard,soft,straggler] [--straggler-rounds R]
+//               [--categories hard,soft,straggler,transport]
+//               [--straggler-rounds R]
 //               [--jobs N] [--progress] [--progress-interval-s S]
 //               [--metrics] [--metrics-out FILE] [--metrics-format prom|json]
+//               [--metrics-stream-s S] [--metrics-stream-out FILE]
 //               [--smoke] [--quiet]
 //
 // --smoke shrinks the campaign (~8 trials/combination, smaller operands)
@@ -36,7 +47,10 @@
 // a heartbeat line (per-category outcome tallies + throughput) to stderr;
 // it never touches the report bytes. --metrics embeds an ftmul.metrics v1
 // section as the report's last key; the non-metrics sections stay
-// byte-identical to a metrics-off run.
+// byte-identical to a metrics-off run. --metrics-stream-s appends a full
+// ftmul.metrics snapshot to an NDJSON side file every S seconds while the
+// campaign runs (live dashboards tail it); the report bytes stay identical
+// to a non-streaming run.
 
 #include <algorithm>
 #include <atomic>
@@ -45,6 +59,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -68,13 +84,14 @@ namespace {
 
 using namespace ftmul;
 
-enum class Category { Hard, Soft, Straggler };
+enum class Category { Hard, Soft, Straggler, Transport };
 
 const char* to_string(Category c) {
     switch (c) {
         case Category::Hard: return "hard";
         case Category::Soft: return "soft";
         case Category::Straggler: return "straggler";
+        case Category::Transport: return "transport";
     }
     return "unknown";
 }
@@ -99,6 +116,8 @@ struct Options {
     bool metrics = false;
     std::string metrics_out;
     std::string metrics_format = "prom";
+    double metrics_stream_s = 0.0;  ///< 0 = no NDJSON snapshot streaming
+    std::string metrics_stream_out = "chaos_metrics.ndjson";
     bool smoke = false;
     bool quiet = false;
 };
@@ -109,11 +128,12 @@ struct Options {
         "usage: %s [--trials N | --max-trials N] [--time-budget-s S]\n"
         "          [--seed S] [--bits B] [--out FILE]\n"
         "          [--engines a,b,...] [--rates r1,r2,...]\n"
-        "          [--categories hard,soft,straggler] "
+        "          [--categories hard,soft,straggler,transport] "
         "[--straggler-rounds R]\n"
         "          [--jobs N] [--progress] [--progress-interval-s S]\n"
         "          [--metrics] [--metrics-out FILE] "
         "[--metrics-format prom|json]\n"
+        "          [--metrics-stream-s S] [--metrics-stream-out FILE]\n"
         "          [--smoke] [--quiet]\n",
         argv0);
     std::exit(2);
@@ -168,6 +188,8 @@ Options parse_args(int argc, char** argv) {
                     o.categories.push_back(Category::Soft);
                 } else if (c == "straggler") {
                     o.categories.push_back(Category::Straggler);
+                } else if (c == "transport") {
+                    o.categories.push_back(Category::Transport);
                 } else {
                     std::fprintf(stderr, "unknown category: %s\n", c.c_str());
                     usage(argv[0]);
@@ -189,6 +211,12 @@ Options parse_args(int argc, char** argv) {
         } else if (arg == "--metrics-out") {
             o.metrics_out = value();
             o.metrics = true;
+        } else if (arg == "--metrics-stream-s") {
+            o.metrics_stream_s = std::strtod(value().c_str(), nullptr);
+            if (o.metrics_stream_s <= 0.0) usage(argv[0]);
+        } else if (arg == "--metrics-stream-out") {
+            o.metrics_stream_out = value();
+            if (o.metrics_stream_s <= 0.0) o.metrics_stream_s = 2.0;
         } else if (arg == "--metrics-format") {
             o.metrics_format = value();
             if (o.metrics_format != "prom" && o.metrics_format != "json") {
@@ -281,6 +309,11 @@ struct TrialResult {
     std::uint64_t plain_latency = 0;
     std::uint64_t coded_latency = 0;
     bool coded_faster = false;
+    // transport
+    bool transport_completed = false;  ///< frame accounting is complete (an
+                                       ///< attempt that died mid-run on a
+                                       ///< TransportFault loses its counts)
+    TransportStats transport{};
 };
 
 struct SurvivalBucket {
@@ -340,9 +373,38 @@ struct StragglerTally {
     std::vector<std::string> sample_errors;
 };
 
+struct TransportEngineTally {
+    std::uint64_t trials = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t wrong_product = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t retransmits = 0;
+};
+
+struct TransportTally {
+    std::uint64_t trials = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t recovered = 0;  ///< guard absorbed the injections in-run
+    std::uint64_t retried = 0;    ///< escalated through the resilient ladder
+    std::uint64_t wrong_product = 0;
+    std::uint64_t errors = 0;
+
+    /// Frame accounting summed over runs with complete stats; the invariant
+    /// the campaign gates on is injected corrupt+drop == detected losses.
+    TransportStats frames;
+    Dist injected_per_trial;     ///< over completed runs with injections
+    Dist retransmits_per_trial;  ///< same population
+    std::map<std::string, std::uint64_t> retry_strategies;
+    std::map<std::string, RateTally> by_rate;
+    std::map<std::string, TransportEngineTally> by_engine;
+    std::vector<std::string> sample_errors;
+};
+
 struct Combo {
     Category cat;
-    FtEngine engine;  ///< meaningful for Category::Hard only
+    FtEngine engine;  ///< meaningful for Hard and Transport only
     double rate;
 };
 
@@ -356,7 +418,7 @@ void note_error(std::vector<std::string>& samples, const std::string& what) {
     if (samples.size() < 3) samples.push_back(what);
 }
 
-constexpr int kCategories = 3;
+constexpr int kCategories = 4;
 constexpr int kOutcomes = 5;
 
 const char* outcome_name(TrialResult::Outcome o) {
@@ -400,8 +462,8 @@ void print_progress(const Options& opt, const LiveTally& live,
                   static_cast<unsigned long long>(opt.trials),
                   elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0);
     std::string line = head;
-    for (Category c :
-         {Category::Hard, Category::Soft, Category::Straggler}) {
+    for (Category c : {Category::Hard, Category::Soft, Category::Straggler,
+                       Category::Transport}) {
         if (std::find(opt.categories.begin(), opt.categories.end(), c) ==
             opt.categories.end()) {
             continue;
@@ -424,6 +486,50 @@ void print_progress(const Options& opt, const LiveTally& live,
     }
     std::fprintf(stderr, "%s\n", line.c_str());
 }
+
+/// Background periodic task with RAII lifetime. finish() joins on the
+/// normal path; the destructor joins on every other path, so a throwing
+/// campaign (bad alloc, report I/O) can never leave the thread dangling
+/// past the tallies and streams it reads. The task fires once more on the
+/// way out, so the final heartbeat line / metrics snapshot reflects the
+/// drained campaign rather than stopping an interval short.
+class Periodic {
+public:
+    Periodic() = default;
+    Periodic(const Periodic&) = delete;
+    Periodic& operator=(const Periodic&) = delete;
+    ~Periodic() { finish(); }
+
+    void start(double interval_s, std::function<void()> fn) {
+        fn_ = std::move(fn);
+        th_ = std::thread([this, interval_s]() {
+            std::unique_lock<std::mutex> lock(mu_);
+            while (!cv_.wait_for(lock,
+                                 std::chrono::duration<double>(interval_s),
+                                 [this]() { return over_; })) {
+                fn_();
+            }
+            fn_();
+        });
+    }
+
+    void finish() noexcept {
+        if (!th_.joinable()) return;
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            over_ = true;
+        }
+        cv_.notify_all();
+        th_.join();
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool over_ = false;
+    std::function<void()> fn_;
+    std::thread th_;
+};
 
 // ---------------------------------------------------------------------------
 // Per-category trial bodies. Each is a pure function of (seed, trial index,
@@ -657,11 +763,88 @@ void run_straggler_trial(TrialResult& tr, const BigInt& a, const BigInt& b,
     }
 }
 
+void run_transport_trial(TrialResult& tr, const BigInt& a, const BigInt& b,
+                         const BigInt& expected, const ResilientConfig& proto,
+                         const Combo& combo, const FaultInjector& injector,
+                         std::uint64_t seed, std::uint64_t t) {
+    using Outcome = TrialResult::Outcome;
+    ResilientConfig cfg = proto;
+    cfg.engine = combo.engine;
+
+    // All four transport kinds fire at the combo's per-frame rate; every
+    // frame's fate is a pure function of (seed, trial, src, dst, link
+    // index), so the trial replays stand-alone like the other categories.
+    FaultInjectorConfig icfg;
+    icfg.msg_corrupt_rate = combo.rate;
+    icfg.msg_drop_rate = combo.rate;
+    icfg.msg_dup_rate = combo.rate;
+    icfg.msg_reorder_rate = combo.rate;
+    const InjectedFaults injected = injector.draw(icfg, t);
+    cfg.base.transport_faults = injected.transport;
+
+    try {
+        // No processor faults: the data plane is the only adversary.
+        const FtRunResult r = run_ft_engine(a, b, cfg, FaultPlan{});
+        tr.transport = r.transport;
+        tr.transport_completed = true;
+        tr.nfaults = static_cast<int>(r.transport.injected_total());
+        if (r.product != expected) {
+            tr.outcome = Outcome::WrongProduct;
+            std::fprintf(stderr,
+                         "WRONG PRODUCT (transport): engine=%s seed=%llu "
+                         "trial=%llu\n",
+                         tr.engine.c_str(),
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(t));
+            return;
+        }
+        tr.outcome = tr.nfaults == 0 ? Outcome::Clean : Outcome::Recovered;
+    } catch (const TransportFault&) {
+        // NACK/retransmit out of budget (retry limit tripped or the retained
+        // frame was evicted): escalate through the resilient ladder, whose
+        // rung 1 fails the same deterministic way and whose retries run on a
+        // fresh interconnect.
+        tr.outcome = Outcome::Retried;
+        try {
+            const ResilientResult rr =
+                resilient_multiply(a, b, cfg, FaultPlan{});
+            tr.transport = rr.transport;
+            tr.transport_completed = true;
+            if (rr.product != expected) {
+                tr.outcome = Outcome::WrongProduct;
+                std::fprintf(stderr,
+                             "WRONG PRODUCT (transport retry): engine=%s "
+                             "seed=%llu trial=%llu\n",
+                             tr.engine.c_str(),
+                             static_cast<unsigned long long>(seed),
+                             static_cast<unsigned long long>(t));
+                return;
+            }
+            if (!rr.attempts.empty()) {
+                tr.retry_strategy = rr.attempts.back().strategy;
+            }
+            tr.retry_flops = rr.stats.critical.flops;
+            tr.has_retry_cost = true;
+        } catch (const std::exception& e) {
+            tr.outcome = Outcome::Error;
+            tr.error = e.what();
+        }
+    } catch (const std::exception& e) {
+        tr.outcome = Outcome::Error;
+        tr.error = e.what();
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     Options opt = parse_args(argc, argv);
-    if (opt.metrics) MetricsRegistry::global().set_enabled(true);
+    // Snapshot streaming needs live instruments too, but only --metrics may
+    // put the section into the report (see below): streaming must leave the
+    // report bytes identical to a non-streaming run.
+    if (opt.metrics || opt.metrics_stream_s > 0.0) {
+        MetricsRegistry::global().set_enabled(true);
+    }
 
     ResilientConfig proto;
     proto.base.k = 2;
@@ -678,7 +861,7 @@ int main(int argc, char** argv) {
     // round-robin so a campaign of any size touches every combination.
     std::vector<Combo> combos;
     for (Category cat : opt.categories) {
-        if (cat == Category::Hard) {
+        if (cat == Category::Hard || cat == Category::Transport) {
             for (const std::string& name : opt.engines) {
                 const FtEngine e = ft_engine_from_string(name);  // throws
                 for (double r : opt.rates) combos.push_back({cat, e, r});
@@ -728,7 +911,8 @@ int main(int argc, char** argv) {
             const Combo& combo = combos[t % combos.size()];
             TrialResult& tr = results[t];
             tr.cat = combo.cat;
-            tr.engine = combo.cat == Category::Hard
+            tr.engine = combo.cat == Category::Hard ||
+                                combo.cat == Category::Transport
                             ? ftmul::to_string(combo.engine)
                             : to_string(combo.cat);
             tr.rate_key = rate_key_of(combo.rate);
@@ -754,6 +938,10 @@ int main(int argc, char** argv) {
                                             injector, opt.straggler_rounds,
                                             opt.seed, t);
                         break;
+                    case Category::Transport:
+                        run_transport_trial(tr, a, b, expected, proto, combo,
+                                            injector, opt.seed, t);
+                        break;
                 }
             } catch (const std::exception& e) {
                 tr.outcome = TrialResult::Outcome::Error;
@@ -770,21 +958,38 @@ int main(int argc, char** argv) {
         }
     };
 
-    // The heartbeat rides on a condition variable so the final line prints
-    // the moment workers drain rather than an interval later.
-    std::mutex progress_mu;
-    std::condition_variable progress_cv;
-    bool campaign_over = false;
-    std::thread heartbeat;
+    // The heartbeat and the metrics streamer ride on condition variables so
+    // the final tick fires the moment workers drain rather than an interval
+    // later; their RAII guards join them even when a worker body or the
+    // report writer throws.
+    Periodic heartbeat;
     if (opt.progress) {
-        heartbeat = std::thread([&]() {
-            std::unique_lock<std::mutex> lock(progress_mu);
-            while (!progress_cv.wait_for(
-                lock, std::chrono::duration<double>(opt.progress_interval_s),
-                [&]() { return campaign_over; })) {
-                print_progress(opt, live, campaign_start);
-            }
-            print_progress(opt, live, campaign_start);
+        heartbeat.start(opt.progress_interval_s,
+                        [&]() { print_progress(opt, live, campaign_start); });
+    }
+    std::ofstream metrics_stream;
+    Periodic streamer;
+    if (opt.metrics_stream_s > 0.0) {
+        metrics_stream.open(opt.metrics_stream_out,
+                            std::ios::out | std::ios::trunc);
+        if (!metrics_stream) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.metrics_stream_out.c_str());
+            return 2;
+        }
+        streamer.start(opt.metrics_stream_s, [&]() {
+            const double elapsed =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              campaign_start)
+                    .count();
+            Json line = Json::object();
+            line.set("elapsed_s", elapsed);
+            line.set("trials_done",
+                     live.done.load(std::memory_order_relaxed));
+            line.set("metrics",
+                     MetricsRegistry::global().snapshot().to_json());
+            metrics_stream << line.dump(0) << '\n';
+            metrics_stream.flush();
         });
     }
 
@@ -795,14 +1000,8 @@ int main(int argc, char** argv) {
         pool.run([&](std::size_t) { worker(); });
     }
 
-    if (heartbeat.joinable()) {
-        {
-            const std::lock_guard<std::mutex> lock(progress_mu);
-            campaign_over = true;
-        }
-        progress_cv.notify_all();
-        heartbeat.join();
-    }
+    heartbeat.finish();
+    streamer.finish();
 
     // ---- deterministic aggregation, in trial order --------------------
     using Outcome = TrialResult::Outcome;
@@ -810,6 +1009,7 @@ int main(int argc, char** argv) {
     std::map<std::string, std::map<std::string, RateTally>> rate_tallies;
     SoftTally soft;
     StragglerTally straggler;
+    TransportTally transport;
     std::uint64_t trials_completed = 0;
 
     for (const TrialResult& tr : results) {
@@ -875,6 +1075,50 @@ int main(int argc, char** argv) {
             if (tr.has_retry_cost && !tr.retry_strategy.empty()) {
                 ++soft.retry_strategies[tr.retry_strategy];
             }
+        } else if (tr.cat == Category::Transport) {
+            ++transport.trials;
+            TransportEngineTally& et = transport.by_engine[tr.engine];
+            ++et.trials;
+            RateTally& rt = transport.by_rate[tr.rate_key];
+            ++rt.trials;
+            if (in_engine) ++rt.in_engine;
+            if (tr.transport_completed) {
+                transport.frames += tr.transport;
+                et.retransmits += tr.transport.retransmits;
+                if (tr.transport.injected_total() > 0) {
+                    transport.injected_per_trial.add(
+                        tr.transport.injected_total());
+                    transport.retransmits_per_trial.add(
+                        tr.transport.retransmits);
+                }
+            }
+            switch (tr.outcome) {
+                case Outcome::Clean:
+                    ++transport.clean;
+                    ++et.clean;
+                    break;
+                case Outcome::Recovered:
+                    ++transport.recovered;
+                    ++et.recovered;
+                    break;
+                case Outcome::Retried:
+                    ++transport.retried;
+                    ++et.retried;
+                    ++rt.retried;
+                    break;
+                case Outcome::WrongProduct:
+                    ++transport.wrong_product;
+                    ++et.wrong_product;
+                    break;
+                case Outcome::Error:
+                    ++transport.errors;
+                    ++et.errors;
+                    note_error(transport.sample_errors, tr.error);
+                    break;
+            }
+            if (tr.has_retry_cost && !tr.retry_strategy.empty()) {
+                ++transport.retry_strategies[tr.retry_strategy];
+            }
         } else {
             ++straggler.trials;
             RateTally& rt = straggler.by_rate[tr.rate_key];
@@ -906,7 +1150,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    // ---- report (ftmul.chaos_report v2) -------------------------------
+    // ---- report (ftmul.chaos_report v3) -------------------------------
     Json root = report_header(kChaosReportSchema, kChaosReportVersion);
     root.set("seed", opt.seed);
     root.set("trials", opt.trials);
@@ -928,7 +1172,7 @@ int main(int argc, char** argv) {
     {
         Json cats = Json::array();
         for (Category c : {Category::Hard, Category::Soft,
-                           Category::Straggler}) {
+                           Category::Straggler, Category::Transport}) {
             if (std::find(opt.categories.begin(), opt.categories.end(), c) !=
                 opt.categories.end()) {
                 cats.push_back(to_string(c));
@@ -1133,6 +1377,119 @@ int main(int argc, char** argv) {
         }
     }
 
+    // The transport section is new in v3 and present only when the campaign
+    // ran the category, so v2 consumers of the other sections read
+    // unchanged bytes.
+    std::uint64_t total_undetected = 0;
+    if (transport.trials != 0) {
+        Json s = Json::object();
+        Json counts = Json::object();
+        counts.set("clean", transport.clean);
+        counts.set("recovered", transport.recovered);
+        counts.set("retried", transport.retried);
+        counts.set("wrong_product", transport.wrong_product);
+        counts.set("errors", transport.errors);
+        s.set("counts", std::move(counts));
+
+        const TransportStats& f = transport.frames;
+        Json frames = Json::object();
+        frames.set("sent", f.sent_frames);
+        frames.set("header_words", f.header_words);
+        s.set("frames", std::move(frames));
+
+        Json inj = Json::object();
+        inj.set("corrupt", f.injected_corrupt);
+        inj.set("drop", f.injected_drop);
+        inj.set("dup", f.injected_dup);
+        inj.set("reorder", f.injected_reorder);
+        inj.set("total", f.injected_total());
+        s.set("injected", std::move(inj));
+
+        Json det = Json::object();
+        det.set("corrupt", f.corrupt_detected);
+        det.set("malformed", f.malformed_detected);
+        det.set("drop", f.drop_detected);
+        det.set("dedup_hits", f.dedup_hits);
+        det.set("reorder_stashed", f.reorder_stashed);
+        s.set("detected", std::move(det));
+
+        // The gate: every injected corruption and drop must be noticed by
+        // the frame guard (dups and reorders are absorbed by the sequence
+        // window either way). One undetected loss is a campaign failure.
+        const std::uint64_t losses = f.injected_corrupt + f.injected_drop;
+        const std::uint64_t noticed = f.detected_losses();
+        const std::uint64_t undetected =
+            losses > noticed ? losses - noticed : 0;
+        s.set("undetected", undetected);
+        s.set("detection_rate",
+              losses == 0 ? 1.0
+                          : std::min(1.0, static_cast<double>(noticed) /
+                                              static_cast<double>(losses)));
+        total_undetected = undetected;
+
+        Json rec = Json::object();
+        rec.set("retransmits", f.retransmits);
+        rec.set("retransmit_words", f.retransmit_words);
+        rec.set("per_trial", transport.retransmits_per_trial.to_json());
+        s.set("retransmit", std::move(rec));
+        s.set("injected_per_trial", transport.injected_per_trial.to_json());
+
+        Json strategies = Json::object();
+        for (const auto& [name, n] : transport.retry_strategies) {
+            strategies.set(name, n);
+        }
+        s.set("retry_strategies", std::move(strategies));
+
+        Json by_rate = Json::array();
+        for (const auto& [rate, rt] : transport.by_rate) {
+            Json jr = Json::object();
+            jr.set("rate", std::strtod(rate.c_str(), nullptr));
+            jr.set("trials", rt.trials);
+            jr.set("in_guard", rt.in_engine);
+            jr.set("retried", rt.retried);
+            by_rate.push_back(std::move(jr));
+        }
+        s.set("by_rate", std::move(by_rate));
+
+        Json by_engine = Json::array();
+        for (const auto& [name, et] : transport.by_engine) {
+            Json je = Json::object();
+            je.set("engine", name);
+            je.set("trials", et.trials);
+            je.set("clean", et.clean);
+            je.set("recovered", et.recovered);
+            je.set("retried", et.retried);
+            je.set("wrong_product", et.wrong_product);
+            je.set("errors", et.errors);
+            je.set("retransmits", et.retransmits);
+            by_engine.push_back(std::move(je));
+        }
+        s.set("by_engine", std::move(by_engine));
+
+        if (!transport.sample_errors.empty()) {
+            Json errs = Json::array();
+            for (const std::string& m : transport.sample_errors) {
+                errs.push_back(m);
+            }
+            s.set("sample_errors", std::move(errs));
+        }
+        root.set("transport", std::move(s));
+        total_wrong += transport.wrong_product;
+        total_errors += transport.errors;
+
+        if (!opt.quiet) {
+            std::printf(
+                "%-14s clean=%llu recovered=%llu retried=%llu wrong=%llu "
+                "errors=%llu undetected=%llu\n",
+                "transport", static_cast<unsigned long long>(transport.clean),
+                static_cast<unsigned long long>(transport.recovered),
+                static_cast<unsigned long long>(transport.retried),
+                static_cast<unsigned long long>(transport.wrong_product),
+                static_cast<unsigned long long>(transport.errors),
+                static_cast<unsigned long long>(undetected));
+        }
+    }
+
     {
         Json totals = Json::object();
         totals.set("wrong_product", total_wrong);
@@ -1141,8 +1498,10 @@ int main(int argc, char** argv) {
     }
 
     // The metrics section is the report's LAST key: stripping it (or running
-    // metrics-off) leaves the v2 report byte-identical up to that point.
-    if (metrics::enabled()) {
+    // metrics-off) leaves the report byte-identical up to that point. Gated
+    // on the flag, not on registry state — snapshot streaming enables the
+    // registry without opting the report into the section.
+    if (opt.metrics) {
         root.set("metrics", MetricsRegistry::global().snapshot().to_json());
     }
 
@@ -1164,11 +1523,13 @@ int main(int argc, char** argv) {
         if (!opt.quiet) std::printf("wrote %s\n", opt.metrics_out.c_str());
     }
 
-    if (total_wrong != 0 || total_errors != 0) {
+    if (total_wrong != 0 || total_errors != 0 || total_undetected != 0) {
         std::fprintf(stderr,
-                     "CAMPAIGN FAILED: %llu wrong products, %llu errors\n",
+                     "CAMPAIGN FAILED: %llu wrong products, %llu errors, "
+                     "%llu undetected transport losses\n",
                      static_cast<unsigned long long>(total_wrong),
-                     static_cast<unsigned long long>(total_errors));
+                     static_cast<unsigned long long>(total_errors),
+                     static_cast<unsigned long long>(total_undetected));
         return 1;
     }
     return 0;
