@@ -21,6 +21,9 @@
 //                       run reports gain an embedded "metrics" section
 //     --metrics-out FILE  write a metrics dump to FILE (implies --metrics)
 //     --metrics-format prom|json  dump format (default prom)
+//     --transport-guard arm the frame-integrity transport guard (machine
+//                       engines only); run reports gain a "transport"
+//                       section with retention/ack-window accounting
 //
 // Example: ftmul_cli --engine ft-poly --kill mul:0 --stats 123456789 987654321
 
@@ -58,6 +61,7 @@ struct Options {
     bool metrics = false;
     std::string metrics_out;            // metrics dump file
     std::string metrics_format = "prom";  // "prom" or "json"
+    bool transport_guard = false;
     FaultPlan plan;
     std::vector<std::string> operands;
 };
@@ -69,7 +73,7 @@ struct Options {
                  "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] "
                  "[--report json] [--report-out FILE] [--trace-out FILE] "
                  "[--metrics] [--metrics-out FILE] "
-                 "[--metrics-format prom|json] A B\n");
+                 "[--metrics-format prom|json] [--transport-guard] A B\n");
     std::exit(2);
 }
 
@@ -113,6 +117,8 @@ Options parse(int argc, char** argv) {
         } else if (arg == "--metrics-out") {
             o.metrics_out = next();
             o.metrics = true;
+        } else if (arg == "--transport-guard") {
+            o.transport_guard = true;
         } else if (arg == "--metrics-format") {
             o.metrics_format = next();
             if (o.metrics_format != "prom" && o.metrics_format != "json") {
@@ -239,20 +245,24 @@ int main(int argc, char** argv) {
         base.k = o.k ? o.k : 2;
         base.processors = o.procs;
         base.events = wants_obs;
+        base.transport_guard = o.transport_guard;
         meta.algorithm = o.engine;
         meta.processors = o.procs;
         meta.bits_a = a.bit_length();
         meta.bits_b = b.bit_length();
+        TransportStats transport;
         if (o.engine == "parallel") {
             auto r = parallel_toom_multiply(a, b, base);
             product = r.product;
             stats = r.stats;
             events = r.events;
+            transport = r.transport;
         } else if (o.engine == "ft-linear") {
             auto r = ft_linear_multiply(a, b, {base, o.faults}, o.plan);
             product = r.product;
             stats = r.stats;
             events = r.events;
+            transport = r.transport;
             meta.extra_processors = r.extra_processors;
             meta.tolerance = o.faults;
         } else if (o.engine == "ft-poly") {
@@ -260,6 +270,7 @@ int main(int argc, char** argv) {
             product = r.product;
             stats = r.stats;
             events = r.events;
+            transport = r.transport;
             meta.extra_processors = r.extra_processors;
             meta.tolerance = o.faults;
         } else if (o.engine == "ft-mixed") {
@@ -267,6 +278,7 @@ int main(int argc, char** argv) {
             product = r.product;
             stats = r.stats;
             events = r.events;
+            transport = r.transport;
             meta.extra_processors = r.extra_processors;
             meta.tolerance = o.faults;
         } else {
@@ -275,8 +287,8 @@ int main(int argc, char** argv) {
         if (o.stats) print_stats(stats);
         if (wants_obs) {
             meta.product_hex = product.to_hex();
-            Json report_doc =
-                build_run_report(stats, meta, &o.plan, events.get());
+            Json report_doc = build_run_report(stats, meta, &o.plan,
+                                               events.get(), {}, &transport);
             if (metrics::enabled()) {
                 report_doc.set("metrics",
                                MetricsRegistry::global().snapshot().to_json());

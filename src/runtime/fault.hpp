@@ -174,13 +174,16 @@ private:
 /// Why the transport layer gave up on a frame (see runtime/transport.hpp
 /// for the detection machinery). Corrupt/Truncated/Dropped name the defect
 /// that started the recovery; RetainMiss and RetryExhausted are the two
-/// ways the bounded NACK/retransmit protocol can fail.
+/// ways the bounded NACK/retransmit protocol can fail, and StashOverflow is
+/// the receive/reorder stash refusing to grow without limit under an
+/// adversarial fault schedule.
 enum class TransportFaultKind {
     Corrupt,         ///< checksum mismatch on an otherwise well-formed frame
     Truncated,       ///< malformed trailer (short frame, bad magic/route)
     Dropped,         ///< a drop tombstone named a lost sequence number
     RetainMiss,      ///< the sender's retention window no longer holds it
     RetryExhausted,  ///< the per-receive retransmit budget ran out
+    StashOverflow,   ///< recv/reorder stash exceeded its configured cap
 };
 
 const char* to_string(TransportFaultKind kind);

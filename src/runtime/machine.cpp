@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -31,6 +32,19 @@ struct Machine::TransportCounterBlock {
     std::atomic<std::uint64_t> reorder_stashed{0};
     std::atomic<std::uint64_t> retransmits{0};
     std::atomic<std::uint64_t> retransmit_words{0};
+    std::atomic<std::uint64_t> acked_seqs{0};
+    std::atomic<std::uint64_t> acks_piggybacked{0};
+    std::atomic<std::uint64_t> acks_standalone{0};
+    std::atomic<std::uint64_t> retained_frames{0};
+    std::atomic<std::uint64_t> retained_words{0};
+    std::atomic<std::uint64_t> live_streams_end{0};
+    // Live retention footprint and its high-water marks. Exact under
+    // well-synchronized traffic, a close bound otherwise — surfaced through
+    // the accessors and gauges, never in byte-compared reports.
+    std::atomic<std::uint64_t> retained_cur_frames{0};
+    std::atomic<std::uint64_t> retained_cur_words{0};
+    std::atomic<std::uint64_t> retained_peak_frames{0};
+    std::atomic<std::uint64_t> retained_peak_words{0};
 
     void reset() noexcept {
         sent_frames = 0;
@@ -46,6 +60,16 @@ struct Machine::TransportCounterBlock {
         reorder_stashed = 0;
         retransmits = 0;
         retransmit_words = 0;
+        acked_seqs = 0;
+        acks_piggybacked = 0;
+        acks_standalone = 0;
+        retained_frames = 0;
+        retained_words = 0;
+        live_streams_end = 0;
+        retained_cur_frames = 0;
+        retained_cur_words = 0;
+        retained_peak_frames = 0;
+        retained_peak_words = 0;
     }
 };
 
@@ -57,6 +81,13 @@ void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) noexcept {
 
 std::uint64_t peek(const std::atomic<std::uint64_t>& c) noexcept {
     return c.load(std::memory_order_relaxed);
+}
+
+void raise_max(std::atomic<std::uint64_t>& m, std::uint64_t v) noexcept {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
 }
 
 }  // namespace
@@ -185,10 +216,21 @@ void Rank::send_buf(int dst, int tag, PayloadBuf payload) {
     const bool guarded = machine_.transport_guard_;
     if (guarded) {
         const std::uint64_t seq = send_seq_[{dst, tag}]++;
-        seal_frame(payload.storage(), id_, dst, tag, seq);
+        // Piggyback this rank's cumulative receive watermark for one
+        // reverse stream from dst — flow control riding traffic that is
+        // flowing anyway, charged as part of the trailer below.
+        const std::uint64_t ack = pick_piggyback_ack(dst);
+        seal_frame(payload.storage(), id_, dst, tag, seq, ack);
         machine_.retain_frame(id_, dst, tag, seq, payload.words());
         bump(machine_.tcounters_->sent_frames);
         bump(machine_.tcounters_->header_words, kFrameTrailerWords);
+        if (ack != 0) {
+            bump(machine_.tcounters_->acks_piggybacked);
+            static const Counter acks = metrics::counter(
+                "ftmul_transport_acks_total", {{"kind", "piggyback"}},
+                "cumulative acks conveyed to senders, by carrier");
+            acks.inc();
+        }
         static const Counter frames = metrics::counter(
             "ftmul_transport_frames_total", {},
             "frames sealed by the transport guard");
@@ -245,12 +287,15 @@ void Rank::deliver_frame(int dst, int tag, PayloadBuf frame) {
                     "ftmul_transport_injected_total", {{"kind", "drop"}});
                 injected.inc();
                 // The loss is made deterministic: a payload-free tombstone
-                // carrying the dropped frame's seq still travels, so the
-                // receiver detects the gap without a timeout race.
+                // carrying the dropped frame's seq (and its piggybacked ack
+                // word — a drop loses the payload, not the flow control)
+                // still travels, so the receiver detects the gap without a
+                // timeout race.
                 const std::span<const std::uint64_t> w = frame.words();
-                const std::uint64_t seq = w[w.size() - 2];
+                const std::uint64_t seq = w[w.size() - 3];
+                const std::uint64_t ack = w[w.size() - 1];
                 std::vector<std::uint64_t> stone;
-                seal_tombstone(stone, id_, dst, tag, seq);
+                seal_tombstone(stone, id_, dst, tag, seq, ack);
                 frame = PayloadBuf::adopt(std::move(stone));
                 break;
             }
@@ -273,6 +318,15 @@ void Rank::deliver_frame(int dst, int tag, PayloadBuf frame) {
                 // Defer this frame past the sender's next send on the same
                 // link; flush_reorder_stash() at every blocking point keeps
                 // the deferral from ever wedging a receiver.
+                if (reorder_stash_.size() >= machine_.stash_limit_) {
+                    const std::span<const std::uint64_t> w = frame.words();
+                    throw TransportFault(
+                        TransportFaultKind::StashOverflow, id_, dst, tag,
+                        w[w.size() - 3],
+                        "reorder deferral stash exceeded " +
+                            std::to_string(machine_.stash_limit_) +
+                            " entries");
+                }
                 reorder_stash_.emplace_back(std::make_pair(dst, tag),
                                             std::move(frame));
                 return;
@@ -418,6 +472,17 @@ PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
     Machine::TransportCounterBlock& tc = *machine_.tcounters_;
     std::uint64_t& expected = recv_seq_[{src, tag}];
     int attempts = 0;
+    // Bounded stash discipline (the fix for unbounded growth under
+    // adversarial reorder rates): refuse to park one more frame past the
+    // configured cap and surface the typed fault instead.
+    const auto stash_guard = [&](std::uint64_t seq) {
+        if (recv_stash_.size() >= machine_.stash_limit_) {
+            throw TransportFault(
+                TransportFaultKind::StashOverflow, src, id_, tag, seq,
+                "ahead-of-order receive stash exceeded " +
+                    std::to_string(machine_.stash_limit_) + " entries");
+        }
+    };
     for (;;) {
         // The stream's next frame may already be parked from an earlier
         // out-of-order arrival (verified and stripped at stash time).
@@ -426,6 +491,7 @@ PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
             PayloadBuf ready = std::move(it->second);
             recv_stash_.erase(it);
             ++expected;
+            advance_watermark(src, tag, expected);
             return ready;
         }
         PayloadBuf frame = recv_frame(src, tag);
@@ -445,11 +511,13 @@ PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
                 if (v.seq > expected) {  // ahead of stream order: park it
                     bump(tc.reorder_stashed);
                     emit_transport("reorder-stash", src, tag, v.seq);
+                    stash_guard(v.seq);
                     recv_stash_.emplace(std::make_tuple(src, tag, v.seq),
                                         std::move(frame));
                     continue;
                 }
                 ++expected;
+                advance_watermark(src, tag, expected);
                 return frame;
             }
             case FrameState::Tombstone: {
@@ -463,11 +531,13 @@ PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
                 PayloadBuf rec = fetch_retransmit(src, tag, v.seq, attempts,
                                                   TransportFaultKind::Dropped);
                 if (v.seq > expected) {
+                    stash_guard(v.seq);
                     recv_stash_.emplace(std::make_tuple(src, tag, v.seq),
                                         std::move(rec));
                     continue;
                 }
                 ++expected;
+                advance_watermark(src, tag, expected);
                 return rec;
             }
             case FrameState::PayloadCorrupt: {
@@ -481,11 +551,13 @@ PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
                 PayloadBuf rec = fetch_retransmit(src, tag, v.seq, attempts,
                                                   TransportFaultKind::Corrupt);
                 if (v.seq > expected) {
+                    stash_guard(v.seq);
                     recv_stash_.emplace(std::make_tuple(src, tag, v.seq),
                                         std::move(rec));
                     continue;
                 }
                 ++expected;
+                advance_watermark(src, tag, expected);
                 return rec;
             }
             case FrameState::Malformed: {
@@ -503,6 +575,7 @@ PayloadBuf Rank::recv_buf_guarded(int src, int tag) {
                     fetch_retransmit(src, tag, expected, attempts,
                                      TransportFaultKind::Truncated);
                 ++expected;
+                advance_watermark(src, tag, expected);
                 return rec;
             }
         }
@@ -552,6 +625,56 @@ PayloadBuf Rank::fetch_retransmit(int src, int tag, std::uint64_t seq,
     std::vector<std::uint64_t> words = std::move(*sealed);
     strip_trailer(words);
     return PayloadBuf::adopt(std::move(words));
+}
+
+void Rank::advance_watermark(int src, int tag, std::uint64_t delivered) {
+    Machine::TransportCounterBlock& tc = *machine_.tcounters_;
+    bump(tc.acked_seqs);
+    machine_.metric_acked_seqs_.add(1);
+    // The eviction applies instantly against the sender-side retention this
+    // rank indexes (the same shared-memory shortcut the NACK fetch takes);
+    // what the ack *costs* is modeled separately: piggybacks ride the
+    // trailer of frames already charged, and quiet streams pay for a
+    // standalone ack below.
+    machine_.ack_retained(src, id_, tag, delivered);
+    std::uint64_t& published = ack_published_[{src, tag}];
+    if (delivered - published >= machine_.ack_interval_) {
+        published = delivered;
+        bump(tc.acks_standalone);
+        // One single-word ack frame out, one latency round — flow control
+        // is not free, same doctrine as the NACK round trip.
+        current_.msgs += 1;
+        current_.words += 1;
+        current_.latency += 1;
+        static const Counter acks = metrics::counter(
+            "ftmul_transport_acks_total", {{"kind", "standalone"}},
+            "cumulative acks conveyed to senders, by carrier");
+        acks.inc();
+        emit_transport("ack-standalone", src, tag, delivered);
+    }
+}
+
+std::uint64_t Rank::pick_piggyback_ack(int dst) {
+    int best_tag = 0;
+    std::uint64_t best_delivered = 0;
+    std::uint64_t best_backlog = 0;
+    const auto from_dst =
+        recv_seq_.lower_bound({dst, std::numeric_limits<int>::min()});
+    for (auto it = from_dst; it != recv_seq_.end() && it->first.first == dst;
+         ++it) {
+        const auto pub = ack_published_.find(it->first);
+        const std::uint64_t published =
+            pub == ack_published_.end() ? 0 : pub->second;
+        const std::uint64_t backlog = it->second - published;
+        if (backlog > best_backlog) {  // lowest tag wins ties (map order)
+            best_backlog = backlog;
+            best_tag = it->first.second;
+            best_delivered = it->second;
+        }
+    }
+    if (best_backlog == 0) return 0;
+    ack_published_[{dst, best_tag}] = best_delivered;
+    return frame_ack_word(best_tag, best_delivered);
 }
 
 PayloadBuf Rank::frame_bigints(std::span<const BigInt> values) {
@@ -617,6 +740,18 @@ Machine::Machine(int world_size, FaultPlan plan)
     metric_msg_words_ =
         metrics::counter("ftmul_machine_message_words_total", {},
                          "words carried by point-to-point messages");
+    metric_retained_words_ = metrics::gauge(
+        "ftmul_transport_retained_words", {},
+        "words currently held in sender-side retention, process-wide");
+    metric_retained_words_peak_ =
+        metrics::gauge("ftmul_transport_retained_words_peak", {},
+                       "high-water of ftmul_transport_retained_words");
+    metric_retained_frames_peak_ = metrics::gauge(
+        "ftmul_transport_retained_frames_peak", {},
+        "high-water of frames held in sender-side retention");
+    metric_acked_seqs_ = metrics::gauge(
+        "ftmul_transport_acked_seqs", {},
+        "sequence numbers covered by receiver ack watermarks, cumulative");
     metric_blocked_us_ = metrics::histogram(
         "ftmul_machine_blocked_recv_us", {}, duration_buckets_us(),
         "wall-clock a rank spent parked in recv()");
@@ -668,17 +803,74 @@ TransportStats Machine::transport_stats() const noexcept {
     s.reorder_stashed = peek(tc.reorder_stashed);
     s.retransmits = peek(tc.retransmits);
     s.retransmit_words = peek(tc.retransmit_words);
+    s.acked_seqs = peek(tc.acked_seqs);
+    s.acks_piggybacked = peek(tc.acks_piggybacked);
+    s.acks_standalone = peek(tc.acks_standalone);
+    s.retained_frames = peek(tc.retained_frames);
+    s.retained_words = peek(tc.retained_words);
+    s.live_streams_end = peek(tc.live_streams_end);
     return s;
+}
+
+std::uint64_t Machine::transport_retained_peak_frames() const noexcept {
+    return peek(tcounters_->retained_peak_frames);
+}
+
+std::uint64_t Machine::transport_retained_peak_words() const noexcept {
+    return peek(tcounters_->retained_peak_words);
 }
 
 void Machine::retain_frame(int src, int dst, int tag, std::uint64_t seq,
                            std::span<const std::uint64_t> words) {
     if (retain_depth_ == 0) return;
-    RetainShard* shard = retain_[static_cast<std::size_t>(dst)].get();
-    std::lock_guard<std::mutex> lock(shard->mu);
-    std::deque<RetainedFrame>& stream = shard->streams[{src, tag}];
-    stream.push_back({seq, {words.begin(), words.end()}});
-    while (stream.size() > retain_depth_) stream.pop_front();
+    // Seq-only entry for a payload-free frame: its retransmit is pure
+    // bookkeeping (the seal is reconstructed from the stream key), so
+    // copying the trailer words into retention would be waste.
+    const bool seq_only = words.size() <= kFrameTrailerWords;
+    PayloadBuf buf;
+    if (!seq_only) {
+        // Pooled storage, not a fresh deep copy: the buffer recycles
+        // through MsgPool when the ack watermark evicts it.
+        buf = MsgPool::instance().acquire(words.size());
+        buf.storage().assign(words.begin(), words.end());
+    }
+    const std::uint64_t stored = seq_only ? 0 : words.size();
+    std::uint64_t evicted_frames = 0;
+    std::uint64_t evicted_words = 0;
+    {
+        RetainShard* shard = retain_[static_cast<std::size_t>(dst)].get();
+        std::lock_guard<std::mutex> lock(shard->mu);
+        RetainStream& stream = shard->streams[{src, tag}];
+        if (seq < stream.acked) return;  // watermark already covers it
+        stream.frames.push_back({seq, std::move(buf)});
+        // Fallback cap only: the ack watermark normally keeps the deque at
+        // the true in-flight window, far below retain_depth_.
+        while (stream.frames.size() > retain_depth_) {
+            evicted_words += stream.frames.front().buf.size();
+            ++evicted_frames;
+            stream.frames.pop_front();
+        }
+    }
+    TransportCounterBlock& tc = *tcounters_;
+    bump(tc.retained_frames);
+    bump(tc.retained_words, stored);
+    const std::uint64_t cur_f =
+        tc.retained_cur_frames.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t cur_w =
+        tc.retained_cur_words.fetch_add(stored, std::memory_order_relaxed) +
+        stored;
+    raise_max(tc.retained_peak_frames, cur_f);
+    raise_max(tc.retained_peak_words, cur_w);
+    metric_retained_frames_peak_.update_max(static_cast<std::int64_t>(cur_f));
+    metric_retained_words_peak_.update_max(static_cast<std::int64_t>(cur_w));
+    metric_retained_words_.add(static_cast<std::int64_t>(stored));
+    if (evicted_frames != 0) {
+        tc.retained_cur_frames.fetch_sub(evicted_frames,
+                                         std::memory_order_relaxed);
+        tc.retained_cur_words.fetch_sub(evicted_words,
+                                        std::memory_order_relaxed);
+        metric_retained_words_.add(-static_cast<std::int64_t>(evicted_words));
+    }
 }
 
 std::optional<std::vector<std::uint64_t>> Machine::retained_copy(
@@ -687,10 +879,84 @@ std::optional<std::vector<std::uint64_t>> Machine::retained_copy(
     std::lock_guard<std::mutex> lock(shard->mu);
     auto it = shard->streams.find({src, tag});
     if (it == shard->streams.end()) return std::nullopt;
-    for (const RetainedFrame& f : it->second) {
-        if (f.seq == seq) return f.words;
+    for (const RetainedFrame& f : it->second.frames) {
+        if (f.seq != seq) continue;
+        if (!f.buf.empty()) {
+            return std::vector<std::uint64_t>(f.buf.words().begin(),
+                                              f.buf.words().end());
+        }
+        // Seq-only entry: rebuild the payload-free seal. The piggybacked
+        // ack word is not reproduced (it was advisory flow control, and
+        // verification never covers it).
+        std::vector<std::uint64_t> sealed;
+        seal_frame(sealed, src, dst, tag, seq);
+        return sealed;
     }
     return std::nullopt;
+}
+
+void Machine::ack_retained(int src, int dst, int tag,
+                           std::uint64_t delivered) {
+    std::uint64_t evicted_frames = 0;
+    std::uint64_t evicted_words = 0;
+    {
+        RetainShard* shard = retain_[static_cast<std::size_t>(dst)].get();
+        std::lock_guard<std::mutex> lock(shard->mu);
+        auto it = shard->streams.find({src, tag});
+        if (it == shard->streams.end()) return;
+        RetainStream& stream = it->second;
+        if (delivered > stream.acked) stream.acked = delivered;
+        while (!stream.frames.empty() &&
+               stream.frames.front().seq < stream.acked) {
+            evicted_words += stream.frames.front().buf.size();
+            ++evicted_frames;
+            stream.frames.pop_front();
+        }
+        // The watermark drained the stream: erase the map node itself —
+        // without this the nodes accumulate for the life of the machine,
+        // the same leak class LegacyMailbox::drain_residue fixed.
+        if (stream.frames.empty()) shard->streams.erase(it);
+    }
+    if (evicted_frames != 0) {
+        TransportCounterBlock& tc = *tcounters_;
+        tc.retained_cur_frames.fetch_sub(evicted_frames,
+                                         std::memory_order_relaxed);
+        tc.retained_cur_words.fetch_sub(evicted_words,
+                                        std::memory_order_relaxed);
+        metric_retained_words_.add(-static_cast<std::int64_t>(evicted_words));
+    }
+}
+
+void Machine::release_retention() {
+    std::uint64_t freed_frames = 0;
+    std::uint64_t freed_words = 0;
+    for (auto& shard : retain_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        for (auto& [key, stream] : shard->streams) {
+            freed_frames += stream.frames.size();
+            for (const RetainedFrame& f : stream.frames) {
+                freed_words += f.buf.size();
+            }
+        }
+        shard->streams.clear();  // PayloadBufs recycle to the pool here
+    }
+    if (freed_frames != 0) {
+        TransportCounterBlock& tc = *tcounters_;
+        tc.retained_cur_frames.fetch_sub(freed_frames,
+                                         std::memory_order_relaxed);
+        tc.retained_cur_words.fetch_sub(freed_words,
+                                        std::memory_order_relaxed);
+        metric_retained_words_.add(-static_cast<std::int64_t>(freed_words));
+    }
+}
+
+std::size_t Machine::live_streams() const {
+    std::size_t n = 0;
+    for (const auto& shard : retain_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        n += shard->streams.size();
+    }
+    return n;
 }
 
 std::unique_ptr<MailboxBase> Machine::make_mailbox() const {
@@ -742,7 +1008,7 @@ std::string Machine::deadlock_diagnostic(
     return out;
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() { release_retention(); }
 
 Tracer& Machine::enable_tracing() {
     if (!tracer_) tracer_ = std::make_unique<Tracer>();
@@ -770,11 +1036,8 @@ void Machine::run(const std::function<void(Rank&)>& body) {
     // Fresh mailboxes per run so stale messages never leak across runs.
     for (auto& mb : mailboxes_) mb = make_mailbox();
     // Likewise the transport state: retention and accounting are per run.
+    release_retention();
     tcounters_->reset();
-    for (auto& shard : retain_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->streams.clear();
-    }
     {
         std::lock_guard<std::mutex> lock(blocked_mu_);
         for (auto& b : blocked_) b.blocked = false;
@@ -867,6 +1130,14 @@ void Machine::run(const std::function<void(Rank&)>& body) {
                 }
             }
         }
+        // Retention must not outlive its run: free every surviving frame
+        // (fire-and-forget streams are never acked past their tail) and
+        // record how many stream nodes the release left behind — always 0,
+        // and a deterministic tripwire on the node-erase logic that the
+        // racy live-footprint gauges cannot give us.
+        release_retention();
+        tc.live_streams_end.store(static_cast<std::uint64_t>(live_streams()),
+                                  std::memory_order_relaxed);
     }
 
     // Combine: per-phase max across ranks (critical path), plus aggregates.

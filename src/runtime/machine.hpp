@@ -151,6 +151,19 @@ private:
     /// deadlock its receiver.
     void flush_reorder_stash();
 
+    /// Advance the (src, tag) stream's contiguous-delivery watermark to
+    /// @p delivered frames: apply the cumulative ack to the sender-side
+    /// retention (evicting every frame below the watermark) and, when the
+    /// un-published backlog reaches the machine's ack interval, charge a
+    /// standalone ack frame to this rank — the flow-control path for
+    /// streams with no reverse traffic to piggyback on.
+    void advance_watermark(int src, int tag, std::uint64_t delivered);
+
+    /// The ack word to piggyback on a frame headed to @p dst: the reverse
+    /// stream dst -> this with the largest un-published delivered backlog
+    /// (lowest tag on ties), marked published. 0 when nothing to report.
+    std::uint64_t pick_piggyback_ack(int dst);
+
     void emit_transport(const char* note, int peer, int tag,
                         std::uint64_t words);
 
@@ -169,6 +182,9 @@ private:
     // Transport-guard state, touched only by this rank's thread.
     std::map<std::pair<int, int>, std::uint64_t> send_seq_;  ///< (dst,tag)
     std::map<std::pair<int, int>, std::uint64_t> recv_seq_;  ///< (src,tag)
+    /// Watermark last published (piggybacked or standalone) per incoming
+    /// (src, tag) stream; the gap to recv_seq_ is the un-acked backlog.
+    std::map<std::pair<int, int>, std::uint64_t> ack_published_;
     std::map<int, std::uint64_t> link_msg_;  ///< frames shimmed, per dst
     /// Verified in-order-pending payloads that arrived ahead of their
     /// stream position, keyed (src, tag, seq); already stripped.
@@ -239,9 +255,12 @@ public:
         return transport_model_;
     }
 
-    /// Frames retained per (src, dst, tag) stream for retransmission
-    /// (default 64); older frames are evicted, and recovering an evicted
-    /// frame raises TransportFault(RetainMiss).
+    /// Hard cap on frames retained per (src, dst, tag) stream for
+    /// retransmission (default 64). With the ack window this is a fallback
+    /// bound only: the receiver's cumulative watermark normally evicts
+    /// retained frames as soon as they are contiguously delivered, so live
+    /// retention tracks the true in-flight window. Recovering a frame the
+    /// cap already evicted raises TransportFault(RetainMiss).
     void set_transport_retain_depth(std::size_t depth) noexcept {
         retain_depth_ = depth;
     }
@@ -251,6 +270,40 @@ public:
     void set_transport_retry_limit(int limit) noexcept {
         transport_retry_limit_ = limit;
     }
+
+    /// Cap on each receiver-side stash (the reorder deferral stash and the
+    /// ahead-of-order receive stash, independently; default 4096 entries).
+    /// Exceeding it raises TransportFault(StashOverflow) instead of growing
+    /// without limit under adversarial reorder rates.
+    void set_transport_stash_limit(std::size_t limit) noexcept {
+        stash_limit_ = limit;
+    }
+    std::size_t transport_stash_limit() const noexcept { return stash_limit_; }
+
+    /// Un-published backlog (delivered frames not yet covered by a
+    /// piggybacked ack) at which a receiver charges a standalone ack frame
+    /// for a quiet stream (default 16; keep it below the retain depth so
+    /// the fallback cap never has to evict un-acked frames).
+    void set_transport_ack_interval(std::uint64_t interval) noexcept {
+        ack_interval_ = interval == 0 ? 1 : interval;
+    }
+    std::uint64_t transport_ack_interval() const noexcept {
+        return ack_interval_;
+    }
+
+    /// Retention stream map nodes currently live across all shards — the
+    /// accounting hook for the stream-node leak fixed in this layer: the
+    /// ack watermark erases drained nodes, and the post-run sweep releases
+    /// the rest, so after run() this is always 0.
+    std::size_t live_streams() const;
+
+    /// High-water marks of the live retention footprint during the last (or
+    /// running) run. Maintained with relaxed atomics — exact for
+    /// well-synchronized traffic (the tests' ping-pong ledgers), a close
+    /// bound otherwise — and therefore surfaced here and through the
+    /// metrics gauges, never in byte-compared reports.
+    std::uint64_t transport_retained_peak_frames() const noexcept;
+    std::uint64_t transport_retained_peak_words() const noexcept;
 
     /// Transport accounting of the last (or running) run; zeroed at every
     /// run start, all zeros when the guard is off.
@@ -294,21 +347,42 @@ private:
     std::unique_ptr<MailboxBase> make_mailbox() const;
 
     /// Sender-side retention for the NACK/retransmit protocol: one shard
-    /// per destination rank, holding the last retain_depth_ sealed frames
-    /// of every (src, tag) stream into that destination. Senders append
-    /// under the shard mutex; a recovering receiver copies out by seq.
+    /// per destination rank, holding the not-yet-acknowledged sealed frames
+    /// of every (src, tag) stream into that destination (retain_depth_ is
+    /// the fallback cap). Senders append under the shard mutex; a
+    /// recovering receiver copies out by seq; the receiver's cumulative
+    /// watermark evicts below-watermark frames and erases drained stream
+    /// nodes. Payloads live in pooled PayloadBufs so retention recycles
+    /// MsgPool storage instead of deep-copying into fresh vectors; a
+    /// payload-free frame is stored as a seq-only entry (empty buf) and its
+    /// seal is reconstructed on demand — its only future use is
+    /// seq-targeted retransmit bookkeeping.
     struct RetainedFrame {
         std::uint64_t seq;
-        std::vector<std::uint64_t> words;  ///< sealed (trailer included)
+        PayloadBuf buf;  ///< sealed (trailer included); empty = seq-only
+    };
+    struct RetainStream {
+        std::uint64_t acked = 0;  ///< watermark: frames below are evicted
+        std::deque<RetainedFrame> frames;
     };
     struct RetainShard {
-        std::mutex mu;
-        std::map<std::pair<int, int>, std::deque<RetainedFrame>> streams;
+        mutable std::mutex mu;
+        std::map<std::pair<int, int>, RetainStream> streams;
     };
     void retain_frame(int src, int dst, int tag, std::uint64_t seq,
                       std::span<const std::uint64_t> words);
     std::optional<std::vector<std::uint64_t>> retained_copy(
         int src, int dst, int tag, std::uint64_t seq);
+
+    /// Apply a receiver's cumulative watermark to the retention stream
+    /// (src -> dst, tag): evict every retained frame with seq below
+    /// @p delivered and erase the stream node once drained.
+    void ack_retained(int src, int dst, int tag, std::uint64_t delivered);
+
+    /// Drop all retained frames and stream nodes, rolling the live-footprint
+    /// gauges back to zero. Runs at run start/end and on destruction so
+    /// retention state and gauge contributions never outlive their run.
+    void release_retention();
 
     /// Relaxed counters behind transport_stats(); reset per run.
     struct TransportCounterBlock;
@@ -330,6 +404,8 @@ private:
     TransportFaultModel transport_model_{};
     std::size_t retain_depth_ = 64;
     int transport_retry_limit_ = 8;
+    std::size_t stash_limit_ = 4096;
+    std::uint64_t ack_interval_ = 16;
     std::vector<std::unique_ptr<RetainShard>> retain_;  ///< per destination
     std::unique_ptr<TransportCounterBlock> tcounters_;
 
@@ -337,6 +413,10 @@ private:
     // per-message hot path is a relaxed load plus a sharded fetch_add.
     Counter metric_msgs_;
     Counter metric_msg_words_;
+    Gauge metric_retained_words_;       ///< live retained words (all shards)
+    Gauge metric_retained_words_peak_;  ///< high-water of the same
+    Gauge metric_retained_frames_peak_;
+    Gauge metric_acked_seqs_;           ///< cumulative watermark coverage
     Histogram metric_blocked_us_;
     Counter metric_runs_;
     Histogram metric_run_us_;

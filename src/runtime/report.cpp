@@ -30,7 +30,7 @@ Json report_header(const char* schema, int version) {
 
 Json build_run_report(const RunStats& stats, const ReportMeta& meta,
                       const FaultPlan* plan, const EventLog* events,
-                      const CostModel& model) {
+                      const CostModel& model, const TransportStats* transport) {
     Json root = report_header(kRunReportSchema, kRunReportVersion);
     if (!meta.algorithm.empty()) root.set("algorithm", meta.algorithm);
     root.set("operation", meta.operation);
@@ -130,6 +130,39 @@ Json build_run_report(const RunStats& stats, const ReportMeta& meta,
     root.set("recoveries", std::move(recoveries));
     root.set("recovery_total", counters_json(recovery_total));
 
+    // v2 transport section: only when the guard was armed and frames were
+    // actually sealed, so guard-off reports keep their v1 bytes (minus the
+    // version stamp). Every field is program-order deterministic — the
+    // report stays byte-identical across --jobs counts.
+    if (transport != nullptr && transport->sent_frames != 0) {
+        Json t = Json::object();
+        t.set("sent_frames", transport->sent_frames);
+        t.set("header_words", transport->header_words);
+        Json retention = Json::object();
+        retention.set("frames", transport->retained_frames);
+        retention.set("words", transport->retained_words);
+        retention.set("live_streams_end", transport->live_streams_end);
+        t.set("retention", std::move(retention));
+        Json acks = Json::object();
+        acks.set("seqs", transport->acked_seqs);
+        acks.set("piggybacked", transport->acks_piggybacked);
+        acks.set("standalone", transport->acks_standalone);
+        t.set("acks", std::move(acks));
+        Json recovery = Json::object();
+        recovery.set("retransmits", transport->retransmits);
+        recovery.set("retransmit_words", transport->retransmit_words);
+        recovery.set("dedup_hits", transport->dedup_hits);
+        recovery.set("reorder_stashed", transport->reorder_stashed);
+        t.set("recovery", std::move(recovery));
+        Json detected = Json::object();
+        detected.set("corrupt", transport->corrupt_detected);
+        detected.set("malformed", transport->malformed_detected);
+        detected.set("dropped", transport->drop_detected);
+        detected.set("total", transport->detected_losses());
+        t.set("detected", std::move(detected));
+        root.set("transport", std::move(t));
+    }
+
     if (events != nullptr) {
         Json ev = Json::object();
         ev.set("count", static_cast<std::uint64_t>(events->size()));
@@ -140,8 +173,11 @@ Json build_run_report(const RunStats& stats, const ReportMeta& meta,
 
 std::string run_report_json(const RunStats& stats, const ReportMeta& meta,
                             const FaultPlan* plan, const EventLog* events,
-                            const CostModel& model) {
-    return build_run_report(stats, meta, plan, events, model).dump(2) + "\n";
+                            const CostModel& model,
+                            const TransportStats* transport) {
+    return build_run_report(stats, meta, plan, events, model, transport)
+               .dump(2) +
+           "\n";
 }
 
 // ---------------------------------------------------------------------------

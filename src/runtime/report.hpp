@@ -8,13 +8,18 @@
 #include "runtime/events.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/json.hpp"
+#include "runtime/transport.hpp"
 
 namespace ftmul {
 
 /// Schema identifiers stamped into every export so downstream tooling (and
 /// the perf-trajectory diffs across PRs) can validate what it is reading.
+/// v2: optional "transport" section (frame traffic, retention/ack-window
+/// accounting, retransmit recoveries, detection tallies) — present only
+/// when the run armed the transport guard, so v1 consumers of guard-off
+/// reports read unchanged bytes.
 inline constexpr const char* kRunReportSchema = "ftmul.run_report";
-inline constexpr int kRunReportVersion = 1;
+inline constexpr int kRunReportVersion = 2;
 inline constexpr const char* kChromeTraceSchema = "ftmul.chrome_trace";
 inline constexpr int kChromeTraceVersion = 1;
 inline constexpr const char* kBenchRowsSchema = "ftmul.bench_rows";
@@ -58,16 +63,21 @@ Json report_header(const char* schema, int version);
 /// `plan` and `events` are optional enrichments: with an event log the
 /// faults/recoveries carry per-rank attribution; with only a plan the
 /// faults come from the schedule and recovery costs fall back to the
-/// "recover-*" phase buckets.
+/// "recover-*" phase buckets. `transport` (when non-null and the run
+/// actually sent sealed frames) adds the v2 "transport" section: frames
+/// sent, retention/ack-window accounting, retransmit recoveries and the
+/// detection tallies of the guarded data plane.
 Json build_run_report(const RunStats& stats, const ReportMeta& meta = {},
                       const FaultPlan* plan = nullptr,
                       const EventLog* events = nullptr,
-                      const CostModel& model = {});
+                      const CostModel& model = {},
+                      const TransportStats* transport = nullptr);
 
 std::string run_report_json(const RunStats& stats, const ReportMeta& meta = {},
                             const FaultPlan* plan = nullptr,
                             const EventLog* events = nullptr,
-                            const CostModel& model = {});
+                            const CostModel& model = {},
+                            const TransportStats* transport = nullptr);
 
 /// Render an event log in Chrome Trace Event Format (load the file at
 /// chrome://tracing or https://ui.perfetto.dev): one track per rank, phases

@@ -70,8 +70,26 @@ std::uint64_t frame_route(int src, int dst, int tag) noexcept {
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
 }
 
+std::uint64_t frame_ack_word(int tag, std::uint64_t delivered) noexcept {
+    if (delivered == 0) return 0;
+    const std::uint64_t hi =
+        delivered > 0xffffffffull ? 0xffffffffull : delivered;
+    return (hi << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) + 1);
+}
+
+int frame_ack_tag(std::uint64_t ack) noexcept {
+    const auto lo = static_cast<std::uint32_t>(ack);
+    if (lo == 0) return -1;
+    return static_cast<int>(lo - 1);
+}
+
+std::uint64_t frame_ack_count(std::uint64_t ack) noexcept {
+    return ack >> 32;
+}
+
 void seal_frame(std::vector<std::uint64_t>& frame, int src, int dst, int tag,
-                std::uint64_t seq) {
+                std::uint64_t seq, std::uint64_t ack) {
     const std::uint64_t n = frame.size();
     const std::uint64_t sum = fnv1a_words({frame.data(), frame.size()});
     frame.push_back((static_cast<std::uint64_t>(kFrameMagicLive) << 32) |
@@ -79,15 +97,17 @@ void seal_frame(std::vector<std::uint64_t>& frame, int src, int dst, int tag,
     frame.push_back(sum);
     frame.push_back(seq);
     frame.push_back(frame_route(src, dst, tag));
+    frame.push_back(ack);
 }
 
 void seal_tombstone(std::vector<std::uint64_t>& frame, int src, int dst,
-                    int tag, std::uint64_t seq) {
+                    int tag, std::uint64_t seq, std::uint64_t ack) {
     frame.clear();
     frame.push_back(static_cast<std::uint64_t>(kFrameMagicDropped) << 32);
     frame.push_back(fnv1a_words({}));
     frame.push_back(seq);
     frame.push_back(frame_route(src, dst, tag));
+    frame.push_back(ack);
 }
 
 FrameVerdict inspect_frame(std::span<const std::uint64_t> frame, int src,
@@ -99,6 +119,7 @@ FrameVerdict inspect_frame(std::span<const std::uint64_t> frame, int src,
     const std::uint64_t sum = frame[n + 1];
     const std::uint64_t seq = frame[n + 2];
     const std::uint64_t route = frame[n + 3];
+    const std::uint64_t ack = frame[n + 4];
     const auto magic = static_cast<std::uint32_t>(w0 >> 32);
     const auto count = static_cast<std::uint32_t>(w0);
     if (route != frame_route(src, dst, tag)) return v;  // misrouted
@@ -106,10 +127,12 @@ FrameVerdict inspect_frame(std::span<const std::uint64_t> frame, int src,
         if (count != 0 || n != 0) return v;
         v.state = FrameState::Tombstone;
         v.seq = seq;
+        v.ack = ack;
         return v;
     }
     if (magic != kFrameMagicLive || count != n) return v;
     v.seq = seq;
+    v.ack = ack;
     v.payload_words = n;
     v.state = fnv1a_words(frame.first(n)) == sum ? FrameState::Intact
                                                  : FrameState::PayloadCorrupt;
@@ -183,6 +206,7 @@ const char* to_string(TransportFaultKind kind) {
         case TransportFaultKind::Dropped: return "dropped";
         case TransportFaultKind::RetainMiss: return "retain-miss";
         case TransportFaultKind::RetryExhausted: return "retry-exhausted";
+        case TransportFaultKind::StashOverflow: return "stash-overflow";
     }
     return "?";
 }
@@ -210,6 +234,12 @@ TransportStats& TransportStats::operator+=(const TransportStats& o) noexcept {
     reorder_stashed += o.reorder_stashed;
     retransmits += o.retransmits;
     retransmit_words += o.retransmit_words;
+    acked_seqs += o.acked_seqs;
+    acks_piggybacked += o.acks_piggybacked;
+    acks_standalone += o.acks_standalone;
+    retained_frames += o.retained_frames;
+    retained_words += o.retained_words;
+    live_streams_end += o.live_streams_end;
     return *this;
 }
 

@@ -11,25 +11,45 @@ namespace ftmul {
 /// Frame-integrity layer of the message data plane.
 ///
 /// When a Machine's transport guard is armed, every frame a rank sends is
-/// *sealed*: a four-word trailer is appended carrying a magic/word-count
-/// word, an FNV-1a content checksum, a per-(src, dst, tag) sequence number
-/// and the packed route. The trailer is physically appended (not prepended)
-/// so sealing is O(1) on the already-serialized payload — no memmove — and
-/// the receiver strips it with a resize after verification.
+/// *sealed*: a five-word trailer is appended carrying a magic/word-count
+/// word, an FNV-1a content checksum, a per-(src, dst, tag) sequence number,
+/// the packed route and a piggybacked cumulative acknowledgment. The trailer
+/// is physically appended (not prepended) so sealing is O(1) on the
+/// already-serialized payload — no memmove — and the receiver strips it with
+/// a resize after verification.
 ///
 /// Trailer layout, appended after the payload's `n` words:
 ///   [n+0]  kFrameMagicLive<<32 | n         (magic + payload word count)
 ///   [n+1]  FNV-1a over the n payload words (byte-wise, LE word bytes)
 ///   [n+2]  sequence number within the (src, dst, tag) stream, from 0
 ///   [n+3]  route: src<<48 | dst<<32 | tag
+///   [n+4]  ack: delivered<<32 | (tag'+1), or 0 when nothing to report —
+///          the sender's cumulative receive watermark for one reverse
+///          stream dst -> src on tag', piggybacked for free on traffic
+///          that is flowing anyway (see the ack-window notes in
+///          docs/ROBUSTNESS.md)
 ///
 /// A *tombstone* is a payload-free frame sealed with kFrameMagicDropped:
 /// the injection shim converts a dropped frame into one so the loss is
 /// detected deterministically at the receiver (no timeout race) and the
-/// retransmit protocol can name the missing sequence number.
-inline constexpr std::size_t kFrameTrailerWords = 4;
+/// retransmit protocol can name the missing sequence number. A tombstone
+/// keeps the original frame's ack word — a drop loses the payload, not the
+/// flow-control information riding the trailer.
+inline constexpr std::size_t kFrameTrailerWords = 5;
 inline constexpr std::uint32_t kFrameMagicLive = 0xF7134C1Eu;
 inline constexpr std::uint32_t kFrameMagicDropped = 0xF713D40Du;
+
+/// Pack a piggybacked cumulative ack: @p delivered frames of the reverse
+/// stream on @p tag have been received contiguously. tag+1 keeps tag 0
+/// distinguishable from "no ack" (word 0); delivered saturates at 2^32-1,
+/// far beyond any stream this machine model produces.
+std::uint64_t frame_ack_word(int tag, std::uint64_t delivered) noexcept;
+
+/// The acknowledged stream's tag, or -1 when the word carries no ack.
+int frame_ack_tag(std::uint64_t ack) noexcept;
+
+/// The acknowledged cumulative delivered count (0 when no ack).
+std::uint64_t frame_ack_count(std::uint64_t ack) noexcept;
 
 /// FNV-1a over the little-endian bytes of @p words — fixed here (like the
 /// FaultInjector's site hash) so checksums are stable across standard
@@ -39,14 +59,16 @@ std::uint64_t fnv1a_words(std::span<const std::uint64_t> words) noexcept;
 /// The packed route word of the trailer.
 std::uint64_t frame_route(int src, int dst, int tag) noexcept;
 
-/// Append the integrity trailer to a serialized frame.
+/// Append the integrity trailer to a serialized frame. @p ack is the
+/// piggybacked cumulative acknowledgment word (0 = none).
 void seal_frame(std::vector<std::uint64_t>& frame, int src, int dst, int tag,
-                std::uint64_t seq);
+                std::uint64_t seq, std::uint64_t ack = 0);
 
 /// Build a payload-free tombstone frame for a dropped message (out
-/// parameter is overwritten).
+/// parameter is overwritten). The original frame's ack word survives the
+/// drop.
 void seal_tombstone(std::vector<std::uint64_t>& frame, int src, int dst,
-                    int tag, std::uint64_t seq);
+                    int tag, std::uint64_t seq, std::uint64_t ack = 0);
 
 /// Drop the trailer after verification; the frame is a pure payload again.
 inline void strip_trailer(std::vector<std::uint64_t>& frame) {
@@ -64,6 +86,7 @@ enum class FrameState {
 struct FrameVerdict {
     FrameState state = FrameState::Malformed;
     std::uint64_t seq = 0;  ///< meaningful unless state == Malformed
+    std::uint64_t ack = 0;  ///< piggybacked ack word (0 = none / Malformed)
     std::size_t payload_words = 0;
 };
 
@@ -142,6 +165,18 @@ struct TransportStats {
     std::uint64_t reorder_stashed = 0;     ///< ahead-of-order frames parked
     std::uint64_t retransmits = 0;         ///< retained-frame recoveries
     std::uint64_t retransmit_words = 0;    ///< words re-delivered that way
+
+    // Acknowledgment window (every field below is a pure function of rank
+    // program order, so reports built from them stay byte-identical across
+    // --jobs counts; racy quantities like the live retention footprint go
+    // to the metrics gauges instead).
+    std::uint64_t acked_seqs = 0;        ///< seqs covered by recv watermarks
+    std::uint64_t acks_piggybacked = 0;  ///< frames sent with a nonzero ack
+    std::uint64_t acks_standalone = 0;   ///< charged standalone ack frames
+    std::uint64_t retained_frames = 0;   ///< retention insertions (total)
+    std::uint64_t retained_words = 0;    ///< words copied into retention
+    std::uint64_t live_streams_end = 0;  ///< retention stream nodes left
+                                         ///< after the post-run sweep (0)
 
     std::uint64_t injected_total() const noexcept {
         return injected_corrupt + injected_drop + injected_dup +

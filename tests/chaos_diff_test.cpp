@@ -81,6 +81,10 @@ Json make_report() {
 
     Json transport = Json::object();
     transport.set("counts", counts(15, 80, 5, 0, 0, "recovered", "retried"));
+    Json frames = Json::object();
+    frames.set("sent", 10000);
+    frames.set("header_words", 50000);
+    transport.set("frames", std::move(frames));
     transport.set("undetected", 0);
     transport.set("detection_rate", 1.0);
     Json rtx = Json::object();
@@ -88,6 +92,16 @@ Json make_report() {
     rtx.set("retransmit_words", 4000);
     rtx.set("per_trial", dist(1.2));
     transport.set("retransmit", std::move(rtx));
+    Json retention = Json::object();
+    retention.set("frames", 10000);
+    retention.set("words", 30000);
+    retention.set("live_streams_end", 0);
+    transport.set("retention", std::move(retention));
+    Json acks = Json::object();
+    acks.set("piggybacked", 8000);
+    acks.set("standalone", 500);
+    acks.set("seqs", 10000);
+    transport.set("acks", std::move(acks));
     root.set("transport", std::move(transport));
 
     Json totals = Json::object();
@@ -208,6 +222,44 @@ TEST(ChaosDiff, TransportRetransmitCostGrowthRegressesBeyondThreshold) {
     rtx2.set("per_trial", dist(4.0));
     t->set("retransmit", std::move(rtx2));
     EXPECT_EQ(diff_reports(before, beyond).regressions, 1);
+}
+
+TEST(ChaosDiff, TransportRetainedWordsGrowthRegressesBeyondThreshold) {
+    // The ack-window gate: retained words per sent frame growing past the
+    // cost allowance means sender retention regressed toward the fixed-depth
+    // fallback instead of tracking the in-flight window.
+    const Json before = make_report();
+    Json within = make_report();
+    Json* t = const_cast<Json*>(within.find("transport"));
+    Json r1 = Json::object();
+    r1.set("frames", 10000);
+    r1.set("words", 35000);  // 3.0 -> 3.5 words/frame: +17% < 25% allowance
+    r1.set("live_streams_end", 0);
+    t->set("retention", std::move(r1));
+    EXPECT_EQ(diff_reports(before, within).regressions, 0);
+
+    Json beyond = make_report();
+    t = const_cast<Json*>(beyond.find("transport"));
+    Json r2 = Json::object();
+    r2.set("frames", 10000);
+    r2.set("words", 60000);  // 3.0 -> 6.0 words/frame
+    r2.set("live_streams_end", 0);
+    t->set("retention", std::move(r2));
+    EXPECT_EQ(diff_reports(before, beyond).regressions, 1);
+}
+
+TEST(ChaosDiff, TransportLeakedStreamNodesRegress) {
+    // Stream nodes surviving the post-run sweep are a leak: zero-tolerance
+    // count like wrong products.
+    const Json before = make_report();
+    Json after = make_report();
+    Json* t = const_cast<Json*>(after.find("transport"));
+    Json r = Json::object();
+    r.set("frames", 10000);
+    r.set("words", 30000);
+    r.set("live_streams_end", 3);
+    t->set("retention", std::move(r));
+    EXPECT_EQ(diff_reports(before, after).regressions, 1);
 }
 
 TEST(ChaosDiff, RecoveryCostGrowthRegressesBeyondThreshold) {

@@ -240,6 +240,47 @@ TEST(RunReport, SchemaVersionedAndComplete) {
     EXPECT_GT(r.at("events").at("count").as_uint(), 0u);
 }
 
+TEST(RunReport, TransportSectionOnlyWhenGuardSentFrames) {
+    const FtRunResult res = faulty_linear_run();
+
+    // Guard off (or no TransportStats passed): no "transport" key, so v1
+    // consumers of guard-off reports read unchanged bytes.
+    Json off = Json::parse(run_report_json(res.stats));
+    EXPECT_EQ(off.find("transport"), nullptr);
+    TransportStats idle;  // guard never armed: zero frames
+    off = Json::parse(
+        run_report_json(res.stats, {}, nullptr, nullptr, {}, &idle));
+    EXPECT_EQ(off.find("transport"), nullptr);
+
+    // Guard on: the section carries traffic, retention, acks, recovery and
+    // detection sub-objects.
+    TransportStats t;
+    t.sent_frames = 10;
+    t.header_words = 10 * 5;
+    t.retained_frames = 10;
+    t.retained_words = 40;
+    t.acked_seqs = 10;
+    t.acks_piggybacked = 4;
+    t.acks_standalone = 1;
+    t.retransmits = 2;
+    t.retransmit_words = 8;
+    t.corrupt_detected = 2;
+    const Json on = Json::parse(
+        run_report_json(res.stats, {}, nullptr, nullptr, {}, &t));
+    ASSERT_NE(on.find("transport"), nullptr);
+    const Json& sec = on.at("transport");
+    EXPECT_EQ(sec.at("sent_frames").as_uint(), 10u);
+    EXPECT_EQ(sec.at("retention").at("frames").as_uint(), 10u);
+    EXPECT_EQ(sec.at("retention").at("words").as_uint(), 40u);
+    EXPECT_EQ(sec.at("retention").at("live_streams_end").as_uint(), 0u);
+    EXPECT_EQ(sec.at("acks").at("seqs").as_uint(), 10u);
+    EXPECT_EQ(sec.at("acks").at("piggybacked").as_uint(), 4u);
+    EXPECT_EQ(sec.at("acks").at("standalone").as_uint(), 1u);
+    EXPECT_EQ(sec.at("recovery").at("retransmits").as_uint(), 2u);
+    EXPECT_EQ(sec.at("detected").at("corrupt").as_uint(), 2u);
+    EXPECT_EQ(sec.at("detected").at("total").as_uint(), 2u);
+}
+
 TEST(RunReport, FallsBackToPlanAndPhaseBucketsWithoutEvents) {
     const FtRunResult res = faulty_linear_run();
     FaultPlan plan;

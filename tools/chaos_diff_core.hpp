@@ -195,6 +195,26 @@ inline DiffResult diff_reports(const Json& before, const Json& after,
         check_cost("transport.retransmits_per_trial",
                    path(*tb, {"retransmit", "per_trial"}),
                    path(*ta, {"retransmit", "per_trial"}));
+        // Retention footprint: words copied into sender retention per sent
+        // frame. The ack window keeps this at the in-flight window; growth
+        // beyond cost_growth means eviction regressed toward the fixed-depth
+        // fallback. Leaked stream nodes regress on any increase.
+        {
+            const double fb = num(path(*tb, {"frames", "sent"}));
+            const double fa = num(path(*ta, {"frames", "sent"}));
+            const double wb = num(path(*tb, {"retention", "words"}));
+            const double wa = num(path(*ta, {"retention", "words"}));
+            if (fb > 0.0 && fa > 0.0 && wb > 0.0) {
+                const double rb = wb / fb;
+                const double ra = wa / fa;
+                note(ra > rb * (1.0 + opt.cost_growth),
+                     "transport.retained_words_per_frame " + fmt(rb) +
+                         " -> " + fmt(ra));
+            }
+        }
+        check_count("transport.retention.live_streams_end",
+                    path(*tb, {"retention", "live_streams_end"}),
+                    path(*ta, {"retention", "live_streams_end"}));
     }
 
     const Json* gb = before.find("straggler");

@@ -1432,6 +1432,20 @@ int main(int argc, char** argv) {
         rec.set("retransmit_words", f.retransmit_words);
         rec.set("per_trial", transport.retransmits_per_trial.to_json());
         s.set("retransmit", std::move(rec));
+
+        // Ack-window accounting (program-order deterministic, so these
+        // fields are byte-stable across --jobs like the rest of the report).
+        Json retention = Json::object();
+        retention.set("frames", f.retained_frames);
+        retention.set("words", f.retained_words);
+        retention.set("live_streams_end", f.live_streams_end);
+        s.set("retention", std::move(retention));
+        Json acks = Json::object();
+        acks.set("piggybacked", f.acks_piggybacked);
+        acks.set("standalone", f.acks_standalone);
+        acks.set("seqs", f.acked_seqs);
+        s.set("acks", std::move(acks));
+
         s.set("injected_per_trial", transport.injected_per_trial.to_json());
 
         Json strategies = Json::object();
