@@ -6,7 +6,11 @@
 //   ftmul_cli --op gcd A B           greatest common divisor (binary)
 //   ftmul_cli --op factorial N       N! via product tree + Toom
 //   options:
-//     --engine seq|lazy|unbalanced|parallel|ft-linear|ft-poly|ft-mixed
+//     --engine seq|lazy|unbalanced|parallel|replication|ft-linear|ft-poly|
+//              ft-mixed|auto
+//     --class fast|fast_redundant|verified
+//                       reliability class steering --engine auto (default
+//                       fast); see docs/SERVICE.md for the policy table
 //     --k K             split number (default 3 sequential, 2 parallel)
 //     --procs P         processors for the parallel engines (default 9)
 //     --faults F        redundancy for the FT engines (default 1)
@@ -36,6 +40,8 @@
 #include "core/ft_mixed.hpp"
 #include "core/ft_poly.hpp"
 #include "core/parallel.hpp"
+#include "core/replication.hpp"
+#include "service/planner.hpp"
 #include "funcs/elementary.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/report.hpp"
@@ -50,6 +56,7 @@ using namespace ftmul;
 struct Options {
     std::string op = "mul";
     std::string engine = "seq";
+    std::string cls = "fast";  // reliability class for --engine auto
     int k = 0;  // 0 = engine default
     int procs = 9;
     int faults = 1;
@@ -67,13 +74,27 @@ struct Options {
 };
 
 [[noreturn]] void usage() {
-    std::fprintf(stderr,
-                 "usage: ftmul_cli [--engine seq|lazy|unbalanced|parallel|"
-                 "ft-linear|ft-poly|ft-mixed] [--k K] [--procs P] "
-                 "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] "
-                 "[--report json] [--report-out FILE] [--trace-out FILE] "
-                 "[--metrics] [--metrics-out FILE] "
-                 "[--metrics-format prom|json] [--transport-guard] A B\n");
+    std::fprintf(
+        stderr,
+        "usage: ftmul_cli [--engine seq|lazy|unbalanced|parallel|replication|"
+        "ft-linear|ft-poly|ft-mixed|auto] [--class CLS] [--k K] [--procs P] "
+        "[--faults F] [--kill PHASE:RANK] [--hex] [--stats] "
+        "[--report json] [--report-out FILE] [--trace-out FILE] "
+        "[--metrics] [--metrics-out FILE] "
+        "[--metrics-format prom|json] [--transport-guard] A B\n"
+        "\n"
+        "--engine auto routes through the serving layer's cost-model "
+        "planner:\n"
+        "  operands under 4096 bits  -> seq (sequential Toom-Cook) for "
+        "every class;\n"
+        "  --class fast              -> parallel (no redundancy);\n"
+        "  --class fast_redundant    -> replication (f+1 full replicas);\n"
+        "  --class verified          -> the cheapest FT-coded engine "
+        "(ft-poly /\n"
+        "                               ft-linear / ft-mixed) under the "
+        "cost model.\n"
+        "--procs and --faults feed the planner's policy; the chosen engine "
+        "is\nprinted on stderr.\n");
     std::exit(2);
 }
 
@@ -87,6 +108,8 @@ Options parse(int argc, char** argv) {
         };
         if (arg == "--engine") {
             o.engine = next();
+        } else if (arg == "--class") {
+            o.cls = next();
         } else if (arg == "--op") {
             o.op = next();
         } else if (arg == "--k") {
@@ -166,7 +189,7 @@ int write_metrics_dump(const Options& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const Options o = parse(argc, argv);
+    Options o = parse(argc, argv);
     if (o.metrics) MetricsRegistry::global().set_enabled(true);
     auto read = [&](const std::string& s) {
         return o.hex ? BigInt::from_hex(s) : BigInt::from_decimal(s);
@@ -176,6 +199,43 @@ int main(int argc, char** argv) {
     };
     const BigInt a = read(o.operands[0]);
     const BigInt b = o.operands.size() > 1 ? read(o.operands[1]) : BigInt{};
+
+    if (o.engine == "auto") {
+        // Route through the serving layer's cost-model planner (see the
+        // heuristic in --help and the policy table in docs/SERVICE.md).
+        if (o.op != "mul") {
+            std::fprintf(stderr, "ftmul_cli: --engine auto needs --op mul\n");
+            return 2;
+        }
+        ReliabilityClass cls;
+        try {
+            cls = reliability_class_from_string(o.cls);
+        } catch (const std::invalid_argument&) {
+            usage();
+        }
+        PlannerPolicy policy;
+        policy.processors = o.procs;
+        policy.faults = o.faults;
+        const MultiplyPlan chosen =
+            plan_multiply(a.bit_length(), b.bit_length(), cls, policy);
+        if (chosen.engine == "sequential") {
+            o.engine = "seq";
+        } else if (chosen.engine == "ft_linear") {
+            o.engine = "ft-linear";
+        } else if (chosen.engine == "ft_poly") {
+            o.engine = "ft-poly";
+        } else if (chosen.engine == "ft_mixed") {
+            o.engine = "ft-mixed";
+        } else {
+            o.engine = chosen.engine;  // "parallel" / "replication"
+        }
+        std::fprintf(stderr,
+                     "ftmul_cli: auto (class %s, %zu x %zu bits) -> %s "
+                     "(world %d, modeled %llu us)\n",
+                     to_string(cls), a.bit_length(), b.bit_length(),
+                     o.engine.c_str(), chosen.world,
+                     static_cast<unsigned long long>(chosen.modeled_us));
+    }
 
     // The observability exports only make sense for the machine engines.
     const bool wants_obs =
@@ -257,6 +317,14 @@ int main(int argc, char** argv) {
             stats = r.stats;
             events = r.events;
             transport = r.transport;
+        } else if (o.engine == "replication") {
+            auto r = replicated_toom_multiply(a, b, {base, o.faults}, o.plan);
+            product = r.product;
+            stats = r.stats;
+            events = r.events;
+            transport = r.transport;
+            meta.extra_processors = r.extra_processors;
+            meta.tolerance = o.faults;
         } else if (o.engine == "ft-linear") {
             auto r = ft_linear_multiply(a, b, {base, o.faults}, o.plan);
             product = r.product;

@@ -90,6 +90,15 @@ struct ParallelConfig {
     /// charges one standalone ack message to the cost model (piggybacked
     /// acks on reverse traffic are free and keep this counter at bay).
     std::uint64_t transport_ack_interval = 16;
+
+    /// Ack-propagation delay in rounds: retention eviction lags the
+    /// receiver's delivery watermark by this many sequence numbers, modeling
+    /// acks that take time to reach the sender instead of applying
+    /// instantly through shared memory. 0 (the default) evicts at the exact
+    /// watermark — the prior behavior, bit for bit. Larger values keep the
+    /// retained in-flight window proportionally deeper (bounded by
+    /// transport_retain_depth as before).
+    std::uint64_t transport_ack_delay_rounds = 0;
 };
 
 /// The geometry actually executed, resolved from a config and an input size.

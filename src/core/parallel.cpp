@@ -21,6 +21,7 @@ void arm_transport(Machine& machine, const ParallelConfig& cfg) {
         machine.set_transport_retain_depth(cfg.transport_retain_depth);
         machine.set_transport_stash_limit(cfg.transport_stash_limit);
         machine.set_transport_ack_interval(cfg.transport_ack_interval);
+        machine.set_transport_ack_delay(cfg.transport_ack_delay_rounds);
     }
     if (cfg.transport_faults.active()) {
         machine.set_transport_faults(cfg.transport_faults);

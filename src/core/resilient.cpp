@@ -317,11 +317,20 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
         return result;
     }
 
+    // Every further rung is subject to the caller's escalation gate: a
+    // refused rung is simply not run (deadline-bounded drivers refuse
+    // recovery work that cannot land in time), and the last typed error
+    // surfaces at the bottom.
+    auto may_escalate = [&](const std::string& strategy) {
+        return !cfg.escalation_gate || cfg.escalation_gate(strategy);
+    };
+
     // Rung 2: bounded re-runs on fresh processors. Without a PlanSource the
     // re-run is fault-free (the faulty processors were replaced).
     for (int i = 1; i <= cfg.max_engine_retries; ++i) {
         const std::string strategy =
             std::string(to_string(cfg.engine)) + "-retry-" + std::to_string(i);
+        if (!may_escalate(strategy)) break;
         FaultPlan plan;
         if (retry_plans) plan = retry_plans(strategy, i);
         if (attempt(retry_cfg, strategy, "engine-retry", plan)) return result;
@@ -329,7 +338,8 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
 
     // Rung 3: rollback recovery via the buddy-checkpoint engine (skipped
     // when it *is* the primary engine — that rerun already happened above).
-    if (cfg.checkpoint_fallback && cfg.engine != FtEngine::Checkpoint) {
+    if (cfg.checkpoint_fallback && cfg.engine != FtEngine::Checkpoint &&
+        may_escalate("checkpoint-fallback")) {
         FaultPlan plan;
         if (retry_plans) plan = retry_plans("checkpoint-fallback", 0);
         ResilientAttempt att;
@@ -363,7 +373,7 @@ ResilientResult resilient_multiply(const BigInt& a, const BigInt& b,
     }
 
     // Rung 4: sequential recompute.
-    if (cfg.sequential_fallback) {
+    if (cfg.sequential_fallback && may_escalate("sequential-fallback")) {
         sequential_rung(a, b, cfg, result);
         note_rung("hard", "sequential-fallback", true,
                   &result.attempts.back().stats);
@@ -441,18 +451,24 @@ ResilientResult resilient_soft_multiply(const BigInt& a, const BigInt& b,
     // Retries run on a fresh interconnect (see resilient_multiply).
     scfg.base.transport_faults = TransportFaultModel{};
 
+    // The soft ladder honors the same escalation gate as the hard one.
+    auto may_escalate = [&](const std::string& strategy) {
+        return !cfg.escalation_gate || cfg.escalation_gate(strategy);
+    };
+
     // Rung 2: bounded fault-free re-runs on fresh processors. (There is no
     // checkpoint rung: a miscalculating rank corrupts its checkpoint too,
     // so rollback recovery has no leverage against soft faults.)
     for (int i = 1; i <= cfg.max_engine_retries; ++i) {
-        if (attempt("ft_soft-retry-" + std::to_string(i), "engine-retry",
-                    {})) {
+        const std::string strategy = "ft_soft-retry-" + std::to_string(i);
+        if (!may_escalate(strategy)) break;
+        if (attempt(strategy, "engine-retry", {})) {
             return result;
         }
     }
 
     // Rung 4: sequential recompute, still subject to the verifier.
-    if (cfg.sequential_fallback) {
+    if (cfg.sequential_fallback && may_escalate("sequential-fallback")) {
         sequential_rung(a, b, cfg, result);
         const bool accepted = !verify || verify(result.product);
         note_rung("soft", "sequential-fallback", accepted,

@@ -59,6 +59,15 @@ struct ResilientConfig {
     /// Rung 4: recompute the product sequentially (always succeeds; its
     /// flops are charged to the cost model like every other retry).
     bool sequential_fallback = true;
+
+    /// Optional escalation gate, consulted with the rung's strategy label
+    /// before every rung after the first. Returning false stops the ladder
+    /// right there: the last rung's typed error is rethrown instead of
+    /// escalating further. Drivers with per-request budgets (the serving
+    /// layer's deadlines) use this to refuse recovery work that can no
+    /// longer land in time; an empty gate escalates unconditionally — the
+    /// prior behavior.
+    std::function<bool(const std::string& strategy)> escalation_gate;
 };
 
 /// The set of (phase, rank) sites where an engine can be hit at all: world

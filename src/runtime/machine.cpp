@@ -897,6 +897,12 @@ std::optional<std::vector<std::uint64_t>> Machine::retained_copy(
 
 void Machine::ack_retained(int src, int dst, int tag,
                            std::uint64_t delivered) {
+    // Ack-propagation delay: eviction lags the delivery watermark by the
+    // configured round count (saturating), modeling acks in flight. The
+    // standalone-ack cadence in advance_watermark still publishes the true
+    // watermark — only when the sender acts on it is delayed.
+    const std::uint64_t effective =
+        delivered > ack_delay_ ? delivered - ack_delay_ : 0;
     std::uint64_t evicted_frames = 0;
     std::uint64_t evicted_words = 0;
     {
@@ -905,7 +911,7 @@ void Machine::ack_retained(int src, int dst, int tag,
         auto it = shard->streams.find({src, tag});
         if (it == shard->streams.end()) return;
         RetainStream& stream = it->second;
-        if (delivered > stream.acked) stream.acked = delivered;
+        if (effective > stream.acked) stream.acked = effective;
         while (!stream.frames.empty() &&
                stream.frames.front().seq < stream.acked) {
             evicted_words += stream.frames.front().buf.size();

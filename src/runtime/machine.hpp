@@ -291,6 +291,16 @@ public:
         return ack_interval_;
     }
 
+    /// Ack-propagation delay in rounds (default 0 = instant): retention
+    /// eviction applies the receiver's watermark minus this lag, modeling
+    /// acknowledgments that take a configurable number of rounds to reach
+    /// the sender. The NACK/retransmit path only ever gains margin from the
+    /// lag — frames survive in retention at least as long as before.
+    void set_transport_ack_delay(std::uint64_t rounds) noexcept {
+        ack_delay_ = rounds;
+    }
+    std::uint64_t transport_ack_delay() const noexcept { return ack_delay_; }
+
     /// Retention stream map nodes currently live across all shards — the
     /// accounting hook for the stream-node leak fixed in this layer: the
     /// ack watermark erases drained nodes, and the post-run sweep releases
@@ -406,6 +416,7 @@ private:
     int transport_retry_limit_ = 8;
     std::size_t stash_limit_ = 4096;
     std::uint64_t ack_interval_ = 16;
+    std::uint64_t ack_delay_ = 0;
     std::vector<std::unique_ptr<RetainShard>> retain_;  ///< per destination
     std::unique_ptr<TransportCounterBlock> tcounters_;
 

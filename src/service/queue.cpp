@@ -1,0 +1,74 @@
+#include "service/queue.hpp"
+
+#include <utility>
+
+namespace ftmul {
+
+std::optional<RejectReason> AdmissionQueue::try_push(QueuedJob&& job) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_) return RejectReason::ShuttingDown;
+        if (jobs_.size() >= capacity_) return RejectReason::QueueFull;
+        jobs_.emplace(key_of(job), std::move(job));
+        if (jobs_.size() > peak_) peak_ = jobs_.size();
+    }
+    cv_.notify_one();
+    return std::nullopt;
+}
+
+bool AdmissionQueue::pop_batch(std::vector<QueuedJob>& out,
+                               std::size_t max_batch) {
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty()) return false;  // closed and drained
+    auto it = jobs_.begin();
+    const bool batchable = it->second.plan.batchable;
+    out.push_back(std::move(it->second));
+    it = jobs_.erase(it);
+    // Batching gathers further *batchable* jobs only — machine plans own
+    // a whole simulated machine per run and never share a round.
+    while (batchable && out.size() < max_batch && it != jobs_.end()) {
+        if (it->second.plan.batchable) {
+            out.push_back(std::move(it->second));
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return true;
+}
+
+void AdmissionQueue::close() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+std::vector<QueuedJob> AdmissionQueue::drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<QueuedJob> out;
+    out.reserve(jobs_.size());
+    for (auto& [key, job] : jobs_) out.push_back(std::move(job));
+    jobs_.clear();
+    return out;
+}
+
+std::size_t AdmissionQueue::depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+}
+
+std::size_t AdmissionQueue::peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+}
+
+}  // namespace ftmul

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/planner.hpp"
+#include "service/request.hpp"
+
+namespace ftmul {
+
+/// One admitted request in flight: the request, its plan, and the promise
+/// the service resolves exactly once (executor or shutdown drain).
+struct QueuedJob {
+    std::uint64_t id = 0;
+    MultiplyRequest request;
+    MultiplyPlan plan;
+    std::promise<MultiplyOutcome> promise;
+    ServiceClock::time_point enqueued_at{};
+};
+
+/// Bounded, priority-ordered admission queue. Higher priority dequeues
+/// first; FIFO within a priority level (ordered by admission id). try_push
+/// refuses — it never blocks — so overload surfaces as typed shedding at
+/// the submission site instead of unbounded buffering; pop_batch blocks
+/// executors until work or close.
+class AdmissionQueue {
+public:
+    explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Admit a job, or report why not (QueueFull / ShuttingDown) without
+    /// touching the job. The caller owns the rejection.
+    std::optional<RejectReason> try_push(QueuedJob&& job);
+
+    /// Block until a job is available or the queue is closed and empty
+    /// (returns false — the executor's exit signal). Pops the
+    /// highest-priority job; when it is batchable, gathers up to
+    /// max_batch-1 more batchable jobs in priority order so one dispatch
+    /// round amortizes across compatible small requests.
+    bool pop_batch(std::vector<QueuedJob>& out, std::size_t max_batch);
+
+    /// Stop admitting; wake every blocked executor. Idempotent.
+    void close();
+
+    bool closed() const;
+
+    /// Remove and return everything still queued (the non-draining
+    /// shutdown path sheds these with reason ShuttingDown).
+    std::vector<QueuedJob> drain();
+
+    std::size_t depth() const;
+
+    /// High-water mark of the queue depth over the queue's lifetime.
+    std::size_t peak_depth() const;
+
+private:
+    /// Key orders the map by (-priority, admission id): begin() is always
+    /// the highest-priority, oldest job.
+    using Key = std::pair<int, std::uint64_t>;
+    static Key key_of(const QueuedJob& job) {
+        return {-job.request.priority, job.id};
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<Key, QueuedJob> jobs_;
+    std::size_t capacity_;
+    std::size_t peak_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace ftmul

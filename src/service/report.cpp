@@ -1,0 +1,107 @@
+#include "service/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ftmul {
+
+namespace {
+
+/// Exact nearest-rank percentiles over integer samples — index arithmetic
+/// only, so the same samples always render the same bytes.
+Json percentiles_json(std::vector<std::uint64_t> samples) {
+    Json out = Json::object();
+    if (samples.empty()) {
+        out.set("count", std::uint64_t{0});
+        return out;
+    }
+    std::sort(samples.begin(), samples.end());
+    auto at = [&](int q) {
+        return samples[(samples.size() - 1) * static_cast<std::size_t>(q) /
+                       100];
+    };
+    std::uint64_t total = 0;
+    for (std::uint64_t s : samples) total += s;
+    out.set("count", static_cast<std::uint64_t>(samples.size()));
+    out.set("p50", at(50));
+    out.set("p90", at(90));
+    out.set("p99", at(99));
+    out.set("max", samples.back());
+    out.set("total", total);
+    return out;
+}
+
+}  // namespace
+
+Json build_service_report(const std::vector<MultiplyPlan>& planned,
+                          const ServiceStats& observed,
+                          const ServiceRunInfo& info) {
+    Json root = report_header(kServiceReportSchema, kServiceReportVersion);
+
+    Json run = Json::object();
+    run.set("seed", info.seed);
+    run.set("clients", info.clients);
+    run.set("executors", info.executors);
+    run.set("rps", info.rps);
+    run.set("duration_s", info.duration_s);
+    run.set("chaos", info.chaos);
+    root.set("run", std::move(run));
+
+    // The planned section: deterministic over the generated request set.
+    // std::map keys keep the engine mix in sorted order regardless of
+    // which engine the planner happened to pick first.
+    Json plan_section = Json::object();
+    plan_section.set("requests", info.requests_generated);
+    std::map<std::string, std::uint64_t> engine_mix;
+    std::uint64_t batchable = 0;
+    CostCounters charge_totals;
+    std::vector<std::uint64_t> modeled;
+    modeled.reserve(planned.size());
+    int world_max = 0;
+    for (const MultiplyPlan& p : planned) {
+        ++engine_mix[p.engine];
+        if (p.batchable) ++batchable;
+        charge_totals += p.charge;
+        modeled.push_back(p.modeled_us);
+        if (p.world > world_max) world_max = p.world;
+    }
+    Json mix = Json::object();
+    for (const auto& [engine, count] : engine_mix) mix.set(engine, count);
+    plan_section.set("engine_mix", std::move(mix));
+    plan_section.set("batchable", batchable);
+    plan_section.set("world_max", world_max);
+    plan_section.set("charge_totals", counters_json(charge_totals));
+    plan_section.set("modeled_us", percentiles_json(std::move(modeled)));
+    root.set("planned", std::move(plan_section));
+
+    Json obs = Json::object();
+    obs.set("submitted", observed.submitted);
+    obs.set("admitted", observed.admitted);
+    obs.set("completed", observed.completed);
+    obs.set("failed", observed.failed);
+    obs.set("expired", observed.expired);
+    obs.set("drained", observed.drained);
+    Json shed = Json::object();
+    shed.set("queue_full", observed.shed_queue_full);
+    shed.set("deadline_impossible", observed.shed_deadline_impossible);
+    shed.set("shutting_down", observed.shed_shutting_down);
+    shed.set("total", observed.shed_total());
+    obs.set("shed", std::move(shed));
+    obs.set("batches", observed.batches);
+    obs.set("batched_requests", observed.batched_requests);
+    obs.set("max_batch_observed", observed.max_batch_observed);
+    obs.set("queue_depth_peak", observed.queue_depth_peak);
+    obs.set("ladder_escalations", observed.ladder_escalations);
+    Json by_engine = Json::object();
+    for (const auto& [engine, count] : observed.completed_by_engine) {
+        by_engine.set(engine, count);
+    }
+    obs.set("completed_by_engine", std::move(by_engine));
+    obs.set("verified_products", info.verified_products);
+    obs.set("wrong_products", info.wrong_products);
+    obs.set("e2e_latency_us", percentiles_json(info.e2e_latency_us));
+    root.set("observed", std::move(obs));
+    return root;
+}
+
+}  // namespace ftmul

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/json.hpp"
+#include "runtime/report.hpp"
+#include "service/planner.hpp"
+#include "service/service.hpp"
+
+namespace ftmul {
+
+/// Schema of the serving-layer run summary. v1: a "planned" section that is
+/// a pure function of the generated request set (engine mix, deterministic
+/// cost-model charge totals and modeled-latency percentiles — byte-identical
+/// for any client/executor count), an "observed" section of runtime tallies
+/// (admission/shedding/outcome counts bound by the conservation invariants,
+/// wall-clock latency percentiles, batching and queue-depth highs), and a
+/// "run" echo of the drive parameters.
+inline constexpr const char* kServiceReportSchema = "ftmul.service_report";
+inline constexpr int kServiceReportVersion = 1;
+
+/// Drive parameters and driver-side tallies the service cannot know.
+struct ServiceRunInfo {
+    std::uint64_t seed = 0;
+    int clients = 0;
+    int executors = 0;
+    double rps = 0.0;  ///< 0 = closed loop
+    double duration_s = 0.0;
+    bool chaos = false;
+    std::uint64_t requests_generated = 0;
+
+    /// Completed products checked against the sequential reference, and
+    /// how many of those checks failed (the zero the soak gates on).
+    std::uint64_t verified_products = 0;
+    std::uint64_t wrong_products = 0;
+
+    /// Observed end-to-end wall latencies of resolved requests (us).
+    std::vector<std::uint64_t> e2e_latency_us;
+};
+
+/// Build the ftmul.service_report v1 document. `planned` must hold the
+/// plan of every *generated* request (admitted or not) in generation
+/// order: the planned section summarizes the workload the seed describes,
+/// independent of what the wall clock let through.
+Json build_service_report(const std::vector<MultiplyPlan>& planned,
+                          const ServiceStats& observed,
+                          const ServiceRunInfo& info);
+
+}  // namespace ftmul

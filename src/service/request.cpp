@@ -1,0 +1,40 @@
+#include "service/request.hpp"
+
+namespace ftmul {
+
+const char* to_string(ReliabilityClass cls) {
+    switch (cls) {
+        case ReliabilityClass::Fast: return "fast";
+        case ReliabilityClass::FastRedundant: return "fast_redundant";
+        case ReliabilityClass::Verified: return "verified";
+    }
+    return "unknown";
+}
+
+ReliabilityClass reliability_class_from_string(std::string_view name) {
+    if (name == "fast") return ReliabilityClass::Fast;
+    if (name == "fast_redundant") return ReliabilityClass::FastRedundant;
+    if (name == "verified") return ReliabilityClass::Verified;
+    throw std::invalid_argument("unknown reliability class: " +
+                                std::string(name));
+}
+
+const char* to_string(RejectReason reason) {
+    switch (reason) {
+        case RejectReason::QueueFull: return "queue_full";
+        case RejectReason::DeadlineImpossible: return "deadline_impossible";
+        case RejectReason::ShuttingDown: return "shutting_down";
+    }
+    return "unknown";
+}
+
+const char* to_string(OutcomeStatus status) {
+    switch (status) {
+        case OutcomeStatus::Completed: return "completed";
+        case OutcomeStatus::Expired: return "expired";
+        case OutcomeStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+}  // namespace ftmul

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "bigint/bigint.hpp"
+#include "runtime/costs.hpp"
+
+namespace ftmul {
+
+/// The clock every service deadline is expressed in. Monotonic: a deadline
+/// is a point on the machine's steady clock, never wall time, so clock
+/// adjustments cannot expire (or resurrect) queued requests.
+using ServiceClock = std::chrono::steady_clock;
+
+/// What a caller is paying for, reliability-wise. The planner maps the
+/// class plus the operand size onto an engine and ladder settings (see
+/// docs/SERVICE.md for the policy table).
+enum class ReliabilityClass {
+    Fast,           ///< cheapest plan; no redundancy beyond the ladder
+    FastRedundant,  ///< f+1 full replicas (replication engine)
+    Verified,       ///< an FT-coded engine guards the computation itself
+};
+
+/// Stable lower-case class name ("fast", "fast_redundant", "verified").
+const char* to_string(ReliabilityClass cls);
+
+/// Parse a class name as printed by to_string(). Throws
+/// std::invalid_argument on unknown names.
+ReliabilityClass reliability_class_from_string(std::string_view name);
+
+/// One unit of work submitted to the MultiplyService.
+struct MultiplyRequest {
+    BigInt a;
+    BigInt b;
+
+    /// Absolute completion deadline; max() = none. Enforced three times:
+    /// at admission (a budget below the plan's cost-model floor is
+    /// DeadlineImpossible), at dequeue, and at every resilient-ladder rung
+    /// boundary through ResilientConfig::escalation_gate.
+    ServiceClock::time_point deadline = ServiceClock::time_point::max();
+
+    /// Dispatch priority: higher values dequeue first; FIFO within a
+    /// priority level.
+    int priority = 0;
+
+    ReliabilityClass reliability_class = ReliabilityClass::Fast;
+};
+
+/// Why the service refused a submission outright.
+enum class RejectReason {
+    QueueFull,           ///< the bounded admission queue is at capacity
+    DeadlineImpossible,  ///< budget below the plan's cost-model floor
+    ShuttingDown,        ///< the service no longer accepts work
+};
+
+/// Stable lower-case reason name ("queue_full", "deadline_impossible",
+/// "shutting_down").
+const char* to_string(RejectReason reason);
+
+/// Typed load-shedding: thrown synchronously by MultiplyService::submit
+/// when a request is refused, and delivered through the future of an
+/// admitted request the shutdown path drained without running (reason
+/// ShuttingDown). The serving-layer sibling of UnrecoverableFault /
+/// TransportFault one layer up the stack: every shed request carries its
+/// machine-readable reason, never a bare error string.
+class ServiceRejected : public std::runtime_error {
+public:
+    ServiceRejected(RejectReason reason, const std::string& detail)
+        : std::runtime_error(std::string("service rejected (") +
+                             ftmul::to_string(reason) + "): " + detail),
+          reason_(reason) {}
+
+    RejectReason reason() const noexcept { return reason_; }
+
+private:
+    RejectReason reason_;
+};
+
+/// How an *admitted* request ended.
+enum class OutcomeStatus {
+    Completed,  ///< product is valid
+    Expired,    ///< deadline passed at dequeue or mid-ladder
+    Failed,     ///< every enabled ladder rung failed
+};
+
+/// Stable lower-case status name ("completed", "expired", "failed").
+const char* to_string(OutcomeStatus status);
+
+/// Resolution of an admitted request, delivered through the future.
+struct MultiplyOutcome {
+    OutcomeStatus status = OutcomeStatus::Failed;
+
+    /// The product; meaningful only when status == Completed. Never
+    /// silently wrong: every engine in the portfolio either delivers a
+    /// verified-correct product or raises a typed fault the ladder
+    /// escalates.
+    BigInt product;
+
+    /// The planner's engine label for this request ("sequential",
+    /// "parallel", "replication", "ft_poly", ...).
+    std::string engine;
+
+    /// Diagnostic when status != Completed.
+    std::string error;
+
+    /// Cost-model charges of the execution, every ladder rung included.
+    RunStats stats;
+
+    /// The planner's deterministic modeled-time estimate in microseconds —
+    /// the charge the service_report percentiles are computed from.
+    std::uint64_t modeled_us = 0;
+
+    /// Ladder rungs executed (1 = first attempt succeeded).
+    int ladder_attempts = 0;
+
+    /// Admission sequence number (also the chaos-injection trial index).
+    std::uint64_t request_id = 0;
+};
+
+}  // namespace ftmul

@@ -254,5 +254,44 @@ TEST(ResilientMultiply, CheckpointPrimarySkipsCheckpointFallback) {
     EXPECT_EQ(res.attempts[1].strategy, "sequential-fallback");
 }
 
+TEST(ResilientMultiply, EscalationGateStopsTheLadder) {
+    Rng rng{28};
+    const BigInt a = random_bits(rng, 700), b = random_bits(rng, 600);
+    FaultPlan over_budget;
+    over_budget.add("mul", 0);
+    over_budget.add("mul", 1);
+
+    // A gate that always refuses: the first rung fails and the ladder may
+    // not spend another rung — the deadline-budget semantics the service
+    // layer builds on.
+    auto cfg = make_cfg(FtEngine::Poly);
+    std::vector<std::string> asked;
+    cfg.escalation_gate = [&](const std::string& strategy) {
+        asked.push_back(strategy);
+        return false;
+    };
+    const PlanSource same_plan = [&](const std::string&, int) {
+        return over_budget;
+    };
+    try {
+        resilient_multiply(a, b, cfg, over_budget, same_plan);
+        FAIL() << "expected the primary failure to surface";
+    } catch (const UnrecoverableFault& uf) {
+        EXPECT_EQ(uf.engine(), "ft_poly");
+    }
+    // The gate was consulted with the rung it would have run, and refused
+    // before any work was charged to that rung.
+    ASSERT_FALSE(asked.empty());
+    EXPECT_EQ(asked.front(), "ft_poly-retry-1");
+
+    // A permissive gate changes nothing: same ladder as with no gate.
+    auto open_cfg = make_cfg(FtEngine::Poly);
+    open_cfg.escalation_gate = [](const std::string&) { return true; };
+    const auto res = resilient_multiply(a, b, open_cfg, over_budget);
+    EXPECT_EQ(res.product, a * b);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_EQ(res.attempts[1].strategy, "ft_poly-retry-1");
+}
+
 }  // namespace
 }  // namespace ftmul

@@ -1,0 +1,451 @@
+// Closed- and open-loop load driver for the multiply-as-a-service layer.
+//
+// Generates a seeded request stream (sizes, reliability classes,
+// priorities, deadline budgets, arrival times — all pure functions of
+// --seed), drives it at MultiplyService from --clients threads, verifies
+// every completed product against the sequential reference, and writes the
+// schema-versioned ftmul.service_report v1. The report's "planned" section
+// summarizes the generated workload through the planner's deterministic
+// cost-model charges, so it is byte-identical for any --clients /
+// --executors count — the property the CI soak pins.
+//
+//   ftmul_serve [--requests N] [--clients N] [--executors N] [--rps R]
+//               [--duration-s S] [--seed S] [--bits-min B] [--bits-max B]
+//               [--queue-cap N] [--max-batch N] [--chaos]
+//               [--chaos-hard-rate R] [--chaos-msg-rate R] [--no-verify]
+//               [--metrics] [--quiet] [--out FILE]
+//
+// Closed loop (default): each client submits, blocks on the future,
+// verifies, then takes the next request. Open loop (--rps R): clients
+// submit on the seeded arrival schedule without waiting and resolve their
+// futures afterward, so the admission queue actually fills and sheds.
+//
+// Exit status: 0 clean; 1 on any wrong product, conservation violation, or
+// report-write failure; 2 on usage errors.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bigint/random.hpp"
+#include "runtime/metrics.hpp"
+#include "service/report.hpp"
+#include "service/service.hpp"
+#include "toom/sequential.hpp"
+
+namespace {
+
+using namespace ftmul;
+
+struct Options {
+    std::uint64_t requests = 200;
+    int clients = 4;
+    int executors = 4;
+    double rps = 0.0;        // 0 = closed loop
+    double duration_s = 0.0; // 0 = no time cap on submission
+    std::uint64_t seed = 42;
+    std::size_t bits_min = 128;
+    std::size_t bits_max = 12000;
+    std::size_t queue_cap = 256;
+    std::size_t max_batch = 8;
+    bool chaos = false;
+    double chaos_hard_rate = 0.08;
+    double chaos_msg_rate = 0.02;
+    bool verify = true;
+    bool metrics = false;
+    bool quiet = false;
+    std::string out = "service_report.json";
+};
+
+[[noreturn]] void usage() {
+    std::fprintf(
+        stderr,
+        "usage: ftmul_serve [--requests N] [--clients N] [--executors N]\n"
+        "                   [--rps R] [--duration-s S] [--seed S]\n"
+        "                   [--bits-min B] [--bits-max B] [--queue-cap N]\n"
+        "                   [--max-batch N] [--chaos] [--chaos-hard-rate R]\n"
+        "                   [--chaos-msg-rate R] [--no-verify] [--metrics]\n"
+        "                   [--quiet] [--out FILE]\n");
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc) usage();
+            return argv[i];
+        };
+        if (arg == "--requests") {
+            o.requests = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--clients") {
+            o.clients = std::atoi(next().c_str());
+        } else if (arg == "--executors") {
+            o.executors = std::atoi(next().c_str());
+        } else if (arg == "--rps") {
+            o.rps = std::atof(next().c_str());
+        } else if (arg == "--duration-s") {
+            o.duration_s = std::atof(next().c_str());
+        } else if (arg == "--seed") {
+            o.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--bits-min") {
+            o.bits_min = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--bits-max") {
+            o.bits_max = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--queue-cap") {
+            o.queue_cap = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--max-batch") {
+            o.max_batch = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--chaos") {
+            o.chaos = true;
+        } else if (arg == "--chaos-hard-rate") {
+            o.chaos_hard_rate = std::atof(next().c_str());
+        } else if (arg == "--chaos-msg-rate") {
+            o.chaos_msg_rate = std::atof(next().c_str());
+        } else if (arg == "--no-verify") {
+            o.verify = false;
+        } else if (arg == "--metrics") {
+            o.metrics = true;
+        } else if (arg == "--quiet") {
+            o.quiet = true;
+        } else if (arg == "--out") {
+            o.out = next();
+        } else {
+            usage();
+        }
+    }
+    if (o.requests == 0 || o.clients < 1 || o.executors < 1 ||
+        o.bits_min == 0 || o.bits_max < o.bits_min || o.max_batch == 0 ||
+        o.queue_cap == 0) {
+        usage();
+    }
+    return o;
+}
+
+/// One generated request, a pure function of (seed, index).
+struct RequestSpec {
+    std::size_t bits_a = 0;
+    std::size_t bits_b = 0;
+    ReliabilityClass cls = ReliabilityClass::Fast;
+    int priority = 0;
+    std::uint64_t budget_us = 0;   ///< deadline budget from submission
+    std::uint64_t arrival_us = 0;  ///< open-loop arrival offset
+};
+
+/// Log-uniform-ish size draw: pick a doubling bucket of [min, max], then a
+/// uniform offset inside it, so small and large operands both appear and
+/// the sequential/machine planner split is exercised from one stream.
+std::size_t draw_bits(Rng& rng, std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return lo;
+    int doublings = 0;
+    while ((lo << (doublings + 1)) < hi && doublings < 40) ++doublings;
+    const std::size_t base =
+        std::min(hi, lo << rng.next_below(static_cast<std::uint64_t>(
+                             doublings + 1)));
+    const std::size_t span = std::min(base, hi - base);
+    return base + (span == 0 ? 0 : rng.next_below(span));
+}
+
+RequestSpec draw_spec(const Options& opt, std::uint64_t i) {
+    Rng rng(opt.seed ^ (0x7365727665ull + i * 0x9e3779b97f4a7c15ull));
+    RequestSpec s;
+    s.bits_a = draw_bits(rng, opt.bits_min, opt.bits_max);
+    s.bits_b = draw_bits(rng, opt.bits_min, opt.bits_max);
+    const std::uint64_t c = rng.next_below(10);
+    s.cls = c < 5 ? ReliabilityClass::Fast
+            : c < 7 ? ReliabilityClass::FastRedundant
+                    : ReliabilityClass::Verified;
+    s.priority = static_cast<int>(rng.next_below(3));
+    // Deadline budgets in log-uniform decades, 20us .. 2s: the short end
+    // undercuts the machine plans' cost-model floor (typed
+    // DeadlineImpossible shedding), the long end always lands.
+    s.budget_us = 20;
+    for (std::uint64_t d = rng.next_below(6); d > 0; --d) s.budget_us *= 10;
+    if (opt.rps > 0) {
+        s.arrival_us = static_cast<std::uint64_t>(
+            static_cast<double>(i) * 1e6 / opt.rps);
+    }
+    return s;
+}
+
+/// Operands of request i — drawn from their own stream so the spec draws
+/// above stay stable if operand generation ever changes.
+void draw_operands(const Options& opt, std::uint64_t i, const RequestSpec& s,
+                   BigInt& a, BigInt& b) {
+    Rng rng(opt.seed ^ (0x6f706572616e64ull + i * 0x9e3779b97f4a7c15ull));
+    a = random_bits(rng, s.bits_a);
+    b = random_bits(rng, s.bits_b);
+}
+
+/// How one generated request ended, client-side.
+enum class SlotResult {
+    NotRun,  ///< duration budget hit before submission
+    Completed,
+    Failed,
+    Expired,
+    ShedQueueFull,
+    ShedDeadline,
+    ShedShutdown,
+    Drained,  ///< admitted; future delivered ServiceRejected(ShuttingDown)
+};
+
+struct Slot {
+    SlotResult result = SlotResult::NotRun;
+    std::uint64_t latency_us = 0;
+    bool verified = false;
+    bool wrong = false;
+};
+
+SlotResult of_reason(RejectReason reason) {
+    switch (reason) {
+        case RejectReason::QueueFull: return SlotResult::ShedQueueFull;
+        case RejectReason::DeadlineImpossible: return SlotResult::ShedDeadline;
+        case RejectReason::ShuttingDown: return SlotResult::ShedShutdown;
+    }
+    return SlotResult::ShedShutdown;
+}
+
+/// Resolve one future into its slot; verify completed products against the
+/// sequential reference on this client thread.
+void settle(const Options& opt, std::uint64_t i,
+            std::future<MultiplyOutcome>& fut,
+            ServiceClock::time_point submitted_at, Slot& slot) {
+    try {
+        MultiplyOutcome out = fut.get();
+        slot.latency_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                ServiceClock::now() - submitted_at)
+                .count());
+        switch (out.status) {
+            case OutcomeStatus::Completed: {
+                slot.result = SlotResult::Completed;
+                if (opt.verify) {
+                    const RequestSpec spec = draw_spec(opt, i);
+                    BigInt a, b;
+                    draw_operands(opt, i, spec, a, b);
+                    const BigInt reference =
+                        toom_multiply(a, b, ToomPlan::make(3));
+                    slot.verified = true;
+                    slot.wrong = out.product != reference;
+                }
+                break;
+            }
+            case OutcomeStatus::Failed: slot.result = SlotResult::Failed; break;
+            case OutcomeStatus::Expired:
+                slot.result = SlotResult::Expired;
+                break;
+        }
+    } catch (const ServiceRejected& rej) {
+        // Admitted but shed by shutdown — still a typed reason.
+        (void)rej;
+        slot.result = SlotResult::Drained;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    if (opt.metrics) MetricsRegistry::global().set_enabled(true);
+
+    // The full request stream and its plans, generated up front: the
+    // planned report section is computed from these alone, before any
+    // thread runs, so it cannot depend on scheduling.
+    ServiceConfig scfg;
+    scfg.queue_capacity = opt.queue_cap;
+    scfg.executors = opt.executors;
+    scfg.max_batch = opt.max_batch;
+    if (opt.chaos) {
+        scfg.chaos.enabled = true;
+        scfg.chaos.seed = opt.seed;
+        scfg.chaos.hard_rate = opt.chaos_hard_rate;
+        scfg.chaos.msg_corrupt_rate = opt.chaos_msg_rate;
+        scfg.chaos.msg_drop_rate = opt.chaos_msg_rate;
+        scfg.chaos.msg_dup_rate = opt.chaos_msg_rate;
+        scfg.chaos.msg_reorder_rate = opt.chaos_msg_rate;
+    }
+    std::vector<RequestSpec> specs(opt.requests);
+    std::vector<MultiplyPlan> planned(opt.requests);
+    for (std::uint64_t i = 0; i < opt.requests; ++i) {
+        specs[i] = draw_spec(opt, i);
+        planned[i] = plan_multiply(specs[i].bits_a, specs[i].bits_b,
+                                   specs[i].cls, scfg.policy);
+    }
+
+    std::vector<Slot> slots(opt.requests);
+    MultiplyService service(scfg);
+    const auto start = ServiceClock::now();
+    const bool timed = opt.duration_s > 0;
+    const auto submit_cutoff =
+        start + std::chrono::microseconds(
+                    static_cast<std::int64_t>(opt.duration_s * 1e6));
+
+    std::atomic<std::uint64_t> next{0};
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(opt.clients));
+    for (int c = 0; c < opt.clients; ++c) {
+        clients.emplace_back([&, c] {
+            if (opt.rps <= 0) {
+                // Closed loop: take the next request, block on its future.
+                for (;;) {
+                    const std::uint64_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= opt.requests) break;
+                    if (timed && ServiceClock::now() > submit_cutoff) continue;
+                    const RequestSpec& spec = specs[i];
+                    MultiplyRequest req;
+                    draw_operands(opt, i, spec, req.a, req.b);
+                    req.priority = spec.priority;
+                    req.reliability_class = spec.cls;
+                    const auto submitted_at = ServiceClock::now();
+                    req.deadline = submitted_at +
+                                   std::chrono::microseconds(spec.budget_us);
+                    try {
+                        auto fut = service.submit(std::move(req));
+                        settle(opt, i, fut, submitted_at, slots[i]);
+                    } catch (const ServiceRejected& rej) {
+                        slots[i].result = of_reason(rej.reason());
+                    }
+                }
+            } else {
+                // Open loop: client c owns requests i = c (mod clients),
+                // submits on the seeded arrival schedule, settles after.
+                std::vector<std::pair<std::uint64_t,
+                                      std::future<MultiplyOutcome>>> pending;
+                std::vector<ServiceClock::time_point> submit_times;
+                for (std::uint64_t i = static_cast<std::uint64_t>(c);
+                     i < opt.requests;
+                     i += static_cast<std::uint64_t>(opt.clients)) {
+                    const RequestSpec& spec = specs[i];
+                    std::this_thread::sleep_until(
+                        start + std::chrono::microseconds(spec.arrival_us));
+                    if (timed && ServiceClock::now() > submit_cutoff) continue;
+                    MultiplyRequest req;
+                    draw_operands(opt, i, spec, req.a, req.b);
+                    req.priority = spec.priority;
+                    req.reliability_class = spec.cls;
+                    const auto submitted_at = ServiceClock::now();
+                    req.deadline = submitted_at +
+                                   std::chrono::microseconds(spec.budget_us);
+                    try {
+                        pending.emplace_back(i,
+                                             service.submit(std::move(req)));
+                        submit_times.push_back(submitted_at);
+                    } catch (const ServiceRejected& rej) {
+                        slots[i].result = of_reason(rej.reason());
+                    }
+                }
+                for (std::size_t p = 0; p < pending.size(); ++p) {
+                    settle(opt, pending[p].first, pending[p].second,
+                           submit_times[p], slots[pending[p].first]);
+                }
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+    service.shutdown(/*drain=*/true);
+    const double wall_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            ServiceClock::now() - start)
+            .count();
+
+    // Serial aggregation over the slots, in request order.
+    const ServiceStats stats = service.stats();
+    ServiceRunInfo info;
+    info.seed = opt.seed;
+    info.clients = opt.clients;
+    info.executors = opt.executors;
+    info.rps = opt.rps;
+    info.duration_s = opt.duration_s;
+    info.chaos = opt.chaos;
+    info.requests_generated = opt.requests;
+    std::uint64_t client_completed = 0;
+    std::uint64_t client_resolved = 0;
+    for (const Slot& s : slots) {
+        switch (s.result) {
+            case SlotResult::Completed:
+                ++client_completed;
+                ++client_resolved;
+                info.e2e_latency_us.push_back(s.latency_us);
+                break;
+            case SlotResult::Failed:
+            case SlotResult::Expired:
+                ++client_resolved;
+                info.e2e_latency_us.push_back(s.latency_us);
+                break;
+            default: break;
+        }
+        if (s.verified) ++info.verified_products;
+        if (s.wrong) ++info.wrong_products;
+    }
+
+    const Json report = build_service_report(planned, stats, info);
+    Json doc = report;
+    if (metrics::enabled()) {
+        doc.set("metrics", MetricsRegistry::global().snapshot().to_json());
+    }
+    if (!opt.out.empty() &&
+        !write_text_file(opt.out, doc.dump(2) + "\n")) {
+        std::fprintf(stderr, "ftmul_serve: cannot write %s\n",
+                     opt.out.c_str());
+        return 1;
+    }
+
+    // Conservation invariants — a lost or double-counted request fails the
+    // run even when every product was right.
+    bool ok = true;
+    auto check = [&](bool cond, const char* what) {
+        if (!cond) {
+            std::fprintf(stderr, "ftmul_serve: INVARIANT VIOLATED: %s\n",
+                         what);
+            ok = false;
+        }
+    };
+    check(stats.submitted == stats.admitted + stats.shed_total(),
+          "submitted == admitted + shed");
+    check(stats.admitted == stats.completed + stats.failed + stats.expired +
+                                stats.drained,
+          "admitted == completed + failed + expired + drained");
+    check(client_completed == stats.completed,
+          "client-side completions match the service's count");
+    check(client_resolved == stats.completed + stats.failed + stats.expired,
+          "every executed request resolved exactly once");
+    check(info.wrong_products == 0, "zero wrong products");
+
+    if (!opt.quiet) {
+        std::printf(
+            "ftmul_serve: %llu generated, %llu submitted, %llu admitted "
+            "(%llu completed, %llu failed, %llu expired, %llu drained), "
+            "%llu shed (%llu queue_full, %llu deadline, %llu shutdown) "
+            "in %.2fs\n",
+            static_cast<unsigned long long>(opt.requests),
+            static_cast<unsigned long long>(stats.submitted),
+            static_cast<unsigned long long>(stats.admitted),
+            static_cast<unsigned long long>(stats.completed),
+            static_cast<unsigned long long>(stats.failed),
+            static_cast<unsigned long long>(stats.expired),
+            static_cast<unsigned long long>(stats.drained),
+            static_cast<unsigned long long>(stats.shed_total()),
+            static_cast<unsigned long long>(stats.shed_queue_full),
+            static_cast<unsigned long long>(stats.shed_deadline_impossible),
+            static_cast<unsigned long long>(stats.shed_shutting_down),
+            wall_s);
+        std::printf(
+            "ftmul_serve: verified %llu/%llu completed products, %llu wrong; "
+            "batches %llu (max %llu), queue peak %llu, escalations %llu\n",
+            static_cast<unsigned long long>(info.verified_products),
+            static_cast<unsigned long long>(stats.completed),
+            static_cast<unsigned long long>(info.wrong_products),
+            static_cast<unsigned long long>(stats.batches),
+            static_cast<unsigned long long>(stats.max_batch_observed),
+            static_cast<unsigned long long>(stats.queue_depth_peak),
+            static_cast<unsigned long long>(stats.ladder_escalations));
+    }
+    return ok ? 0 : 1;
+}
